@@ -1,0 +1,58 @@
+"""Experiment S2a — §2.1 claim [15]: bytecode is a compact
+program representation.
+
+Encoded PVI instruction bytes vs generated native code bytes (incl.
+per-function prologue/epilogue) for the whole kernel corpus.  Expected
+shape: smaller than fixed-width RISC encodings, comparable to
+variable-length x86 (which is famously dense — the original study [15]
+compared against ARM-class embedded targets).
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.experiments import run_code_size
+
+from conftest import register_report
+
+
+@pytest.fixture(scope="module")
+def size_rows():
+    rows = run_code_size()
+    body = [(r.kernel, r.pvi_bytes, r.native.get("x86"),
+             r.native.get("sparc"), r.native.get("ppc"))
+            for r in rows]
+    totals = ("TOTAL",
+              sum(r.pvi_bytes for r in rows),
+              sum(r.native.get("x86", 0) for r in rows),
+              sum(r.native.get("sparc", 0) for r in rows),
+              sum(r.native.get("ppc", 0) for r in rows))
+    table = format_table(
+        ["kernel", "PVI bytes", "x86", "sparc", "ppc"],
+        body + [totals],
+        title="Code size — portable bytecode vs native (bytes)")
+    register_report("code_size", table)
+    return rows
+
+
+class TestCompactness:
+    def test_smaller_than_every_risc_target(self, size_rows):
+        total_pvi = sum(r.pvi_bytes for r in size_rows)
+        for target in ("sparc", "ppc"):
+            total_native = sum(r.native[target] for r in size_rows)
+            assert total_pvi < total_native, target
+
+    def test_comparable_to_x86(self, size_rows):
+        total_pvi = sum(r.pvi_bytes for r in size_rows)
+        total_x86 = sum(r.native["x86"] for r in size_rows)
+        assert total_pvi < 1.4 * total_x86
+
+    def test_majority_of_kernels_beat_risc(self, size_rows):
+        wins = sum(1 for r in size_rows
+                   if r.pvi_bytes < r.native["sparc"])
+        assert wins >= len(size_rows) * 2 // 3
+
+
+def test_bench_size_measurement(benchmark, size_rows):
+    rows = benchmark.pedantic(run_code_size, rounds=1, iterations=1)
+    assert rows

@@ -1,0 +1,77 @@
+"""Experiment F1 — Figure 1, operationalized.
+
+The figure shows optimizations split into coordinated offline/online
+steps.  The measurable content: the split flow should reach the code
+quality of full online optimization at (nearly) the online cost of the
+no-optimization flow.  For each deployment flow we report where the
+analysis work happened and what the generated code achieves.
+"""
+
+import pytest
+
+from repro.bench import format_table, run_split_flow
+from repro.targets import X86
+
+from conftest import register_report
+
+KERNELS = ("saxpy_fp", "sum_u8")
+
+
+@pytest.fixture(scope="module")
+def flow_reports():
+    all_rows = []
+    for kernel in KERNELS:
+        for report in run_split_flow(kernel, X86, n=512):
+            all_rows.append((kernel, report))
+    table = format_table(
+        ["kernel", "flow", "offline work", "online work",
+         "online analysis", "code bytes", "cycles"],
+        [(kernel, r.flow, r.offline_work, r.online_work,
+          r.online_analysis_work, r.code_bytes, r.cycles)
+         for kernel, r in all_rows],
+        title="Figure 1 — split compilation flows (x86)")
+    register_report("fig1_split_flow", table)
+    return all_rows
+
+
+class TestFlowShape:
+    def by_flow(self, rows, kernel):
+        return {r.flow: r for k, r in rows if k == kernel}
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_split_matches_online_code_quality(self, flow_reports,
+                                               kernel):
+        flows = self.by_flow(flow_reports, kernel)
+        assert flows["split"].cycles <= 1.25 * flows["online-only"].cycles
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_split_beats_offline_only_performance(self, flow_reports,
+                                                  kernel):
+        flows = self.by_flow(flow_reports, kernel)
+        assert flows["split"].cycles < flows["offline-only"].cycles
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_split_needs_no_online_analysis(self, flow_reports, kernel):
+        flows = self.by_flow(flow_reports, kernel)
+        assert flows["split"].online_analysis_work == 0
+        assert flows["online-only"].online_analysis_work > 0
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_results_identical_across_flows(self, flow_reports, kernel):
+        flows = self.by_flow(flow_reports, kernel)
+        values = {repr(r.value) for r in flows.values()}
+        assert len(values) == 1
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_offline_work_happened_offline_in_split(self, flow_reports,
+                                                    kernel):
+        flows = self.by_flow(flow_reports, kernel)
+        assert flows["split"].offline_work > 0
+
+
+def test_bench_split_deployment(benchmark, flow_reports):
+    """Wall-clock of one full split deployment (JIT included)."""
+    result = benchmark.pedantic(
+        lambda: run_split_flow("saxpy_fp", X86, n=128),
+        rounds=2, iterations=1)
+    assert len(result) == 3

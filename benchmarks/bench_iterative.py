@@ -1,0 +1,56 @@
+"""Experiment S4b — §4 direction: iterative compilation.
+
+Hill-climbing over the offline pipeline's configuration space (unroll
+factor, vectorization, pass toggles), each candidate *measured* on the
+target simulator instead of predicted.  Expected shape: the best-found
+configuration is never worse than the fixed -O2-style default, and
+strictly better for some kernels (typically via unrolling choices the
+default heuristics would not risk).
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.experiments import run_iterative
+from repro.targets import SPARC, X86
+
+from conftest import register_report
+
+KERNELS = ["saxpy_fp", "sum_u8", "sdot", "prefix_sum", "fir"]
+
+
+@pytest.fixture(scope="module")
+def iterative_rows():
+    rows = run_iterative(KERNELS, X86, budget=16, n=192)
+    rows += run_iterative(["prefix_sum", "fir"], SPARC, budget=16,
+                          n=192)
+    table = format_table(
+        ["kernel", "target", "default", "best found", "config",
+         "speedup", "evals"],
+        [(r.kernel, r.target, r.default_cycles, r.best_cycles,
+          r.best_label, r.speedup, r.evaluations) for r in rows],
+        title="Iterative compilation — measured search vs default "
+              "pipeline")
+    register_report("iterative", table)
+    return rows
+
+
+class TestIterative:
+    def test_never_worse_than_default(self, iterative_rows):
+        for row in iterative_rows:
+            assert row.best_cycles <= row.default_cycles
+
+    def test_strictly_better_somewhere(self, iterative_rows):
+        improved = [r for r in iterative_rows if r.speedup > 1.02]
+        assert len(improved) >= 2
+
+    def test_search_stays_within_budget(self, iterative_rows):
+        for row in iterative_rows:
+            assert row.evaluations <= 16
+
+
+def test_bench_hill_climb(benchmark, iterative_rows):
+    rows = benchmark.pedantic(
+        lambda: run_iterative(["prefix_sum"], X86, budget=6, n=96),
+        rounds=1, iterations=1)
+    assert rows

@@ -1,0 +1,54 @@
+"""Experiment S3a — §3/§5 claim: JIT compilers are constrained by CPU
+and memory budgets, and split compilation moves the expensive analyses
+offline.
+
+Aggregated over all Table 1 kernels on x86: total online compile work
+(instructions visited by the JIT), its analysis-only portion, the
+resulting run-time cycles, and JIT wall-clock.  Expected shape: the
+split flow spends *zero* online analysis yet reaches online-only's
+code quality; online-only pays a multiple of offline-only's compile
+budget.
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.experiments import run_jit_budget
+from repro.targets import X86
+
+from conftest import register_report
+
+
+@pytest.fixture(scope="module")
+def budget_rows():
+    rows = run_jit_budget(X86, n=256)
+    table = format_table(
+        ["flow", "online work", "analysis work", "cycles",
+         "jit ms"],
+        rows,
+        title="JIT compile budget across the Table 1 kernels (x86)")
+    register_report("jit_budget", table)
+    return {row[0]: row for row in rows}
+
+
+class TestBudgetShape:
+    def test_split_has_zero_online_analysis(self, budget_rows):
+        assert budget_rows["split"][2] == 0
+
+    def test_online_only_pays_analysis(self, budget_rows):
+        assert budget_rows["online-only"][2] > 0
+
+    def test_online_only_costs_more_than_offline_only(self, budget_rows):
+        assert budget_rows["online-only"][1] > \
+            1.3 * budget_rows["offline-only"][1]
+
+    def test_split_code_fastest_or_tied(self, budget_rows):
+        split_cycles = budget_rows["split"][3]
+        assert split_cycles <= budget_rows["offline-only"][3]
+        assert split_cycles <= 1.2 * budget_rows["online-only"][3]
+
+
+def test_bench_budget_measurement(benchmark, budget_rows):
+    rows = benchmark.pedantic(lambda: run_jit_budget(X86, n=96),
+                              rounds=1, iterations=1)
+    assert len(rows) == 3

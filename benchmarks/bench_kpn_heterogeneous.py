@@ -1,0 +1,62 @@
+"""Experiment S4c — §4 direction: Kahn process networks on
+heterogeneous multicores.
+
+One annotated bytecode module, one JIT per core kind, measured
+per-actor costs, and a mapping/scheduling pass.  Expected shape: the
+heterogeneous mapping beats pinning everything to the host, and the
+benefit grows with platform diversity (the SIMD-hungry elementwise
+actors migrate to the DSP, the branchy recursive filters to the
+branch-friendly core).
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.experiments import run_kpn
+
+from conftest import register_report
+
+
+@pytest.fixture(scope="module")
+def kpn_rows():
+    rows = run_kpn(blocks=48)
+    table = format_table(
+        ["platform", "host-only", "heterogeneous", "speedup"],
+        [(r.platform, f"{r.host_only:.0f}", f"{r.heterogeneous:.0f}",
+          r.speedup) for r in rows],
+        title="KPN pipeline makespan (time units, 48 blocks)")
+    assignment = rows[-1].assignment
+    placing = format_table(
+        ["actor", "core"],
+        sorted(assignment.items()),
+        title="Mapping on the richest platform")
+    register_report("kpn_heterogeneous", table + "\n\n" + placing)
+    return rows
+
+
+class TestKPNMapping:
+    def test_heterogeneous_always_helps(self, kpn_rows):
+        for row in kpn_rows:
+            assert row.speedup >= 1.0, row.platform
+
+    def test_rich_platform_speedup_substantial(self, kpn_rows):
+        richest = kpn_rows[-1]
+        assert richest.speedup > 1.8
+
+    def test_diversity_helps_more_than_replication(self, kpn_rows):
+        by_name = {r.platform: r for r in kpn_rows}
+        assert by_name["host + dsp + big"].heterogeneous <= \
+            by_name["host x4"].heterogeneous
+
+    def test_vector_actors_leave_the_host(self, kpn_rows):
+        richest = kpn_rows[-1]
+        offloaded = [actor for actor, core in richest.assignment.items()
+                     if core != "host"]
+        assert "gain_l" in offloaded or "gain_r" in offloaded
+        assert len(offloaded) >= 4
+
+
+def test_bench_kpn_pipeline(benchmark, kpn_rows):
+    rows = benchmark.pedantic(lambda: run_kpn(blocks=8), rounds=1,
+                              iterations=1)
+    assert rows

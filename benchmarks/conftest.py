@@ -1,0 +1,34 @@
+"""Benchmark-suite infrastructure.
+
+Each bench module computes its experiment once (module-scoped
+fixture), registers the paper-style table for the terminal summary,
+and wraps representative pieces in pytest-benchmark timers.  Tables
+are also written to ``benchmarks/results/`` so a plain
+``pytest benchmarks/ --benchmark-only`` leaves artifacts behind.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Tuple
+
+_REPORTS: List[Tuple[str, str]] = []
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def register_report(name: str, text: str) -> None:
+    """Queue a table for the terminal summary and write it to disk."""
+    _REPORTS.append((name, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("experiment tables (paper reproduction)")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"==== {name} ====")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

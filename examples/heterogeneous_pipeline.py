@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Whole-platform programming: a KPN audio pipeline on a simulated SoC.
+
+The paper's closing argument: ship one bytecode application, JIT it
+for *every* core of a heterogeneous multiprocessor — host controller,
+DSP accelerator, big core — and let the runtime map computations where
+they run best.  This example:
+
+1. compiles a 12-actor stereo audio pipeline (mixed vectorizable /
+   control-heavy stages) to annotated bytecode;
+2. runs it functionally under two different schedulers and checks the
+   outputs are identical (Kahn determinism);
+3. installs it on three platforms of growing heterogeneity, measures
+   per-actor per-core costs, maps with a greedy scheduler, and
+   compares makespans against pinning everything on the host.
+
+Run:  python examples/heterogeneous_pipeline.py
+"""
+
+import math
+
+from repro.bench import format_table
+from repro.core import Core, DeploymentManager, Platform, offline_compile
+from repro.kpn import (
+    NetworkRuntime, estimate_costs, greedy_map, host_only_map,
+    simulate_makespan,
+)
+from repro.targets import DSP, HOST, X86
+from repro.workloads.pipeline import PIPELINE_SOURCE, build_pipeline
+
+BLOCKS = 48
+
+
+def main():
+    artifact = offline_compile(PIPELINE_SOURCE, name="audio")
+    network = build_pipeline()
+    print(f"pipeline: {len(network.actors)} actors, "
+          f"{len(network.channels)} channels")
+    print("offline-vectorized actors:",
+          ", ".join(artifact.vectorized_functions), "\n")
+
+    # ---- functional run: determinism under scheduling ---------------------
+    runtime = NetworkRuntime(network, artifact.bytecode)
+    signal = [math.sin(i * 0.13) + 0.3 * math.sin(i * 0.031)
+              for i in range(256)]
+    out_a = runtime.run({"in_l": signal, "in_r": signal})
+    out_b = runtime.run({"in_l": signal, "in_r": signal},
+                        schedule_seed=1234)
+    assert out_a == out_b, "Kahn networks are scheduling-independent"
+    rms = out_a["out_rms"][-1]
+    print(f"functional run ok (deterministic); final block RMS-ish "
+          f"statistic = {rms:.4f}\n")
+
+    # ---- mapping study ------------------------------------------------------
+    platforms = [
+        Platform("host x4", [Core(HOST, 4)]),
+        Platform("host x2 + dsp", [Core(HOST, 2), Core(DSP, 1)]),
+        Platform("host x2 + dsp + big",
+                 [Core(HOST, 2), Core(DSP, 1), Core(X86, 1)]),
+    ]
+    rows = []
+    last_assignment = {}
+    for platform in platforms:
+        manager = DeploymentManager(platform)
+        images = manager.install(artifact)
+        costs = estimate_costs(network, images, platform)
+        base = simulate_makespan(network, platform,
+                                 host_only_map(network, platform),
+                                 costs, BLOCKS)
+        mapping = greedy_map(network, platform, costs)
+        mapped = simulate_makespan(network, platform, mapping, costs,
+                                   BLOCKS)
+        rows.append((platform.name, f"{base:.0f}", f"{mapped:.0f}",
+                     base / mapped))
+        cores = platform.core_list()
+        last_assignment = {actor: cores[c].name
+                           for actor, c in mapping.assignment.items()}
+
+    print(format_table(
+        ["platform", "host-only", "mapped", "speedup"], rows,
+        title=f"Makespan for {BLOCKS} blocks (common time units)"))
+
+    print("\nPlacement on the richest platform:")
+    for actor, core in sorted(last_assignment.items()):
+        print(f"  {actor:10} -> {core}")
+    print("\nVector-friendly stages migrate to the DSP; the branchy "
+          "biquad/envelope stages prefer the big core;\nthe host "
+          "keeps the cheap glue. No actor was compiled specially for "
+          "any of this — one bytecode, three JITs.")
+
+
+if __name__ == "__main__":
+    main()

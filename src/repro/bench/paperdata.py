@@ -1,0 +1,53 @@
+"""Reference numbers transcribed from the paper, for side-by-side
+reporting.  Table 1 of Cohen & Rohou (DAC 2010): relative speedup of
+vectorized over scalar bytecode, per kernel and target (the paper also
+reports absolute times at 10^6 iterations on x86 and 10^5 on the
+others, which are not comparable to simulated cycles and are therefore
+not reproduced as absolutes)."""
+
+#: (kernel, target) -> relative speedup from the paper's Table 1
+PAPER_TABLE1_RELATIVE = {
+    ("vecadd_fp", "x86"): 2.2,
+    ("saxpy_fp", "x86"): 2.1,
+    ("dscal_fp", "x86"): 1.6,
+    ("max_u8", "x86"): 15.6,
+    ("sum_u8", "x86"): 5.3,
+    ("sum_u16", "x86"): 2.6,
+    ("vecadd_fp", "sparc"): 1.4,
+    ("saxpy_fp", "sparc"): 1.2,
+    ("dscal_fp", "sparc"): 1.5,
+    ("max_u8", "sparc"): 0.95,
+    ("sum_u8", "sparc"): 0.94,
+    ("sum_u16", "sparc"): 0.78,
+    ("vecadd_fp", "ppc"): 1.1,
+    ("saxpy_fp", "ppc"): 1.3,
+    ("dscal_fp", "ppc"): 1.1,
+    ("max_u8", "ppc"): 1.4,
+    ("sum_u8", "ppc"): 1.5,
+    ("sum_u16", "ppc"): 1.5,
+}
+
+#: Paper's absolute run times (milliseconds), for the record only.
+PAPER_TABLE1_TIMES = {
+    ("vecadd_fp", "x86"): (1197, 537),
+    ("saxpy_fp", "x86"): (1544, 724),
+    ("dscal_fp", "x86"): (1045, 657),
+    ("max_u8", "x86"): (3541, 227),
+    ("sum_u8", "x86"): (6707, 1277),
+    ("sum_u16", "x86"): (6710, 2547),
+    ("vecadd_fp", "sparc"): (2810, 1947),
+    ("saxpy_fp", "sparc"): (3812, 3239),
+    ("dscal_fp", "sparc"): (2608, 1787),
+    ("max_u8", "sparc"): (3032, 3188),
+    ("sum_u8", "sparc"): (8019, 8559),
+    ("sum_u16", "sparc"): (8788, 11256),
+    ("vecadd_fp", "ppc"): (999, 886),
+    ("saxpy_fp", "ppc"): (1460, 1101),
+    ("dscal_fp", "ppc"): (721, 653),
+    ("max_u8", "ppc"): (3011, 2209),
+    ("sum_u8", "ppc"): (9933, 6817),
+    ("sum_u16", "ppc"): (9941, 6671),
+}
+
+#: §4 claim for split register allocation (Diouf et al. [18]).
+PAPER_SPILL_SAVING_MAX = 0.40

@@ -1,0 +1,183 @@
+"""Bytecode annotations — the split-compilation information channel.
+
+The paper's central mechanism: expensive offline analyses distill their
+results into compact annotations carried by the bytecode, and the JIT
+applies straightforward transformations instead of re-running the
+analysis.  Four kinds are modeled, mirroring §3/§4 of the paper:
+
+* :class:`VecLoopAnnotation` — a loop was auto-vectorized offline; the
+  JIT may map the vector builtins to SIMD directly (it also tells a
+  scalarizing JIT how many lanes to expand).
+* :class:`RegAllocAnnotation` — portable spill-priority ranking from
+  the expensive offline allocation (Diouf et al. [18]); drives the
+  linear-time online assignment of experiment S4a.
+* :class:`HotnessAnnotation` — profile weight from previous runs (the
+  "idle time between different runs" step of the program lifetime).
+* :class:`HWRequirementAnnotation` — module-level hardware appetite
+  ("benefits from hardware floating point or vector processing
+  support"), used by the deployment manager when mapping onto
+  heterogeneous cores.
+
+Annotations are *advisory by construction*: every consumer validates
+cheap local preconditions before trusting one, so a stale or hostile
+annotation can degrade performance but never correctness.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bytecode.varint import (
+    read_bytes, read_str, read_uint, write_bytes, write_str, write_uint,
+)
+
+
+@dataclass
+class Annotation:
+    """Base: every annotation names the function it describes."""
+    function: str
+
+    KIND = 0
+
+    def payload(self) -> bytes:          # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @classmethod
+    def from_payload(cls, function: str, raw: bytes) -> "Annotation":
+        raise NotImplementedError        # pragma: no cover - abstract
+
+
+@dataclass
+class VecLoopAnnotation(Annotation):
+    """A vectorized loop: where it is and what it assumes."""
+    vector_pc: int = 0          # pc of the vector loop head
+    scalar_pc: int = 0          # pc of the scalar epilogue head
+    lanes: int = 4
+    elem: str = "f32"
+    kind: str = "elementwise"   # or 'reduction'
+    reduce_op: Optional[str] = None
+    acc_type: Optional[str] = None
+    noalias_count: int = 0      # pointer bases assumed disjoint
+
+    KIND = 1
+
+    def payload(self) -> bytes:
+        out = bytearray()
+        write_uint(out, self.vector_pc)
+        write_uint(out, self.scalar_pc)
+        write_uint(out, self.lanes)
+        write_str(out, self.elem)
+        write_str(out, self.kind)
+        write_str(out, self.reduce_op or "")
+        write_str(out, self.acc_type or "")
+        write_uint(out, self.noalias_count)
+        return bytes(out)
+
+    @classmethod
+    def from_payload(cls, function: str, raw: bytes) -> "VecLoopAnnotation":
+        pos = 0
+        vector_pc, pos = read_uint(raw, pos)
+        scalar_pc, pos = read_uint(raw, pos)
+        lanes, pos = read_uint(raw, pos)
+        elem, pos = read_str(raw, pos)
+        kind, pos = read_str(raw, pos)
+        reduce_op, pos = read_str(raw, pos)
+        acc_type, pos = read_str(raw, pos)
+        noalias, pos = read_uint(raw, pos)
+        return cls(function, vector_pc, scalar_pc, lanes, elem, kind,
+                   reduce_op or None, acc_type or None, noalias)
+
+
+@dataclass
+class RegAllocAnnotation(Annotation):
+    """Portable spill priorities: a rank per local, lower = keep in
+    a register longer.  Independent of the target's register count —
+    the online allocator cuts the ranking at whatever K it has (that
+    portability is the point of the split: one offline analysis, any
+    number of targets)."""
+    priorities: List[int] = field(default_factory=list)
+
+    KIND = 2
+
+    def payload(self) -> bytes:
+        out = bytearray()
+        write_uint(out, len(self.priorities))
+        for rank in self.priorities:
+            write_uint(out, rank)
+        return bytes(out)
+
+    @classmethod
+    def from_payload(cls, function: str, raw: bytes) -> "RegAllocAnnotation":
+        pos = 0
+        count, pos = read_uint(raw, pos)
+        priorities = []
+        for _ in range(count):
+            rank, pos = read_uint(raw, pos)
+            priorities.append(rank)
+        return cls(function, priorities)
+
+
+@dataclass
+class HotnessAnnotation(Annotation):
+    """Relative execution weight (profile feedback)."""
+    weight: int = 0
+
+    KIND = 3
+
+    def payload(self) -> bytes:
+        out = bytearray()
+        write_uint(out, self.weight)
+        return bytes(out)
+
+    @classmethod
+    def from_payload(cls, function: str, raw: bytes) -> "HotnessAnnotation":
+        weight, _ = read_uint(raw, 0)
+        return cls(function, weight)
+
+
+@dataclass
+class HWRequirementAnnotation(Annotation):
+    """What hardware the function benefits from."""
+    wants_simd: bool = False
+    wants_fp: bool = False
+    wants_fp64: bool = False
+    memory_bound: bool = False
+
+    KIND = 4
+
+    def payload(self) -> bytes:
+        bits = (self.wants_simd | (self.wants_fp << 1) |
+                (self.wants_fp64 << 2) | (self.memory_bound << 3))
+        return struct.pack("<B", bits)
+
+    @classmethod
+    def from_payload(cls, function: str,
+                     raw: bytes) -> "HWRequirementAnnotation":
+        bits = raw[0]
+        return cls(function, bool(bits & 1), bool(bits & 2),
+                   bool(bits & 4), bool(bits & 8))
+
+
+ANNOTATION_KINDS: Dict[int, type] = {
+    cls.KIND: cls
+    for cls in (VecLoopAnnotation, RegAllocAnnotation, HotnessAnnotation,
+                HWRequirementAnnotation)
+}
+
+
+def encode_annotation(out: bytearray, annotation: Annotation) -> None:
+    write_uint(out, annotation.KIND)
+    write_str(out, annotation.function)
+    write_bytes(out, annotation.payload())
+
+
+def decode_annotation(raw: bytes, pos: int) -> Tuple[Annotation, int]:
+    kind, pos = read_uint(raw, pos)
+    function, pos = read_str(raw, pos)
+    payload, pos = read_bytes(raw, pos)
+    cls = ANNOTATION_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown annotation kind {kind}")
+    return cls.from_payload(function, payload), pos

@@ -1,0 +1,43 @@
+"""Textual disassembly of PVI modules (debugging, docs, tests)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bytecode.module import BytecodeFunction, BytecodeModule
+from repro.bytecode.opcodes import BCInstr
+
+
+def _format_instr(pc: int, instr: BCInstr) -> str:
+    mnemonic = instr.op if instr.ty is None else f"{instr.op}.{instr.ty}"
+    if instr.op in ("br", "brif"):
+        return f"{pc:4}: {mnemonic:<16} -> {instr.arg}"
+    if instr.arg is None:
+        return f"{pc:4}: {mnemonic}"
+    return f"{pc:4}: {mnemonic:<16} {instr.arg}"
+
+
+def disassemble_function(func: BytecodeFunction) -> str:
+    params = ", ".join(func.param_types)
+    ret = func.ret_type or "void"
+    lines: List[str] = [f".func {func.name}({params}) -> {ret}"]
+    if func.local_types:
+        lines.append(f"  .locals {', '.join(func.local_types)}")
+    for slot in func.frame_slots:
+        lines.append(f"  .frame {slot.name}: {slot.size} align {slot.align}")
+    targets = {i.arg for i in func.code if i.op in ("br", "brif")}
+    for pc, instr in enumerate(func.code):
+        marker = "L" if pc in targets else " "
+        lines.append(f" {marker}{_format_instr(pc, instr)}")
+    return "\n".join(lines)
+
+
+def disassemble(module: BytecodeModule) -> str:
+    parts = [f".module {module.name}"]
+    for func in module:
+        parts.append(disassemble_function(func))
+    if module.annotations:
+        parts.append(".annotations")
+        for annotation in module.annotations:
+            parts.append(f"  {annotation!r}")
+    return "\n\n".join(parts)

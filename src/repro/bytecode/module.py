@@ -1,0 +1,92 @@
+"""Bytecode module and function containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bytecode.opcodes import BCInstr
+
+#: Local slot type descriptor: a scalar tag ("i32"), or "v128:<elem>"
+#: for vector locals.
+LocalType = str
+
+
+def vector_local(elem_tag: str) -> str:
+    return f"v128:{elem_tag}"
+
+
+def is_vector_local(local_ty: LocalType) -> bool:
+    return local_ty.startswith("v128:")
+
+
+def vector_elem_tag(local_ty: LocalType) -> str:
+    assert is_vector_local(local_ty)
+    return local_ty.split(":", 1)[1]
+
+
+@dataclass
+class FrameSlotInfo:
+    name: str
+    size: int
+    align: int
+
+
+@dataclass
+class BytecodeFunction:
+    name: str
+    param_types: List[LocalType]
+    ret_type: Optional[LocalType]          # None = void
+    local_types: List[LocalType] = field(default_factory=list)
+    frame_slots: List[FrameSlotInfo] = field(default_factory=list)
+    code: List[BCInstr] = field(default_factory=list)
+
+    @property
+    def num_params(self) -> int:
+        return len(self.param_types)
+
+    def frame_size(self) -> int:
+        """Total laid-out frame size (16-byte aligned)."""
+        offset = 0
+        for slot in self.frame_slots:
+            offset = (offset + slot.align - 1) // slot.align * slot.align
+            offset += slot.size
+        return (offset + 15) // 16 * 16
+
+    def frame_offsets(self) -> List[int]:
+        offsets = []
+        offset = 0
+        for slot in self.frame_slots:
+            offset = (offset + slot.align - 1) // slot.align * slot.align
+            offsets.append(offset)
+            offset += slot.size
+        return offsets
+
+
+@dataclass
+class BytecodeModule:
+    name: str = "module"
+    functions: Dict[str, BytecodeFunction] = field(default_factory=dict)
+    annotations: List = field(default_factory=list)
+
+    def add(self, func: BytecodeFunction) -> BytecodeFunction:
+        if func.name in self.functions:
+            raise ValueError(f"duplicate function {func.name!r}")
+        self.functions[func.name] = func
+        return func
+
+    def __getitem__(self, name: str) -> BytecodeFunction:
+        return self.functions[name]
+
+    def __iter__(self):
+        return iter(self.functions.values())
+
+    def annotations_for(self, func_name: str, kind=None) -> List:
+        found = [a for a in self.annotations if a.function == func_name]
+        if kind is not None:
+            found = [a for a in found if isinstance(a, kind)]
+        return found
+
+    def strip_annotations(self) -> "BytecodeModule":
+        """A copy without annotations (the 'plain deferred' deployment)."""
+        return BytecodeModule(self.name, dict(self.functions), [])

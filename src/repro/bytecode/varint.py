@@ -1,0 +1,63 @@
+"""LEB128 variable-length integers and small helpers for the binary
+format.  Compactness is part of the reproduction (experiment S2a —
+"CLI makes a compact program representation" [15])."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def write_uint(out: bytearray, value: int) -> None:
+    assert value >= 0
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_uint(raw: bytes, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        byte = raw[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def write_sint(out: bytearray, value: int) -> None:
+    """Zig-zag signed LEB128 (Python's arbitrary-precision ``>>`` acts
+    as an arithmetic shift, so this matches the 64-bit formulation)."""
+    write_uint(out, (value << 1) ^ (value >> 127))
+
+
+def read_sint(raw: bytes, pos: int) -> Tuple[int, int]:
+    encoded, pos = read_uint(raw, pos)
+    return (encoded >> 1) ^ -(encoded & 1), pos
+
+
+def write_str(out: bytearray, text: str) -> None:
+    data = text.encode("utf-8")
+    write_uint(out, len(data))
+    out.extend(data)
+
+
+def read_str(raw: bytes, pos: int) -> Tuple[str, int]:
+    length, pos = read_uint(raw, pos)
+    return raw[pos:pos + length].decode("utf-8"), pos + length
+
+
+def write_bytes(out: bytearray, data: bytes) -> None:
+    write_uint(out, len(data))
+    out.extend(data)
+
+
+def read_bytes(raw: bytes, pos: int) -> Tuple[bytes, int]:
+    length, pos = read_uint(raw, pos)
+    return raw[pos:pos + length], pos + length

@@ -1,0 +1,68 @@
+"""Compile-budget accounting (experiments F1 and S3a).
+
+The paper's core quantitative argument: a JIT is CPU- and memory-bound,
+so the analysis work of aggressive optimization must move offline.
+:func:`compare_flows` runs one workload through all three deployment
+flows and reports, per flow, where the work happened and what the
+generated code achieves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.offline import OfflineArtifact
+from repro.core.online import deploy
+from repro.semantics import Memory
+from repro.targets.machine import TargetDesc
+from repro.targets.simulator import Simulator
+
+
+@dataclass
+class FlowReport:
+    flow: str
+    target: str
+    offline_work: int           # analysis units spent offline
+    online_work: int            # total units spent in the JIT
+    online_analysis_work: int   # analysis portion of the JIT's work
+    online_time: float          # wall-clock JIT seconds
+    code_bytes: int
+    cycles: Optional[int] = None
+    value: object = None
+
+    @property
+    def total_work(self) -> int:
+        return self.offline_work + self.online_work
+
+
+def compare_flows(artifact: OfflineArtifact, target: TargetDesc,
+                  entry: str, make_args: Callable[[Memory], List],
+                  flows: tuple = ("offline-only", "online-only", "split"),
+                  ) -> List[FlowReport]:
+    """Deploy + run ``entry`` under each flow on ``target``.
+
+    ``make_args`` receives a fresh :class:`Memory` per flow and returns
+    the argument list (allocating any arrays it needs); per-flow
+    memories keep the runs independent.
+    """
+    reports: List[FlowReport] = []
+    for flow in flows:
+        compiled = deploy(artifact, target, flow)
+        memory = Memory()
+        args = make_args(memory)
+        result = Simulator(compiled, memory).run(entry, args)
+        offline_work = artifact.offline_work if flow == "split" else 0
+        reports.append(FlowReport(
+            flow=flow,
+            target=target.name,
+            offline_work=offline_work,
+            online_work=compiled.total_jit_work,
+            online_analysis_work=compiled.total_jit_analysis_work,
+            online_time=sum(f.jit_time
+                            for f in compiled.functions.values()),
+            code_bytes=compiled.total_code_bytes,
+            cycles=result.cycles,
+            value=result.value,
+        ))
+    return reports

@@ -1,0 +1,149 @@
+"""The offline compiler driver (µproc-independent step of Figure 1).
+
+``offline_compile(source)`` runs the whole expensive side of split
+compilation:
+
+1. parse, type-check, lower to IR;
+2. -O2-style scalar optimization;
+3. auto-vectorization to portable vector builtins;
+4. spill-priority analysis for split register allocation;
+5. hardware-requirement summarization;
+6. emission to PVI bytecode with all results attached as annotations.
+
+It also produces the plain scalar bytecode of the same program (no
+vector ops, no annotations) because the evaluation needs it twice:
+as the portable baseline ("offline-only" flow) and as the input the
+"online-only" flow must re-analyze at run time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bytecode.annotations import (
+    HotnessAnnotation, HWRequirementAnnotation, VecLoopAnnotation,
+)
+from repro.bytecode.emit import emit_module
+from repro.bytecode.module import BytecodeModule
+from repro.bytecode.verifier import verify_module
+from repro.frontend import lower_source
+from repro.ir import instructions as ins
+from repro.ir.function import Function, Module
+from repro.lang import types as ty_mod
+from repro.opt import PassManager, standard_passes
+from repro.opt.vectorize import vectorize
+from repro.split import regalloc_annotation
+
+
+@dataclass
+class OfflineArtifact:
+    """Everything the offline step hands to deployment."""
+    name: str
+    bytecode: BytecodeModule            # vectorized + annotated
+    scalar_bytecode: BytecodeModule     # plain scalar, no annotations
+    offline_work: int = 0               # analysis effort spent offline
+    offline_time: float = 0.0
+    vectorized_functions: List[str] = field(default_factory=list)
+
+
+def offline_compile(source: str, name: str = "module", *,
+                    optimize: bool = True,
+                    do_vectorize: bool = True,
+                    annotate_regalloc: bool = True,
+                    annotate_hw: bool = True,
+                    hotness: Optional[Dict[str, int]] = None,
+                    verify: bool = True) -> OfflineArtifact:
+    start = time.perf_counter()
+    work = 0
+
+    # The scalar variant is compiled from its own lowering so the two
+    # bytecode flavours are fully independent artifacts.
+    scalar_module = lower_source(source, name)
+    for func in scalar_module:
+        if optimize:
+            stats = PassManager(standard_passes(),
+                                verify=verify).run(func)
+            work += stats.total_work
+    scalar_bc, _ = emit_module(scalar_module)
+
+    module = lower_source(source, name)
+    vectorized: List[str] = []
+    for func in module:
+        if optimize:
+            stats = PassManager(standard_passes(), verify=verify).run(func)
+            work += stats.total_work
+        if do_vectorize:
+            result = vectorize(func)
+            work += result.work
+            if result.changed:
+                vectorized.append(func.name)
+
+    bytecode, label_maps = emit_module(module)
+
+    for func in module:
+        labels = label_maps[func.name]
+        for info in getattr(func, "vector_loops", []):
+            bytecode.annotations.append(VecLoopAnnotation(
+                function=func.name,
+                vector_pc=labels[info.vector_header],
+                scalar_pc=labels[info.scalar_header],
+                lanes=info.lanes,
+                elem=info.elem,
+                kind=info.kind,
+                reduce_op=info.reduce_op,
+                acc_type=info.acc_type,
+                noalias_count=len(info.noalias_bases),
+            ))
+        if annotate_regalloc:
+            bytecode.annotations.append(
+                regalloc_annotation(func, bytecode[func.name]))
+        if annotate_hw:
+            bytecode.annotations.append(_hw_annotation(func))
+        if hotness and func.name in hotness:
+            bytecode.annotations.append(HotnessAnnotation(
+                function=func.name, weight=hotness[func.name]))
+
+    if verify:
+        verify_module(bytecode)
+        verify_module(scalar_bc)
+
+    return OfflineArtifact(
+        name=name,
+        bytecode=bytecode,
+        scalar_bytecode=scalar_bc,
+        offline_work=work,
+        offline_time=time.perf_counter() - start,
+        vectorized_functions=vectorized,
+    )
+
+
+def _hw_annotation(func: Function) -> HWRequirementAnnotation:
+    """Summarize what hardware the function would benefit from."""
+    wants_simd = False
+    wants_fp = False
+    wants_fp64 = False
+    memory_ops = 0
+    total = 0
+    for instr in func.instructions():
+        total += 1
+        if isinstance(instr, (ins.VLoad, ins.VStore, ins.VBinOp,
+                              ins.VSplat, ins.VReduce)):
+            wants_simd = True
+        for value in list(instr.uses()) + list(instr.defs()):
+            value_ty = value.ty
+            if isinstance(value_ty, ty_mod.FloatType):
+                wants_fp = True
+                if value_ty.bits == 64:
+                    wants_fp64 = True
+        if isinstance(instr, (ins.Load, ins.Store, ins.VLoad,
+                              ins.VStore)):
+            memory_ops += 1
+    return HWRequirementAnnotation(
+        function=func.name,
+        wants_simd=wants_simd,
+        wants_fp=wants_fp,
+        wants_fp64=wants_fp64,
+        memory_bound=total > 0 and memory_ops * 3 > total,
+    )

@@ -1,0 +1,38 @@
+"""Deployment: the µproc-specific online step of Figure 1."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.bytecode.module import BytecodeModule
+from repro.core.offline import OfflineArtifact
+from repro.jit import compile_for_target
+from repro.targets.isa import CompiledModule
+from repro.targets.machine import TargetDesc
+
+FLOWS = ("split", "offline-only", "online-only")
+
+
+def select_bytecode(artifact: OfflineArtifact, flow: str) \
+        -> BytecodeModule:
+    """Which bytecode flavour does this flow ship to the device?
+
+    The split flow ships the annotated vector bytecode; the other two
+    ship the plain scalar bytecode (offline-only runs it as-is,
+    online-only re-optimizes it at run time).
+    """
+    if flow == "split":
+        return artifact.bytecode
+    if flow in ("offline-only", "online-only"):
+        return artifact.scalar_bytecode
+    raise ValueError(f"unknown flow {flow!r}; expected one of {FLOWS}")
+
+
+def deploy(source: Union[OfflineArtifact, BytecodeModule],
+           target: TargetDesc, flow: str = "split") -> CompiledModule:
+    """Compile the right bytecode flavour for ``target`` under ``flow``."""
+    if isinstance(source, OfflineArtifact):
+        bytecode = select_bytecode(source, flow)
+    else:
+        bytecode = source
+    return compile_for_target(bytecode, target, flow)

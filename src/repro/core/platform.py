@@ -1,0 +1,107 @@
+"""Heterogeneous platform model and deployment manager.
+
+A :class:`Platform` is a set of cores of different kinds (host
+microcontroller, big x86-ish core, DSP accelerator...).  The
+:class:`DeploymentManager` installs *one* bytecode module across all of
+them — one JIT invocation per core *kind*, not per application build —
+which is the paper's whole-platform-programmability story: third-party
+bytecode can run on the DSP because the DSP's JIT, not the vendor
+toolchain, produces its native code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.bytecode.annotations import HWRequirementAnnotation
+from repro.bytecode.module import BytecodeModule
+from repro.core.offline import OfflineArtifact
+from repro.core.online import deploy
+from repro.targets.isa import CompiledModule
+from repro.targets.machine import TargetDesc
+
+
+@dataclass
+class Core:
+    """A group of identical cores."""
+    target: TargetDesc
+    count: int = 1
+
+    @property
+    def name(self) -> str:
+        return self.target.name
+
+
+@dataclass
+class Platform:
+    """A heterogeneous multicore system-on-chip."""
+    name: str
+    cores: List[Core] = field(default_factory=list)
+
+    def kinds(self) -> List[TargetDesc]:
+        return [core.target for core in self.cores]
+
+    def total_cores(self) -> int:
+        return sum(core.count for core in self.cores)
+
+    def core_list(self) -> List[TargetDesc]:
+        """One entry per physical core."""
+        out: List[TargetDesc] = []
+        for core in self.cores:
+            out.extend([core.target] * core.count)
+        return out
+
+
+class DeploymentManager:
+    """Installs one application (bytecode) on every core kind."""
+
+    def __init__(self, platform: Platform, flow: str = "split"):
+        self.platform = platform
+        self.flow = flow
+        self.installed: Dict[str, CompiledModule] = {}
+        self._bytecode: Optional[BytecodeModule] = None
+
+    def install(self, source: Union[OfflineArtifact, BytecodeModule]) \
+            -> Dict[str, CompiledModule]:
+        """JIT the module once per core kind; returns the images."""
+        self.installed = {}
+        for target in self.platform.kinds():
+            if target.name not in self.installed:
+                self.installed[target.name] = deploy(source, target,
+                                                     self.flow)
+        if isinstance(source, OfflineArtifact):
+            self._bytecode = source.bytecode if self.flow == "split" \
+                else source.scalar_bytecode
+        else:
+            self._bytecode = source
+        return self.installed
+
+    def image_for(self, target: TargetDesc) -> CompiledModule:
+        return self.installed[target.name]
+
+    def preferred_core(self, function: str) -> Optional[TargetDesc]:
+        """Use HW-requirement annotations to suggest a core kind.
+
+        A SIMD-hungry function prefers a SIMD core; an FP-hungry one
+        prefers a core with a fast FPU; control code stays on the
+        host.  Purely advisory — the KPN mapper uses measured costs,
+        falling back to this hint for unprofiled actors.
+        """
+        if self._bytecode is None:
+            return None
+        annotations = self._bytecode.annotations_for(
+            function, HWRequirementAnnotation)
+        if not annotations:
+            return None
+        wants = annotations[0]
+        candidates = self.platform.kinds()
+        if wants.wants_simd:
+            simd = [t for t in candidates if t.has_simd]
+            if simd:
+                return max(simd, key=lambda t: t.clock_scale)
+        if wants.wants_fp:
+            return min(candidates, key=lambda t: t.costs.fp_mul /
+                       t.clock_scale)
+        return min(candidates, key=lambda t: t.costs.branch /
+                   t.clock_scale)

@@ -1,0 +1,5 @@
+"""AST-to-IR lowering (the first half of the offline compiler)."""
+
+from repro.frontend.lower import lower_program, lower_source
+
+__all__ = ["lower_program", "lower_source"]

@@ -1,0 +1,38 @@
+"""Mid-level typed register IR.
+
+This is the representation the *offline* compiler optimizes.  It is a
+conventional three-address, control-flow-graph IR:
+
+* values are virtual registers (:class:`~repro.ir.values.VReg`) or
+  constants, typed with the scalar types of :mod:`repro.lang.types`
+  (pointers are lowered to ``u64`` byte addresses into the flat PVI
+  memory) plus 128-bit virtual vector types;
+* instructions live in basic blocks; every block ends in exactly one
+  terminator (``jump``, ``branch`` or ``ret``);
+* the same instruction set is reused by the JIT as its low-level IR
+  (LIR) after re-expanding bytecode — by then the high-level facts
+  (loop structure, dependences) are gone, which is exactly the
+  information gap split compilation bridges with annotations.
+"""
+
+from repro.ir.values import VReg, Const, VecType, Value
+from repro.ir.instructions import (
+    Instr, BinOp, UnOp, Cmp, Cast, Load, Store, Move, FrameAddr,
+    Call, Ret, Jump, Branch, Select,
+    VLoad, VStore, VBinOp, VSplat, VReduce,
+    TERMINATORS,
+)
+from repro.ir.function import Module, Function, BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.printer import format_function, format_module
+from repro.ir.verify import verify_function, IRVerifyError
+
+__all__ = [
+    "VReg", "Const", "VecType", "Value",
+    "Instr", "BinOp", "UnOp", "Cmp", "Cast", "Load", "Store", "Move",
+    "FrameAddr", "Call", "Ret", "Jump", "Branch", "Select",
+    "VLoad", "VStore", "VBinOp", "VSplat", "VReduce", "TERMINATORS",
+    "Module", "Function", "BasicBlock", "IRBuilder",
+    "format_function", "format_module",
+    "verify_function", "IRVerifyError",
+]

@@ -1,0 +1,136 @@
+"""Module / Function / BasicBlock containers for the IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.lang import types as ty
+from repro.ir.instructions import Instr, branch_targets
+from repro.ir.values import IRType, VReg
+
+
+class BasicBlock:
+    """A labelled straight-line sequence ending in one terminator."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.instrs: List[Instr] = []
+
+    @property
+    def terminator(self) -> Optional[Instr]:
+        if self.instrs and self.instrs[-1].is_terminator:
+            return self.instrs[-1]
+        return None
+
+    def successors(self) -> List[str]:
+        term = self.terminator
+        return branch_targets(term) if term is not None else []
+
+    def append(self, instr: Instr) -> Instr:
+        self.instrs.append(instr)
+        return instr
+
+    def __repr__(self) -> str:
+        return f"BasicBlock({self.label}, {len(self.instrs)} instrs)"
+
+
+@dataclass
+class FrameSlot:
+    """A stack-allocated local (array or address-taken scalar)."""
+    name: str
+    size: int
+    align: int
+    offset: int = 0   # assigned by layout_frame()
+
+
+class Function:
+    """An IR function: ordered blocks, parameters, frame slots."""
+
+    def __init__(self, name: str, ret_ty: ty.Type):
+        self.name = name
+        self.ret_ty = ret_ty
+        self.params: List[VReg] = []
+        self.blocks: List[BasicBlock] = []
+        self.frame_slots: Dict[str, FrameSlot] = {}
+        self._next_reg = 0
+        self._next_label = 0
+
+    # -- registers and labels -------------------------------------------------
+
+    def new_reg(self, reg_ty: IRType, name: str = "") -> VReg:
+        reg = VReg(self._next_reg, reg_ty, name)
+        self._next_reg += 1
+        return reg
+
+    def new_param(self, reg_ty: IRType, name: str = "") -> VReg:
+        reg = self.new_reg(reg_ty, name)
+        self.params.append(reg)
+        return reg
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        block = BasicBlock(f"{hint}{self._next_label}")
+        self._next_label += 1
+        self.blocks.append(block)
+        return block
+
+    def add_frame_slot(self, name: str, size: int, align: int) -> FrameSlot:
+        if name in self.frame_slots:
+            base, n = name, 1
+            while f"{base}.{n}" in self.frame_slots:
+                n += 1
+            name = f"{base}.{n}"
+        slot = FrameSlot(name, size, align)
+        self.frame_slots[name] = slot
+        return slot
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def block(self, label: str) -> BasicBlock:
+        for b in self.blocks:
+            if b.label == label:
+                return b
+        raise KeyError(label)
+
+    def block_map(self) -> Dict[str, BasicBlock]:
+        return {b.label: b for b in self.blocks}
+
+    def instructions(self):
+        """Iterate over every instruction in block order."""
+        for block in self.blocks:
+            yield from block.instrs
+
+    def layout_frame(self) -> int:
+        """Assign frame-slot offsets; returns the total frame size."""
+        offset = 0
+        for slot in self.frame_slots.values():
+            offset = (offset + slot.align - 1) // slot.align * slot.align
+            slot.offset = offset
+            offset += slot.size
+        return (offset + 15) // 16 * 16
+
+    def __repr__(self) -> str:
+        return f"Function({self.name}, {len(self.blocks)} blocks)"
+
+
+@dataclass
+class Module:
+    """A translation unit: an ordered set of functions."""
+    name: str = "module"
+    functions: Dict[str, Function] = field(default_factory=dict)
+
+    def add(self, func: Function) -> Function:
+        if func.name in self.functions:
+            raise ValueError(f"duplicate function {func.name!r}")
+        self.functions[func.name] = func
+        return func
+
+    def __getitem__(self, name: str) -> Function:
+        return self.functions[name]
+
+    def __iter__(self):
+        return iter(self.functions.values())

@@ -1,0 +1,113 @@
+"""Block-level liveness analysis over virtual registers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.ir.cfg import predecessors
+from repro.ir.function import Function
+from repro.ir.values import VReg
+
+
+@dataclass
+class BlockLiveness:
+    use: Set[VReg] = field(default_factory=set)     # upward-exposed uses
+    defs: Set[VReg] = field(default_factory=set)
+    live_in: Set[VReg] = field(default_factory=set)
+    live_out: Set[VReg] = field(default_factory=set)
+
+
+def analyze(func: Function) -> Dict[str, BlockLiveness]:
+    """Backward may-liveness over the CFG.
+
+    Function parameters are treated as defined on entry.
+    """
+    info: Dict[str, BlockLiveness] = {}
+    for block in func.blocks:
+        bl = BlockLiveness()
+        for instr in block.instrs:
+            for reg in instr.uses():
+                if reg not in bl.defs:
+                    bl.use.add(reg)
+            bl.defs.update(instr.defs())
+        info[block.label] = bl
+
+    preds = predecessors(func)
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(func.blocks):
+            bl = info[block.label]
+            out: Set[VReg] = set()
+            for succ in block.successors():
+                out |= info[succ].live_in
+            new_in = bl.use | (out - bl.defs)
+            if out != bl.live_out or new_in != bl.live_in:
+                bl.live_out = out
+                bl.live_in = new_in
+                changed = True
+    return info
+
+
+def live_ranges(func: Function) -> Dict[VReg, Tuple[int, int]]:
+    """Linear live intervals over a flat numbering of instructions.
+
+    This is the classic linear-scan approximation: an interval spans
+    from the first definition to the last use (extended across blocks
+    where the register is live).  Parameters start at position -1.
+    """
+    info = analyze(func)
+    positions: Dict[int, Tuple[str, int]] = {}
+    starts: Dict[VReg, int] = {}
+    ends: Dict[VReg, int] = {}
+
+    for param in func.params:
+        starts[param] = -1
+        ends[param] = -1
+
+    index = 0
+    block_bounds: Dict[str, Tuple[int, int]] = {}
+    for block in func.blocks:
+        begin = index
+        for instr in block.instrs:
+            for reg in instr.uses():
+                ends[reg] = max(ends.get(reg, index), index)
+                starts.setdefault(reg, index)
+            for reg in instr.defs():
+                starts.setdefault(reg, index)
+                # A definition extends the interval even when the value
+                # is never read again: code generation still writes the
+                # register, so the register must stay reserved or a
+                # dead store would clobber whoever reuses it.
+                ends[reg] = max(ends.get(reg, index), index)
+            index += 1
+        block_bounds[block.label] = (begin, index - 1)
+
+    # Extend intervals across blocks where the value is live-in/out.
+    for block in func.blocks:
+        begin, end = block_bounds[block.label]
+        bl = info[block.label]
+        for reg in bl.live_in:
+            starts[reg] = min(starts.get(reg, begin), begin)
+            ends[reg] = max(ends.get(reg, begin), begin)
+        for reg in bl.live_out:
+            starts[reg] = min(starts.get(reg, end), end)
+            ends[reg] = max(ends.get(reg, end), end)
+
+    return {reg: (starts[reg], ends[reg]) for reg in starts}
+
+
+def max_live(func: Function) -> int:
+    """MAXLIVE: the maximum number of simultaneously live registers."""
+    ranges = live_ranges(func)
+    events: List[Tuple[int, int]] = []
+    for start, end in ranges.values():
+        events.append((start, 1))
+        events.append((end + 1, -1))
+    events.sort()
+    current = peak = 0
+    for _, delta in events:
+        current += delta
+        peak = max(peak, current)
+    return peak

@@ -1,0 +1,201 @@
+"""Search over optimization configurations, evaluated by simulation.
+
+The space is the cross product of the offline pipeline's knobs::
+
+    unroll    in {1, 2, 4, 8}
+    vectorize in {off, on}
+    licm      in {off, on}
+    cse       in {off, on}
+    strength  in {off, on}
+    ifconvert in {off, on}
+
+128 points — small enough to enumerate for one kernel, large enough
+that the fixed "-O2" default is beaten somewhere, which is the point
+of the experiment (S4b).  Random sampling and hill climbing are
+provided for when the space grows (they are what [21] calls
+"quick and practical" evaluation).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bytecode.emit import emit_module
+from repro.frontend import lower_source
+from repro.jit import compile_for_target
+from repro.opt import (
+    PassManager, constfold, copyprop, cse as cse_pass, dce, simplify_cfg,
+    strength_reduce,
+)
+from repro.opt.ifconvert import if_convert
+from repro.opt.licm import licm
+from repro.opt.unroll import unroll
+from repro.opt.vectorize import vectorize
+from repro.semantics import Memory
+from repro.targets.machine import TargetDesc
+from repro.targets.simulator import Simulator
+from repro.workloads.kernels import Kernel
+
+UNROLL_CHOICES = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class Configuration:
+    unroll: int = 1
+    vectorize: bool = True
+    licm: bool = True
+    cse: bool = True
+    strength: bool = True
+    ifconvert: bool = True
+
+    def label(self) -> str:
+        flags = "".join(flag for flag, on in [
+            ("V", self.vectorize), ("L", self.licm), ("C", self.cse),
+            ("S", self.strength), ("I", self.ifconvert)] if on)
+        return f"u{self.unroll}{flags or '-'}"
+
+
+def default_configuration() -> Configuration:
+    """What the fixed -O2-style pipeline does (no unrolling)."""
+    return Configuration()
+
+
+def all_configurations() -> List[Configuration]:
+    points = []
+    for unroll_factor, vec, licm_on, cse_on, strength_on, ifc in \
+            itertools.product(UNROLL_CHOICES, (False, True),
+                              (False, True), (False, True),
+                              (False, True), (False, True)):
+        points.append(Configuration(unroll_factor, vec, licm_on, cse_on,
+                                    strength_on, ifc))
+    return points
+
+
+def _build_pipeline(config: Configuration) -> List[tuple]:
+    passes = [("constfold", constfold), ("copyprop", copyprop)]
+    if config.cse:
+        passes.append(("cse", cse_pass))
+    passes += [("dce", dce), ("simplify-cfg", simplify_cfg)]
+    if config.ifconvert:
+        passes.append(("if-convert", if_convert))
+    if config.licm:
+        passes.append(("licm", licm))
+    if config.strength:
+        passes.append(("strength", strength_reduce))
+    passes += [("constfold.2", constfold), ("copyprop.2", copyprop)]
+    if config.cse:
+        passes.append(("cse.2", cse_pass))
+    passes += [("dce.2", dce), ("simplify-cfg.2", simplify_cfg)]
+    return passes
+
+
+def compile_with(kernel: Kernel, config: Configuration,
+                 target: TargetDesc):
+    """Offline-compile ``kernel`` under ``config`` for ``target``."""
+    module = lower_source(kernel.source)
+    for func in module:
+        PassManager(_build_pipeline(config)).run(func)
+        if config.unroll > 1:
+            unroll(func, config.unroll)
+        if config.vectorize:
+            vectorize(func)
+    bytecode, _ = emit_module(module)
+    return compile_for_target(bytecode, target, "split")
+
+
+def evaluate(kernel: Kernel, config: Configuration, target: TargetDesc,
+             n: int = 256, seed: int = 13) -> int:
+    """Cycles for one run of ``kernel`` under ``config``."""
+    compiled = compile_with(kernel, config, target)
+    memory = Memory(1 << 21)
+    run = kernel.prepare(memory, n, seed)
+    result = Simulator(compiled, memory).run(kernel.entry, run.args)
+    return result.cycles
+
+
+@dataclass
+class SearchResult:
+    best: Configuration
+    best_cycles: int
+    default_cycles: int
+    evaluations: int
+    history: List[Tuple[Configuration, int]] = field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        """Speedup of best-found over the fixed default pipeline."""
+        return self.default_cycles / self.best_cycles
+
+
+def _search(kernel: Kernel, target: TargetDesc,
+            candidates: List[Configuration], n: int,
+            seed: int) -> SearchResult:
+    default_cycles = evaluate(kernel, default_configuration(), target,
+                              n, seed)
+    best: Optional[Configuration] = default_configuration()
+    best_cycles = default_cycles
+    history: List[Tuple[Configuration, int]] = []
+    for config in candidates:
+        cycles = evaluate(kernel, config, target, n, seed)
+        history.append((config, cycles))
+        if cycles < best_cycles:
+            best, best_cycles = config, cycles
+    return SearchResult(best=best, best_cycles=best_cycles,
+                        default_cycles=default_cycles,
+                        evaluations=len(candidates) + 1,
+                        history=history)
+
+
+def exhaustive_search(kernel: Kernel, target: TargetDesc,
+                      n: int = 256, seed: int = 13) -> SearchResult:
+    return _search(kernel, target, all_configurations(), n, seed)
+
+
+def random_search(kernel: Kernel, target: TargetDesc, budget: int = 24,
+                  n: int = 256, seed: int = 13) -> SearchResult:
+    rng = random.Random(seed)
+    candidates = rng.sample(all_configurations(),
+                            min(budget, len(all_configurations())))
+    return _search(kernel, target, candidates, n, seed)
+
+
+def hill_climb(kernel: Kernel, target: TargetDesc, budget: int = 24,
+               n: int = 256, seed: int = 13) -> SearchResult:
+    """Greedy neighbourhood descent from the default configuration."""
+    current = default_configuration()
+    current_cycles = evaluate(kernel, current, target, n, seed)
+    default_cycles = current_cycles
+    evaluations = 1
+    history = [(current, current_cycles)]
+
+    improved = True
+    while improved and evaluations < budget:
+        improved = False
+        for neighbour in _neighbours(current):
+            if evaluations >= budget:
+                break
+            cycles = evaluate(kernel, neighbour, target, n, seed)
+            evaluations += 1
+            history.append((neighbour, cycles))
+            if cycles < current_cycles:
+                current, current_cycles = neighbour, cycles
+                improved = True
+                break
+    return SearchResult(best=current, best_cycles=current_cycles,
+                        default_cycles=default_cycles,
+                        evaluations=evaluations, history=history)
+
+
+def _neighbours(config: Configuration) -> List[Configuration]:
+    out = []
+    index = UNROLL_CHOICES.index(config.unroll)
+    if index + 1 < len(UNROLL_CHOICES):
+        out.append(replace(config, unroll=UNROLL_CHOICES[index + 1]))
+    if index > 0:
+        out.append(replace(config, unroll=UNROLL_CHOICES[index - 1]))
+    for flag in ("vectorize", "licm", "cse", "strength", "ifconvert"):
+        out.append(replace(config, **{flag: not getattr(config, flag)}))
+    return out

@@ -1,0 +1,16 @@
+"""The online compiler (JIT).
+
+Pipeline: decode bytecode to LIR (:mod:`repro.jit.frontend`) →
+optional online optimization (the expensive path split compilation
+avoids) → vector scalarization on non-SIMD targets
+(:mod:`repro.jit.scalarize`) → linear-scan register allocation
+(:mod:`repro.jit.regalloc`) → machine code generation
+(:mod:`repro.jit.codegen`).
+
+Every stage reports the work it performed; the sum is the JIT's
+compile budget consumption (experiments F1 and S3a).
+"""
+
+from repro.jit.compiler import JITCompiler, JITOptions, compile_for_target
+
+__all__ = ["JITCompiler", "JITOptions", "compile_for_target"]

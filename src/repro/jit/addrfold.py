@@ -1,0 +1,156 @@
+"""Addressing-mode folding (JIT back-end peephole).
+
+``t = add a, b ; load [t]`` becomes a single memory operation with a
+two-part address when ``t`` has no other use — the register+register
+(or register+immediate) addressing mode every real ISA provides, and
+the kind of fold every Mono back-end performs.  Folding happens on the
+LIR *before* register allocation so liveness naturally extends the
+address components to the memory instruction.
+
+The folded forms are LIR-private subclasses; only the JIT code
+generator ever sees them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.lang import types as ty
+from repro.ir import instructions as ins
+from repro.ir.function import Function
+from repro.ir.values import Value, VecType, VReg
+
+
+class LoadIndexed(ins.Load):
+    """``dst = mem[a + b]``."""
+
+    def __init__(self, dst: VReg, a: Value, b: Value, mem_ty):
+        super().__init__(dst, a, mem_ty)
+        self.srcs = [a, b]
+
+    @property
+    def base(self) -> Value:
+        return self.srcs[0]
+
+    @property
+    def index(self) -> Value:
+        return self.srcs[1]
+
+
+class StoreIndexed(ins.Store):
+    """``mem[a + b] = value``."""
+
+    def __init__(self, a: Value, b: Value, value: Value, mem_ty):
+        super().__init__(a, value, mem_ty)
+        self.srcs = [a, b, value]
+
+    @property
+    def base(self) -> Value:
+        return self.srcs[0]
+
+    @property
+    def index(self) -> Value:
+        return self.srcs[1]
+
+    @property
+    def value(self) -> Value:
+        return self.srcs[2]
+
+
+class VLoadIndexed(ins.VLoad):
+    def __init__(self, dst: VReg, a: Value, b: Value, vty: VecType):
+        super().__init__(dst, a, vty)
+        self.srcs = [a, b]
+
+    @property
+    def base(self) -> Value:
+        return self.srcs[0]
+
+    @property
+    def index(self) -> Value:
+        return self.srcs[1]
+
+
+class VStoreIndexed(ins.VStore):
+    def __init__(self, a: Value, b: Value, value: Value, vty: VecType):
+        super().__init__(a, value, vty)
+        self.srcs = [a, b, value]
+
+    @property
+    def base(self) -> Value:
+        return self.srcs[0]
+
+    @property
+    def index(self) -> Value:
+        return self.srcs[1]
+
+    @property
+    def value(self) -> Value:
+        return self.srcs[2]
+
+
+def fold_addressing(func: Function) -> int:
+    """Fold single-use address adds into memory operations."""
+    work = 0
+    use_counts: Dict[int, int] = {}
+    def_counts: Dict[int, int] = {}
+    for instr in func.instructions():
+        work += 1
+        for reg in instr.uses():
+            use_counts[reg.id] = use_counts.get(reg.id, 0) + 1
+        for reg in instr.defs():
+            def_counts[reg.id] = def_counts.get(reg.id, 0) + 1
+
+    for block in func.blocks:
+        adds: Dict[int, Tuple[int, ins.BinOp]] = {}
+        for index, instr in enumerate(block.instrs):
+            if isinstance(instr, ins.BinOp) and instr.op == "add" and \
+                    isinstance(instr.ty, ty.IntType) and \
+                    instr.ty.bits == 64:
+                adds[instr.dst.id] = (index, instr)
+
+        # Two passes: the address add precedes its memory op, so decide
+        # all folds first, then rebuild the block without the dead adds.
+        skip: set = set()
+        replacements: Dict[int, ins.Instr] = {}
+        for index, instr in enumerate(block.instrs):
+            folded = _try_fold(instr, adds, use_counts, def_counts,
+                               index, skip)
+            if folded is not None:
+                replacements[index] = folded
+                work += 1
+        block.instrs = [replacements.get(i, instr)
+                        for i, instr in enumerate(block.instrs)
+                        if i not in skip]
+    return work
+
+
+def _try_fold(instr: ins.Instr, adds, use_counts, def_counts,
+              index: int, skip: set):
+    if isinstance(instr, (LoadIndexed, StoreIndexed, VLoadIndexed,
+                          VStoreIndexed)):
+        return None
+    if isinstance(instr, (ins.Load, ins.VLoad)):
+        addr = instr.addr
+    elif isinstance(instr, (ins.Store, ins.VStore)):
+        addr = instr.addr
+    else:
+        return None
+    if not isinstance(addr, VReg):
+        return None
+    entry = adds.get(addr.id)
+    if entry is None:
+        return None
+    add_index, add = entry
+    if add_index >= index:
+        return None
+    if def_counts.get(addr.id, 0) != 1 or use_counts.get(addr.id, 0) != 1:
+        return None
+    skip.add(add_index)
+    if isinstance(instr, ins.VLoad):
+        return VLoadIndexed(instr.dst, add.a, add.b, instr.vty)
+    if isinstance(instr, ins.Load):
+        return LoadIndexed(instr.dst, add.a, add.b, instr.ty)
+    if isinstance(instr, ins.VStore):
+        return VStoreIndexed(add.a, add.b, instr.value, instr.vty)
+    return StoreIndexed(add.a, add.b, instr.value, instr.ty)

@@ -1,0 +1,334 @@
+"""Machine code generation: allocated LIR -> MInst list.
+
+Operand handling: sources living in spill slots are reloaded into the
+class's reserved scratch registers before the operation; a destination
+living in a slot is computed into a scratch register and stored back.
+Constants become immediate operands.  Costs and encoded sizes come
+from the target's models and are attached per instruction, so the
+simulator is a pure executor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang import types as ty
+from repro.ir import instructions as ins
+from repro.ir.function import Function
+from repro.ir.values import Const, VecType, Value, VReg
+from repro.jit.addrfold import (
+    LoadIndexed, StoreIndexed, VLoadIndexed, VStoreIndexed,
+)
+from repro.jit.regalloc import Allocation, SCRATCH, reg_class
+from repro.targets.isa import CompiledFunction, MInst
+from repro.targets.machine import TargetDesc
+
+
+class CodegenError(Exception):
+    pass
+
+
+class _FuncCodegen:
+    def __init__(self, func: Function, allocation: Allocation,
+                 target: TargetDesc):
+        self.func = func
+        self.allocation = allocation
+        self.target = target
+        self.code: List[MInst] = []
+        self.fixups: List[Tuple[int, str]] = []
+        self.label_index: Dict[str, int] = {}
+        self.frame_offsets: Dict[str, int] = {}
+        self.scratch_base: Dict[str, int] = {}
+        for cls in ("int", "flt", "vec"):
+            available = max(0, target.regs_of_class(cls) - SCRATCH[cls])
+            self.scratch_base[cls] = available
+        self.work = 0
+
+    # -- emission helpers -------------------------------------------------------
+
+    def emit(self, instr: MInst) -> MInst:
+        self.code.append(instr)
+        return instr
+
+    def _cost_mem(self, kind: str, mem_ty) -> int:
+        return self.target.costs.mem(kind, mem_ty)
+
+    def _size(self, kind: str, has_imm: bool = False) -> int:
+        return self.target.sizes.size_of(kind, has_imm)
+
+    def src_operand(self, value: Value, scratch_index: int):
+        """Materialize a source operand; may emit a spill reload."""
+        if isinstance(value, Const):
+            return ("imm", value.value)
+        kind, where = self.allocation.home(value)
+        if kind == "reg":
+            return where
+        cls = reg_class(value)
+        scratch = (cls, self.scratch_base[cls] + scratch_index)
+        slot_ty = value.ty if not isinstance(value.ty, VecType) else None
+        self.emit(MInst("spill.ld", slot_ty, scratch, [], where,
+                        cost=self._cost_mem("load", ty.I64),
+                        size=self._size("mem")))
+        return scratch
+
+    def dst_operand(self, reg: VReg):
+        """Destination register (scratch if spilled) + writeback flag."""
+        kind, where = self.allocation.home(reg)
+        if kind == "reg":
+            return where, None
+        cls = reg_class(reg)
+        scratch = (cls, self.scratch_base[cls])
+        return scratch, where
+
+    def writeback(self, scratch, slot) -> None:
+        if slot is not None:
+            self.emit(MInst("spill.st", None, None, [scratch], slot,
+                            cost=self._cost_mem("store", ty.I64),
+                            size=self._size("mem")))
+
+    def branch_to(self, op: str, label: str,
+                  srcs: Optional[list] = None, cost: int = 1) -> None:
+        index = len(self.code)
+        self.emit(MInst(op, None, None, srcs or [], -1, cost=cost,
+                        size=self._size("branch")))
+        self.fixups.append((index, label))
+
+    # -- main ---------------------------------------------------------------
+
+    def run(self) -> CompiledFunction:
+        func = self.func
+        costs = self.target.costs
+
+        frame_size = func.layout_frame()
+        for slot in func.frame_slots.values():
+            self.frame_offsets[slot.name] = slot.offset
+
+        for block in func.blocks:
+            self.label_index[block.label] = len(self.code)
+            for instr in block.instrs:
+                self.work += 1
+                self._gen(instr)
+
+        for index, label in self.fixups:
+            self.code[index].arg = self.label_index[label]
+
+        param_locs = []
+        for param in func.params:
+            kind, where = self.allocation.home(param)
+            param_locs.append(where if kind == "reg"
+                              else ("slot", where))
+
+        compiled = CompiledFunction(
+            name=func.name,
+            target_name=self.target.name,
+            code=self.code,
+            frame_bytes=frame_size + self.allocation.spill_bytes,
+            param_locs=[
+                loc if loc[0] in ("int", "flt", "vec") else loc
+                for loc in param_locs],
+            ret_void=isinstance(func.ret_ty, ty.VoidType),
+            code_bytes=sum(i.size for i in self.code) +
+            self.target.sizes.prologue_bytes,
+            spill_slot_count=self.allocation.spilled_regs,
+        )
+        return compiled
+
+    # -- per-instruction --------------------------------------------------------
+
+    def _gen(self, instr: ins.Instr) -> None:
+        costs = self.target.costs
+        if isinstance(instr, LoadIndexed):
+            base = self.src_operand(instr.base, 0)
+            index = self.src_operand(instr.index, 1)
+            dst, slot = self.dst_operand(instr.dst)
+            self.emit(MInst("load", instr.ty, dst, [base, index], None,
+                            cost=self._cost_mem("load", instr.ty),
+                            size=self._size("mem")))
+            self.writeback(dst, slot)
+        elif isinstance(instr, StoreIndexed):
+            base = self.src_operand(instr.base, 0)
+            index = self.src_operand(instr.index, 1)
+            value = self.src_operand(
+                instr.value, 2 if reg_class(instr.value) == "int"
+                and not isinstance(instr.value, Const) else 0)
+            self.emit(MInst("store", instr.ty, None,
+                            [base, index, value], None,
+                            cost=self._cost_mem("store", instr.ty),
+                            size=self._size("mem")))
+        elif isinstance(instr, VLoadIndexed):
+            self._require_simd()
+            base = self.src_operand(instr.base, 0)
+            index = self.src_operand(instr.index, 1)
+            dst, slot = self.dst_operand(instr.dst)
+            self.emit(MInst("vload", instr.vty, dst, [base, index], None,
+                            cost=costs.vec_load, size=self._size("vec")))
+            self.writeback(dst, slot)
+        elif isinstance(instr, VStoreIndexed):
+            self._require_simd()
+            base = self.src_operand(instr.base, 0)
+            index = self.src_operand(instr.index, 1)
+            value = self.src_operand(instr.value, 0)   # vec class scratch
+            self.emit(MInst("vstore", instr.vty, None,
+                            [base, index, value], None,
+                            cost=costs.vec_store, size=self._size("vec")))
+        elif isinstance(instr, ins.BinOp):
+            a = self.src_operand(instr.a, 0)
+            b = self.src_operand(instr.b, 1)
+            dst, slot = self.dst_operand(instr.dst)
+            has_imm = a[0] == "imm" or b[0] == "imm"
+            self.emit(MInst("bin", instr.ty, dst, [a, b], instr.op,
+                            cost=costs.scalar_op(instr.op, instr.ty),
+                            size=self._size("alu", has_imm)))
+            self.writeback(dst, slot)
+        elif isinstance(instr, ins.UnOp):
+            a = self.src_operand(instr.a, 0)
+            dst, slot = self.dst_operand(instr.dst)
+            self.emit(MInst("un", instr.ty, dst, [a], instr.op,
+                            cost=costs.alu, size=self._size("alu")))
+            self.writeback(dst, slot)
+        elif isinstance(instr, ins.Cmp):
+            a = self.src_operand(instr.a, 0)
+            b = self.src_operand(instr.b, 1)
+            dst, slot = self.dst_operand(instr.dst)
+            self.emit(MInst("cmp", instr.ty, dst, [a, b], instr.pred,
+                            cost=costs.cmp, size=self._size("alu")))
+            self.writeback(dst, slot)
+        elif isinstance(instr, ins.Cast):
+            a = self.src_operand(instr.src, 0)
+            dst, slot = self.dst_operand(instr.dst)
+            cost = costs.fp_alu if ty.is_float(instr.from_ty) or \
+                ty.is_float(instr.to_ty) else costs.alu
+            self.emit(MInst("cast", None, dst, [a],
+                            (instr.from_ty, instr.to_ty),
+                            cost=cost, size=self._size("alu")))
+            self.writeback(dst, slot)
+        elif isinstance(instr, ins.Move):
+            a = self.src_operand(instr.src, 0)
+            dst, slot = self.dst_operand(instr.dst)
+            self.emit(MInst("mov", None, dst, [a], None,
+                            cost=costs.move,
+                            size=self._size("alu", a[0] == "imm")))
+            self.writeback(dst, slot)
+        elif isinstance(instr, ins.Select):
+            # The condition reloads into the dedicated third int scratch
+            # so it can never collide with the two value operands even
+            # when everything lives in the int class.
+            cond = self.src_operand(instr.cond, 2)
+            a = self.src_operand(instr.a, 0)
+            b = self.src_operand(instr.b, 1)
+            dst, slot = self.dst_operand(instr.dst)
+            self.emit(MInst("select", instr.ty, dst, [cond, a, b], None,
+                            cost=costs.select, size=self._size("alu")))
+            self.writeback(dst, slot)
+        elif isinstance(instr, ins.Load):
+            addr = self.src_operand(instr.addr, 0)
+            dst, slot = self.dst_operand(instr.dst)
+            self.emit(MInst("load", instr.ty, dst, [addr], None,
+                            cost=self._cost_mem("load", instr.ty),
+                            size=self._size("mem")))
+            self.writeback(dst, slot)
+        elif isinstance(instr, ins.Store):
+            addr = self.src_operand(instr.addr, 0)
+            value = self.src_operand(instr.value, 1)
+            self.emit(MInst("store", instr.ty, None, [addr, value], None,
+                            cost=self._cost_mem("store", instr.ty),
+                            size=self._size("mem")))
+        elif isinstance(instr, ins.FrameAddr):
+            dst, slot = self.dst_operand(instr.dst)
+            self.emit(MInst("lea.frame", None, dst, [],
+                            self.frame_offsets[instr.slot],
+                            cost=costs.frame, size=self._size("alu")))
+            self.writeback(dst, slot)
+        elif isinstance(instr, ins.Call):
+            # Spilled arguments are passed as slot operands directly
+            # (arguments go out through the stack), costed as loads.
+            srcs = []
+            extra_cost = 0
+            for arg in instr.args:
+                if isinstance(arg, Const):
+                    srcs.append(("imm", arg.value))
+                    continue
+                kind, where = self.allocation.home(arg)
+                if kind == "reg":
+                    srcs.append(where)
+                else:
+                    srcs.append(("slot", where))
+                    extra_cost += self._cost_mem("load", ty.I64)
+            dst = None
+            slot = None
+            if instr.dst is not None:
+                dst, slot = self.dst_operand(instr.dst)
+            self.emit(MInst("call", None, dst, srcs, instr.callee,
+                            cost=costs.call_base + extra_cost +
+                            costs.call_per_arg * len(srcs),
+                            size=self._size("call")))
+            if instr.dst is not None:
+                self.writeback(dst, slot)
+        elif isinstance(instr, ins.Ret):
+            srcs = []
+            if instr.value is not None:
+                srcs.append(self.src_operand(instr.value, 0))
+            self.emit(MInst("ret", None, None, srcs, None,
+                            cost=costs.jump, size=self._size("branch")))
+        elif isinstance(instr, ins.Jump):
+            self.branch_to("br", instr.target, cost=costs.jump)
+        elif isinstance(instr, ins.Branch):
+            cond = self.src_operand(instr.cond, 0)
+            self.branch_to("brif", instr.then_target, [cond],
+                           cost=costs.branch)
+            self.branch_to("br", instr.else_target, cost=costs.jump)
+        elif isinstance(instr, ins.VLoad):
+            self._require_simd()
+            addr = self.src_operand(instr.addr, 0)
+            dst, slot = self.dst_operand(instr.dst)
+            self.emit(MInst("vload", instr.vty, dst, [addr], None,
+                            cost=costs.vec_load, size=self._size("vec")))
+            self.writeback(dst, slot)
+        elif isinstance(instr, ins.VStore):
+            self._require_simd()
+            addr = self.src_operand(instr.addr, 0)
+            value = self.src_operand(instr.value, 1)
+            self.emit(MInst("vstore", instr.vty, None, [addr, value],
+                            None, cost=costs.vec_store,
+                            size=self._size("vec")))
+        elif isinstance(instr, ins.VBinOp):
+            self._require_simd()
+            a = self.src_operand(instr.a, 0)
+            b = self.src_operand(instr.b, 1)
+            dst, slot = self.dst_operand(instr.dst)
+            self.emit(MInst("vbin", instr.vty, dst, [a, b], instr.op,
+                            cost=costs.vector_op(instr.op),
+                            size=self._size("vec")))
+            self.writeback(dst, slot)
+        elif isinstance(instr, ins.VSplat):
+            self._require_simd()
+            scalar = self.src_operand(instr.scalar, 0)
+            dst, slot = self.dst_operand(instr.dst)
+            self.emit(MInst("vsplat", instr.vty, dst, [scalar], None,
+                            cost=costs.vec_splat, size=self._size("vec")))
+            self.writeback(dst, slot)
+        elif isinstance(instr, ins.VReduce):
+            self._require_simd()
+            source = self.src_operand(instr.src, 0)
+            dst, slot = self.dst_operand(instr.dst)
+            self.emit(MInst("vreduce", instr.vty, dst, [source],
+                            (instr.op, instr.acc_ty),
+                            cost=costs.vec_reduce,
+                            size=self._size("vec")))
+            self.writeback(dst, slot)
+        else:
+            raise CodegenError(f"cannot generate {type(instr).__name__}")
+
+    def _require_simd(self) -> None:
+        if not self.target.has_simd:
+            raise CodegenError(
+                f"vector op reached codegen for non-SIMD target "
+                f"{self.target.name} (scalarize first)")
+
+
+def generate(func: Function, allocation: Allocation,
+             target: TargetDesc) -> Tuple[CompiledFunction, int]:
+    """Generate machine code; returns (compiled function, work)."""
+    codegen = _FuncCodegen(func, allocation, target)
+    compiled = codegen.run()
+    return compiled, codegen.work

@@ -1,0 +1,151 @@
+"""The JIT compiler facade.
+
+``JITCompiler(target, options).compile_module(bytecode)`` produces a
+:class:`~repro.targets.isa.CompiledModule` ready for simulation.  The
+options select one of the paper's deployment flows:
+
+* **split** (default): trust annotations; no online analysis.  The
+  offline compiler already vectorized and ranked registers; the JIT
+  just decodes, scalarizes if it must, allocates and emits.
+* **online-only**: ignore annotations and re-derive everything with
+  the full optimizer *at compile time* — best code, but the analysis
+  work is charged to the JIT budget (this is what the paper argues
+  embedded JITs cannot afford).
+* **offline-only**: no annotations, no online analysis — the portable
+  baseline.
+
+All stages accumulate ``jit_work`` (instructions visited, the budget
+proxy) and wall-clock ``jit_time`` per function.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.bytecode.annotations import RegAllocAnnotation
+from repro.bytecode.module import BytecodeModule
+from repro.jit.addrfold import fold_addressing
+from repro.jit.codegen import generate
+from repro.jit.frontend import decode_function
+from repro.jit.peephole import quick_cleanup
+from repro.jit.regalloc import allocate
+from repro.jit.scalarize import scalarize_vectors
+from repro.targets.isa import CompiledFunction, CompiledModule
+from repro.targets.machine import TargetDesc
+
+
+@dataclass
+class JITOptions:
+    """Knobs selecting the deployment flow."""
+    use_annotations: bool = True
+    online_optimize: bool = False      # run the scalar pipeline online
+    online_vectorize: bool = False     # run the auto-vectorizer online
+    #: 'annotated' (consume RegAllocAnnotation when present),
+    #: 'linear' (plain furthest-end linear scan), or 'local'
+    #: (2010-era baseline: variables live in memory)
+    regalloc_mode: str = "annotated"
+
+    @classmethod
+    def flow(cls, name: str) -> "JITOptions":
+        if name == "split":
+            return cls(use_annotations=True)
+        if name == "offline-only":
+            return cls(use_annotations=False)
+        if name == "online-only":
+            return cls(use_annotations=False, online_optimize=True,
+                       online_vectorize=True)
+        raise ValueError(f"unknown flow {name!r}; expected split / "
+                         f"offline-only / online-only")
+
+
+class JITCompiler:
+    def __init__(self, target: TargetDesc,
+                 options: Optional[JITOptions] = None):
+        self.target = target
+        self.options = options if options is not None else JITOptions()
+
+    def compile_module(self, module: BytecodeModule) -> CompiledModule:
+        compiled = CompiledModule(self.target.name)
+        for func in module:
+            compiled.add(self.compile_function(module, func.name))
+        return compiled
+
+    def compile_function(self, module: BytecodeModule,
+                         name: str) -> CompiledFunction:
+        start = time.perf_counter()
+        work = 0
+        analysis_work = 0
+        bc_func = module[name]
+
+        lir, frontend_work = decode_function(bc_func, module.functions)
+        work += frontend_work
+
+        # Always-on linear-time local cleanup (every production JIT
+        # does this much); the budget experiments compare the
+        # *analysis-heavy* passes below, which stay optional.
+        work += quick_cleanup(lir)
+
+        if self.options.online_optimize:
+            from repro.opt import PassManager, standard_passes
+            stats = PassManager(standard_passes()).run(lir)
+            work += stats.total_work
+            analysis_work += stats.total_work
+        if self.options.online_vectorize and self.target.has_simd:
+            from repro.opt.vectorize import vectorize
+            result = vectorize(lir)
+            work += result.work
+            analysis_work += result.work
+
+        if not self.target.has_simd:
+            work += scalarize_vectors(lir, self.target)
+            work += quick_cleanup(lir)
+
+        work += fold_addressing(lir)
+
+        priorities = None
+        pin = None
+        if self.options.regalloc_mode == "annotated" and \
+                self.options.use_annotations:
+            priorities = self._annotation_priorities(module, name, lir)
+        elif self.options.regalloc_mode == "local":
+            pin = {reg.id for reg in list(lir.params) +
+                   list(getattr(lir, "local_regs", []))}
+
+        regs = {cls: self.target.regs_of_class(cls)
+                for cls in ("int", "flt", "vec")}
+        allocation = allocate(lir, regs, priorities=priorities,
+                              pin_to_memory=pin)
+        work += allocation.work
+
+        compiled, codegen_work = generate(lir, allocation, self.target)
+        work += codegen_work
+        compiled.jit_work = work
+        compiled.jit_analysis_work = analysis_work
+        compiled.jit_time = time.perf_counter() - start
+        return compiled
+
+    def _annotation_priorities(self, module: BytecodeModule, name: str,
+                               lir) -> Optional[Dict[int, int]]:
+        """Map a RegAllocAnnotation's (params + locals) ranking onto the
+        LIR's virtual registers.  Cheap validation: a length mismatch
+        (stale annotation) is ignored rather than trusted."""
+        annotations = module.annotations_for(name, RegAllocAnnotation)
+        if not annotations:
+            return None
+        ranking = annotations[0].priorities
+        expected = len(lir.params) + len(getattr(lir, "local_regs", []))
+        if len(ranking) != expected:
+            return None
+        priorities: Dict[int, int] = {}
+        for reg, rank in zip(list(lir.params) + list(lir.local_regs),
+                             ranking):
+            priorities[reg.id] = rank
+        return priorities
+
+
+def compile_for_target(module: BytecodeModule, target: TargetDesc,
+                       flow: str = "split") -> CompiledModule:
+    """One-call deployment: compile ``module`` for ``target``."""
+    return JITCompiler(target, JITOptions.flow(flow)).compile_module(module)

@@ -1,0 +1,262 @@
+"""Bytecode -> LIR: the JIT front end.
+
+Rebuilds a register-transfer function (reusing the IR classes) from
+stack bytecode by abstract interpretation of the operand stack.  This
+is the point the paper makes about information loss: what comes back
+is *low-level* — loop structure, dependence facts and alias knowledge
+are gone, and only annotations (or expensive online analysis) can
+bring them back.
+
+The decoder requires an empty operand stack at every branch target,
+which is the shape our emitter produces (and the common case for CLI
+compilers); anything else is rejected as unsupported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang import types as ty
+from repro.bytecode.module import (
+    BytecodeFunction, is_vector_local, vector_elem_tag,
+)
+from repro.bytecode.opcodes import BCInstr, BIN_OPS, UN_OPS, type_of
+from repro.ir import instructions as ins
+from repro.ir.function import Function
+from repro.ir.values import Const, Value, VecType, VReg, vec_of
+
+
+class FrontendError(Exception):
+    pass
+
+
+def _reg_type(tag: str):
+    if is_vector_local(tag):
+        return vec_of(type_of(vector_elem_tag(tag)))
+    return type_of(tag)
+
+
+class _Decoder:
+    def __init__(self, bc: BytecodeFunction):
+        self.bc = bc
+        self.func = Function(bc.name, ty.VOID if bc.ret_type is None
+                             else type_of(bc.ret_type))
+        self.work = 0
+        self.local_regs: List[VReg] = []
+        self.slot_names: List[str] = []
+
+    def run(self) -> Tuple[Function, int]:
+        bc = self.bc
+        func = self.func
+        for index, tag in enumerate(bc.param_types):
+            func.new_param(_reg_type(tag), f"arg{index}")
+        for index, tag in enumerate(bc.local_types):
+            self.local_regs.append(
+                func.new_reg(_reg_type(tag), f"loc{index}"))
+        for slot in bc.frame_slots:
+            added = func.add_frame_slot(slot.name, slot.size, slot.align)
+            self.slot_names.append(added.name)
+
+        leaders = self._find_leaders()
+        blocks = {pc: func.new_block(f"pc{pc}") for pc in leaders}
+        order = sorted(leaders)
+
+        for where, leader in enumerate(order):
+            end = order[where + 1] if where + 1 < len(order) else \
+                len(bc.code)
+            self._decode_block(blocks, leader, end)
+
+        # Record the local -> vreg mapping for annotation consumers.
+        func.local_regs = list(self.local_regs)
+        return func, self.work
+
+    def _find_leaders(self) -> set:
+        leaders = {0}
+        for pc, instr in enumerate(self.bc.code):
+            if instr.op in ("br", "brif"):
+                leaders.add(instr.arg)
+                leaders.add(pc + 1)
+            elif instr.op == "ret" and pc + 1 < len(self.bc.code):
+                leaders.add(pc + 1)
+        return {pc for pc in leaders if pc < len(self.bc.code)}
+
+    # -- block decoding --------------------------------------------------------
+
+    def _decode_block(self, blocks: Dict[int, "BasicBlock"], start: int,
+                      end: int) -> None:
+        func = self.func
+        block = blocks[start]
+        stack: List[Value] = []
+
+        def push(value: Value) -> None:
+            stack.append(value)
+
+        def pop() -> Value:
+            if not stack:
+                raise FrontendError(
+                    f"{self.bc.name}@pc{start}: stack underflow")
+            return stack.pop()
+
+        def temp(reg_ty) -> VReg:
+            return func.new_reg(reg_ty)
+
+        pc = start
+        terminated = False
+        while pc < end:
+            instr = self.bc.code[pc]
+            self.work += 1
+            op = instr.op
+
+            if op == "const":
+                push(Const(instr.arg, type_of(instr.ty)))
+            elif op == "ldarg":
+                push(func.params[instr.arg])
+            elif op == "ldloc":
+                push(self.local_regs[instr.arg])
+            elif op == "stloc":
+                value = pop()
+                target = self.local_regs[instr.arg]
+                # If the target register is still referenced by values
+                # on the simulated stack, snapshot them first.
+                for index, pending in enumerate(stack):
+                    if isinstance(pending, VReg) and pending == target:
+                        snap = temp(pending.ty)
+                        block.append(ins.Move(snap, pending))
+                        stack[index] = snap
+                block.append(ins.Move(target, value))
+            elif op in BIN_OPS:
+                b, a = pop(), pop()
+                dst = temp(type_of(instr.ty))
+                block.append(ins.BinOp(op, dst, a, b, type_of(instr.ty)))
+                push(dst)
+            elif op in UN_OPS:
+                a = pop()
+                dst = temp(type_of(instr.ty))
+                block.append(ins.UnOp(op, dst, a, type_of(instr.ty)))
+                push(dst)
+            elif op == "cmp":
+                b, a = pop(), pop()
+                dst = temp(ty.I32)
+                block.append(ins.Cmp(instr.arg, dst, a, b,
+                                     type_of(instr.ty)))
+                push(dst)
+            elif op == "cast":
+                a = pop()
+                dst = temp(type_of(instr.ty))
+                block.append(ins.Cast(dst, a, type_of(instr.arg),
+                                      type_of(instr.ty)))
+                push(dst)
+            elif op == "select":
+                b, a, cond = pop(), pop(), pop()
+                dst = temp(type_of(instr.ty))
+                block.append(ins.Select(dst, cond, a, b,
+                                        type_of(instr.ty)))
+                push(dst)
+            elif op == "load":
+                addr = pop()
+                dst = temp(type_of(instr.ty))
+                block.append(ins.Load(dst, addr, type_of(instr.ty)))
+                push(dst)
+            elif op == "store":
+                value, addr = pop(), pop()
+                block.append(ins.Store(addr, value, type_of(instr.ty)))
+            elif op == "frame":
+                dst = temp(ty.U64)
+                block.append(ins.FrameAddr(dst,
+                                           self.slot_names[instr.arg]))
+                push(dst)
+            elif op == "call":
+                callee = instr.arg
+                push_count = self._param_count(callee)
+                args = [pop() for _ in range(push_count)][::-1]
+                ret_tag = self._ret_tag(callee)
+                if ret_tag is None:
+                    block.append(ins.Call(None, callee, args, ty.VOID))
+                else:
+                    dst = temp(_reg_type(ret_tag))
+                    block.append(ins.Call(dst, callee, args,
+                                          _reg_type(ret_tag)))
+                    push(dst)
+            elif op == "pop":
+                pop()
+            elif op == "ret":
+                value = pop() if self.bc.ret_type is not None else None
+                block.append(ins.Ret(value))
+                terminated = True
+                break
+            elif op == "br":
+                self._require_empty(stack, pc)
+                block.append(ins.Jump(blocks[instr.arg].label))
+                terminated = True
+                break
+            elif op == "brif":
+                cond = pop()
+                self._require_empty(stack, pc)
+                block.append(ins.Branch(cond, blocks[instr.arg].label,
+                                        blocks[pc + 1].label))
+                terminated = True
+                break
+            elif op == "vec.load":
+                addr = pop()
+                vty = vec_of(type_of(instr.ty))
+                dst = temp(vty)
+                block.append(ins.VLoad(dst, addr, vty))
+                push(dst)
+            elif op == "vec.store":
+                value, addr = pop(), pop()
+                vty = vec_of(type_of(instr.ty))
+                block.append(ins.VStore(addr, value, vty))
+            elif op.startswith("vec.") and op[4:] in BIN_OPS:
+                b, a = pop(), pop()
+                vty = vec_of(type_of(instr.ty))
+                dst = temp(vty)
+                block.append(ins.VBinOp(op[4:], dst, a, b, vty))
+                push(dst)
+            elif op == "vec.splat":
+                scalar = pop()
+                vty = vec_of(type_of(instr.ty))
+                dst = temp(vty)
+                block.append(ins.VSplat(dst, scalar, vty))
+                push(dst)
+            elif op == "vec.reduce":
+                reduce_op, acc_tag = instr.arg
+                source = pop()
+                vty = vec_of(type_of(instr.ty))
+                dst = temp(type_of(acc_tag))
+                block.append(ins.VReduce(reduce_op, dst, source, vty,
+                                         type_of(acc_tag)))
+                push(dst)
+            else:
+                raise FrontendError(f"unsupported opcode {op!r}")
+            pc += 1
+
+        if not terminated:
+            self._require_empty(stack, pc)
+            if pc < len(self.bc.code):
+                block.append(ins.Jump(blocks[pc].label))
+            else:
+                raise FrontendError(
+                    f"{self.bc.name}: control falls off code end")
+
+    def _require_empty(self, stack: List[Value], pc: int) -> None:
+        if stack:
+            raise FrontendError(
+                f"{self.bc.name}@pc{pc}: non-empty stack across a "
+                f"control-flow edge is not supported")
+
+    def _param_count(self, callee: str) -> int:
+        return len(self.module_funcs[callee].param_types)
+
+    def _ret_tag(self, callee: str) -> Optional[str]:
+        return self.module_funcs[callee].ret_type
+
+    module_funcs: Dict[str, BytecodeFunction] = {}
+
+
+def decode_function(bc: BytecodeFunction,
+                    module_funcs: Dict[str, BytecodeFunction]) \
+        -> Tuple[Function, int]:
+    """Decode one bytecode function to LIR; returns (function, work)."""
+    decoder = _Decoder(bc)
+    decoder.module_funcs = module_funcs
+    return decoder.run()

@@ -1,0 +1,99 @@
+"""Cheap, always-on JIT cleanup.
+
+Production JITs (including the Mono back-ends the paper ran on) apply
+linear-time local optimizations regardless of optimization level; the
+split-compilation budget argument is about *analysis-heavy* passes, not
+these.  This module bundles:
+
+* block-local copy propagation + dead code elimination (removes the
+  push/pop ``mov`` traffic reconstructed from stack bytecode);
+* widening cast-chain folding (``i32->i64->u64`` becomes one cast);
+
+and reports its (linear) work so it still shows up in the budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.lang import types as ty
+from repro.ir import instructions as ins
+from repro.ir.function import Function
+from repro.ir.values import VReg
+from repro.opt.copyprop import copyprop
+from repro.opt.dce import dce
+
+
+def fold_cast_chains(func: Function) -> int:
+    """``B = cast A (t1->t2); C = cast B (t2->t3)`` -> one cast.
+
+    Only when both steps are integer widenings (value-preserving in
+    composition) and B has a single use; classic single-pass peephole.
+    """
+    work = 0
+    def_of: Dict[int, ins.Cast] = {}
+    use_count: Dict[int, int] = {}
+    def_count: Dict[int, int] = {}
+    for instr in func.instructions():
+        work += 1
+        for reg in instr.uses():
+            use_count[reg.id] = use_count.get(reg.id, 0) + 1
+        for reg in instr.defs():
+            def_count[reg.id] = def_count.get(reg.id, 0) + 1
+            if isinstance(instr, ins.Cast) and _is_widening(instr):
+                def_of[reg.id] = instr
+
+    for block in func.blocks:
+        for index, instr in enumerate(block.instrs):
+            if not (isinstance(instr, ins.Cast) and _is_widening(instr)):
+                continue
+            source = instr.src
+            if not isinstance(source, VReg):
+                continue
+            inner = def_of.get(source.id)
+            if inner is None or def_count.get(source.id, 0) != 1 or \
+                    use_count.get(source.id, 0) != 1:
+                continue
+            if inner.to_ty != instr.from_ty:
+                continue
+            if not _composable(inner.from_ty, inner.to_ty, instr.to_ty):
+                continue
+            block.instrs[index] = ins.Cast(instr.dst, inner.src,
+                                           inner.from_ty, instr.to_ty)
+            work += 1
+    return work
+
+
+def _is_widening(cast: ins.Cast) -> bool:
+    return (isinstance(cast.from_ty, ty.IntType) and
+            isinstance(cast.to_ty, ty.IntType) and
+            cast.to_ty.bits >= cast.from_ty.bits)
+
+
+def _composable(t1: ty.IntType, t2: ty.IntType, t3: ty.IntType) -> bool:
+    """Is ``cast t1->t3`` equal to ``cast t1->t2; cast t2->t3``?
+
+    True when the middle step is value-preserving on t1's range, or
+    when the final width does not exceed the middle width (the result
+    only depends on the value modulo 2^bits(t3), which the middle wrap
+    preserves).
+    """
+    if t3.bits <= t2.bits:
+        return True
+    if t1.signed:
+        return t2.signed and t2.bits >= t1.bits
+    return t2.bits > t1.bits or (t2.bits == t1.bits and not t2.signed)
+
+
+def quick_cleanup(func: Function) -> int:
+    """Run the always-on local cleanup; returns work performed."""
+    work = 0
+    for _ in range(2):
+        result = copyprop(func)
+        work += result.work
+        work += fold_cast_chains(func)
+        result_dce = dce(func)
+        work += result_dce.work
+        if not (result.changed or result_dce.changed):
+            break
+    return work

@@ -1,0 +1,258 @@
+"""Vector scalarization for targets without SIMD.
+
+The portable vector builtins must run *everywhere* — the paper's
+portability contract ("runs unmodified on many machines, with no or
+little penalty in the absence of SIMD instructions").  On a non-SIMD
+target the JIT expands every 128-bit virtual vector; *how* depends on
+whether the lanes fit the target's register file:
+
+* **register promotion** — a vector register becomes ``lanes`` scalar
+  registers and every vector op becomes ``lanes`` scalar ops.  This is
+  the "scalarization involves some unrolling of tiny loops" effect the
+  paper credits for scalarized code *beating* plain scalar code.
+* **memory-temp emulation** — when ``lanes`` plus working margin
+  exceeds the allocatable registers of the class (sixteen ``u8`` lanes
+  against UltraSparc's sixteen usable GPRs), the JIT parks each vector
+  value in a 16-byte stack temporary and every vector op becomes a
+  load/op/store sweep over the temp — faithful to how a back-end
+  without SIMD support emulates vector builtins it cannot promote, and
+  the source of Table 1's below-1.0 entries.
+
+The mode is chosen per element class from the target description; no
+kernel-specific tuning is involved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.lang import types as ty
+from repro.ir import instructions as ins
+from repro.ir.function import Function
+from repro.ir.values import Const, VecType, Value, VReg
+from repro.jit.regalloc import SCRATCH
+from repro.targets.machine import TargetDesc
+
+#: registers that must stay available for addresses, induction
+#: variables and accumulators while lanes are live
+PROMOTE_MARGIN = {"int": 6, "flt": 2}
+
+#: beyond this many lanes a scalarizing back-end stops treating the
+#: expansion as a small unroll and emulates through a memory temp
+#: (matching how Mono-era JITs expanded unsupported vector builtins)
+PROMOTE_MAX_LANES = 4
+
+
+def _elem_class(elem) -> str:
+    return "flt" if ty.is_float(elem) else "int"
+
+
+def promotes_lanes(target: TargetDesc, vty: VecType) -> bool:
+    """Can this target hold a full vector's lanes in registers?
+
+    Two conditions: the lane count must be small enough that the
+    expansion is a plausible unroll (``PROMOTE_MAX_LANES``), and the
+    register class must have headroom beyond the loop's own working
+    registers."""
+    if vty.lanes > PROMOTE_MAX_LANES:
+        return False
+    cls = _elem_class(vty.elem)
+    available = target.regs_of_class(cls) - SCRATCH[cls]
+    return vty.lanes + PROMOTE_MARGIN[cls] <= available
+
+
+class _Scalarizer:
+    def __init__(self, func: Function, target: TargetDesc):
+        self.func = func
+        self.target = target
+        self.lanes_of: Dict[int, List[VReg]] = {}
+        self.slot_of: Dict[int, str] = {}
+        self.out: List[ins.Instr] = []
+        self.work = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    def lanes_for(self, reg: VReg) -> List[VReg]:
+        assert isinstance(reg.ty, VecType)
+        if reg.id not in self.lanes_of:
+            self.lanes_of[reg.id] = [
+                self.func.new_reg(reg.ty.elem, f"{reg.name}.l{k}")
+                for k in range(reg.ty.lanes)]
+        return self.lanes_of[reg.id]
+
+    def slot_for(self, reg: VReg) -> str:
+        if reg.id not in self.slot_of:
+            slot = self.func.add_frame_slot(f".vtmp{reg.id}", 16, 16)
+            self.slot_of[reg.id] = slot.name
+        return self.slot_of[reg.id]
+
+    def temp_addr(self, reg: VReg) -> VReg:
+        addr = self.func.new_reg(ty.U64)
+        self.out.append(ins.FrameAddr(addr, self.slot_for(reg)))
+        return addr
+
+    def lane_addr(self, base: Value, k: int, size: int) -> Value:
+        if k == 0:
+            return base
+        stepped = self.func.new_reg(ty.U64)
+        self.out.append(ins.BinOp("add", stepped, base,
+                                  Const(k * size, ty.U64), ty.U64))
+        return stepped
+
+    def promoted(self, reg_or_vty) -> bool:
+        vty = reg_or_vty.ty if isinstance(reg_or_vty, VReg) else reg_or_vty
+        return promotes_lanes(self.target, vty)
+
+    # -- per-op expansion ----------------------------------------------------
+
+    def expand(self, instr: ins.Instr) -> None:
+        self.work += 1
+        if isinstance(instr, ins.VLoad):
+            self._vload(instr)
+        elif isinstance(instr, ins.VStore):
+            self._vstore(instr)
+        elif isinstance(instr, ins.VBinOp):
+            self._vbinop(instr)
+        elif isinstance(instr, ins.VSplat):
+            self._vsplat(instr)
+        elif isinstance(instr, ins.VReduce):
+            self._vreduce(instr)
+        elif isinstance(instr, ins.Move) and \
+                isinstance(instr.dst.ty, VecType):
+            self._vmove(instr)
+        else:
+            self.out.append(instr)
+
+    def _vload(self, instr: ins.VLoad) -> None:
+        vty = instr.vty
+        size = ty.sizeof(vty.elem)
+        if self.promoted(instr.dst):
+            for k, lane in enumerate(self.lanes_for(instr.dst)):
+                addr = self.lane_addr(instr.addr, k, size)
+                self.out.append(ins.Load(lane, addr, vty.elem))
+            return
+        temp = self.temp_addr(instr.dst)
+        for k in range(vty.lanes):
+            addr = self.lane_addr(instr.addr, k, size)
+            lane = self.func.new_reg(vty.elem)
+            self.out.append(ins.Load(lane, addr, vty.elem))
+            self.out.append(ins.Store(self.lane_addr(temp, k, size),
+                                      lane, vty.elem))
+
+    def _vstore(self, instr: ins.VStore) -> None:
+        vty = instr.vty
+        size = ty.sizeof(vty.elem)
+        assert isinstance(instr.value, VReg)
+        if self.promoted(instr.value):
+            for k, lane in enumerate(self.lanes_for(instr.value)):
+                addr = self.lane_addr(instr.addr, k, size)
+                self.out.append(ins.Store(addr, lane, vty.elem))
+            return
+        temp = self.temp_addr(instr.value)
+        for k in range(vty.lanes):
+            lane = self.func.new_reg(vty.elem)
+            self.out.append(ins.Load(lane, self.lane_addr(temp, k, size),
+                                     vty.elem))
+            self.out.append(ins.Store(self.lane_addr(instr.addr, k, size),
+                                      lane, vty.elem))
+
+    def _vbinop(self, instr: ins.VBinOp) -> None:
+        vty = instr.vty
+        size = ty.sizeof(vty.elem)
+        if self.promoted(instr.dst):
+            a_lanes = self.lanes_for(instr.a)
+            b_lanes = self.lanes_for(instr.b)
+            for dst, a, b in zip(self.lanes_for(instr.dst), a_lanes,
+                                 b_lanes):
+                self.out.append(ins.BinOp(instr.op, dst, a, b, vty.elem))
+            return
+        addr_a = self.temp_addr(instr.a)
+        addr_b = self.temp_addr(instr.b)
+        addr_d = self.temp_addr(instr.dst)
+        for k in range(vty.lanes):
+            a = self.func.new_reg(vty.elem)
+            b = self.func.new_reg(vty.elem)
+            r = self.func.new_reg(vty.elem)
+            self.out.append(ins.Load(a, self.lane_addr(addr_a, k, size),
+                                     vty.elem))
+            self.out.append(ins.Load(b, self.lane_addr(addr_b, k, size),
+                                     vty.elem))
+            self.out.append(ins.BinOp(instr.op, r, a, b, vty.elem))
+            self.out.append(ins.Store(self.lane_addr(addr_d, k, size),
+                                      r, vty.elem))
+
+    def _vsplat(self, instr: ins.VSplat) -> None:
+        vty = instr.vty
+        size = ty.sizeof(vty.elem)
+        if self.promoted(instr.dst):
+            for lane in self.lanes_for(instr.dst):
+                self.out.append(ins.Move(lane, instr.scalar))
+            return
+        temp = self.temp_addr(instr.dst)
+        for k in range(vty.lanes):
+            self.out.append(ins.Store(self.lane_addr(temp, k, size),
+                                      instr.scalar, vty.elem))
+
+    def _vreduce(self, instr: ins.VReduce) -> None:
+        vty = instr.vty
+        size = ty.sizeof(vty.elem)
+        acc_ty = instr.acc_ty
+        acc: Value = None
+
+        def widen(lane: Value) -> Value:
+            if vty.elem == acc_ty:
+                return lane
+            cast = self.func.new_reg(acc_ty)
+            self.out.append(ins.Cast(cast, lane, vty.elem, acc_ty))
+            return cast
+
+        if self.promoted(instr.src):
+            source_lanes: List[Value] = list(self.lanes_for(instr.src))
+        else:
+            temp = self.temp_addr(instr.src)
+            source_lanes = []
+            for k in range(vty.lanes):
+                lane = self.func.new_reg(vty.elem)
+                self.out.append(ins.Load(
+                    lane, self.lane_addr(temp, k, size), vty.elem))
+                source_lanes.append(lane)
+
+        for lane in source_lanes:
+            widened = widen(lane)
+            if acc is None:
+                acc = widened
+            else:
+                combined = self.func.new_reg(acc_ty)
+                self.out.append(ins.BinOp(instr.op, combined, acc,
+                                          widened, acc_ty))
+                acc = combined
+        self.out.append(ins.Move(instr.dst, acc))
+
+    def _vmove(self, instr: ins.Move) -> None:
+        assert isinstance(instr.src, VReg)
+        vty = instr.dst.ty
+        size = ty.sizeof(vty.elem)
+        if self.promoted(instr.dst):
+            for dst, src in zip(self.lanes_for(instr.dst),
+                                self.lanes_for(instr.src)):
+                self.out.append(ins.Move(dst, src))
+            return
+        addr_s = self.temp_addr(instr.src)
+        addr_d = self.temp_addr(instr.dst)
+        for k in range(vty.lanes):
+            lane = self.func.new_reg(vty.elem)
+            self.out.append(ins.Load(lane, self.lane_addr(addr_s, k, size),
+                                     vty.elem))
+            self.out.append(ins.Store(self.lane_addr(addr_d, k, size),
+                                      lane, vty.elem))
+
+
+def scalarize_vectors(func: Function, target: TargetDesc) -> int:
+    """Expand all vector operations in place; returns work performed."""
+    scalarizer = _Scalarizer(func, target)
+    for block in func.blocks:
+        scalarizer.out = []
+        for instr in block.instrs:
+            scalarizer.expand(instr)
+        block.instrs = scalarizer.out
+    return scalarizer.work

@@ -1,0 +1,28 @@
+"""Kahn process networks on heterogeneous multicores.
+
+The paper's §4 closes with the prediction that parallel bytecode will
+be built on Kahn process network semantics — "portable, deterministic
+and composable concurrency".  This package provides:
+
+* :mod:`repro.kpn.graph` — process networks: actors wrapping PVI
+  kernels, connected by unbounded FIFO channels;
+* :mod:`repro.kpn.runtime` — a functional dataflow runtime (VM-backed)
+  whose outputs are independent of scheduling order (Kahn determinism,
+  property-tested);
+* :mod:`repro.kpn.mapping` — mapping/scheduling of actors onto the
+  cores of a :class:`~repro.core.platform.Platform`, with measured
+  per-core costs, plus a makespan simulator — the quantitative side of
+  experiment S4c.
+"""
+
+from repro.kpn.graph import Actor, Channel, ProcessNetwork
+from repro.kpn.runtime import NetworkRuntime
+from repro.kpn.mapping import (
+    Mapping, estimate_costs, greedy_map, host_only_map, simulate_makespan,
+)
+
+__all__ = [
+    "Actor", "Channel", "ProcessNetwork", "NetworkRuntime",
+    "Mapping", "estimate_costs", "greedy_map", "host_only_map",
+    "simulate_makespan",
+]

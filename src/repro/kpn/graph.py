@@ -1,0 +1,111 @@
+"""Process network structure.
+
+An :class:`Actor` wraps one PVI function with the signature convention
+
+    ``void actor(float *in1, ..., float *out1, ..., int n)``
+
+(consume one block of ``n`` samples from each input channel, produce
+one block on each output channel per firing).  Channels are unbounded
+FIFOs of blocks; reading is blocking — together with per-actor
+determinism this gives Kahn semantics: the network's output is a
+function of its input, independent of scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Channel:
+    """A FIFO of sample blocks from one producer to one consumer."""
+    name: str
+    producer: Optional[str] = None     # actor name (None = network input)
+    consumer: Optional[str] = None     # actor name (None = network output)
+
+
+@dataclass
+class Actor:
+    """One dataflow process."""
+    name: str
+    function: str                      # PVI function it fires
+    inputs: List[str] = field(default_factory=list)    # channel names
+    outputs: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ProcessNetwork:
+    name: str
+    actors: Dict[str, Actor] = field(default_factory=dict)
+    channels: Dict[str, Channel] = field(default_factory=dict)
+    block_size: int = 64
+
+    def add_channel(self, name: str) -> Channel:
+        if name in self.channels:
+            raise ValueError(f"duplicate channel {name!r}")
+        channel = Channel(name)
+        self.channels[name] = channel
+        return channel
+
+    def add_actor(self, name: str, function: str, inputs: List[str],
+                  outputs: List[str]) -> Actor:
+        if name in self.actors:
+            raise ValueError(f"duplicate actor {name!r}")
+        for cname in inputs + outputs:
+            if cname not in self.channels:
+                self.add_channel(cname)
+        actor = Actor(name, function, list(inputs), list(outputs))
+        for cname in inputs:
+            channel = self.channels[cname]
+            if channel.consumer is not None:
+                raise ValueError(f"channel {cname!r} already consumed")
+            channel.consumer = name
+        for cname in outputs:
+            channel = self.channels[cname]
+            if channel.producer is not None:
+                raise ValueError(f"channel {cname!r} already produced")
+            channel.producer = name
+        self.actors[name] = actor
+        return actor
+
+    def input_channels(self) -> List[str]:
+        return [c.name for c in self.channels.values()
+                if c.producer is None]
+
+    def output_channels(self) -> List[str]:
+        return [c.name for c in self.channels.values()
+                if c.consumer is None]
+
+    def predecessors(self, actor: str) -> List[str]:
+        result = []
+        for cname in self.actors[actor].inputs:
+            producer = self.channels[cname].producer
+            if producer is not None:
+                result.append(producer)
+        return result
+
+    def topological_order(self) -> List[str]:
+        """Actors in dependency order (the graph must be acyclic —
+        feedback loops would need initial tokens, which the mapping
+        experiment does not use)."""
+        order: List[str] = []
+        temp: set = set()
+        done: set = set()
+
+        def visit(name: str) -> None:
+            if name in done:
+                return
+            if name in temp:
+                raise ValueError("cycle in process network "
+                                 "(add initial tokens to break it)")
+            temp.add(name)
+            for pred in self.predecessors(name):
+                visit(pred)
+            temp.discard(name)
+            done.add(name)
+            order.append(name)
+
+        for name in self.actors:
+            visit(name)
+        return order

@@ -1,0 +1,123 @@
+"""Mapping process networks onto heterogeneous platforms.
+
+Because the application ships as bytecode, *every* core is a candidate
+for every actor — the paper's whole-platform programmability.  The
+mapper measures each actor's cost on each core kind (JIT once per
+kind, simulate one firing), then:
+
+* :func:`host_only_map` — everything on the host core (the status quo
+  the paper criticizes: accelerators closed to third-party code);
+* :func:`greedy_map` — affinity-aware longest-processing-time: place
+  costly actors first, each on the core minimizing its completion
+  time given what that core already carries.
+
+:func:`simulate_makespan` evaluates a mapping with a block-pipelined
+schedule: firing ``k`` of an actor needs firing ``k`` of its
+predecessors and its core to be free; unbounded FIFOs buffer between
+stages (Kahn semantics again).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.platform import Platform
+from repro.kpn.graph import ProcessNetwork
+from repro.lang import types as ty
+from repro.semantics import Memory
+from repro.targets.simulator import Simulator
+
+#: cost table: (actor name, core kind name) -> cycles per firing
+CostTable = Dict[Tuple[str, str], float]
+
+
+@dataclass
+class Mapping:
+    """actor name -> physical core index (into platform.core_list())."""
+    assignment: Dict[str, int] = field(default_factory=dict)
+
+    def core_of(self, actor: str) -> int:
+        return self.assignment[actor]
+
+
+def estimate_costs(network: ProcessNetwork, images: Dict[str, object],
+                   platform: Platform, seed: int = 11) -> CostTable:
+    """Measure cycles per firing for every (actor, core kind).
+
+    Simulated cycles are divided by the core's clock scale so the
+    table is in common time units.
+    """
+    import random
+    rng = random.Random(seed)
+    size = network.block_size
+    table: CostTable = {}
+    for target in platform.kinds():
+        compiled = images[target.name]
+        for actor in network.actors.values():
+            memory = Memory(1 << 18)
+            in_addrs = [memory.alloc_array(
+                ty.F32, [rng.uniform(-1, 1) for _ in range(size)])
+                for _ in actor.inputs]
+            out_addrs = [memory.alloc_array(ty.F32, [0.0] * size)
+                        for _ in actor.outputs]
+            result = Simulator(compiled, memory).run(
+                actor.function, in_addrs + out_addrs + [size])
+            table[(actor.name, target.name)] = \
+                result.cycles / target.clock_scale
+    return table
+
+
+def host_only_map(network: ProcessNetwork, platform: Platform,
+                  host_name: str = "host") -> Mapping:
+    cores = platform.core_list()
+    try:
+        host_index = next(i for i, t in enumerate(cores)
+                          if t.name == host_name)
+    except StopIteration:
+        host_index = 0
+    return Mapping({name: host_index for name in network.actors})
+
+
+def greedy_map(network: ProcessNetwork, platform: Platform,
+               costs: CostTable) -> Mapping:
+    """Affinity-aware LPT list scheduling."""
+    cores = platform.core_list()
+    load = [0.0] * len(cores)
+    mapping = Mapping()
+    # Place the most expensive actors (by their best-core cost) first.
+    order = sorted(
+        network.actors,
+        key=lambda a: -min(costs[(a, t.name)] for t in cores))
+    for actor in order:
+        best_core = min(
+            range(len(cores)),
+            key=lambda i: load[i] + costs[(actor, cores[i].name)])
+        mapping.assignment[actor] = best_core
+        load[best_core] += costs[(actor, cores[best_core].name)]
+    return mapping
+
+
+def simulate_makespan(network: ProcessNetwork, platform: Platform,
+                      mapping: Mapping, costs: CostTable,
+                      blocks: int) -> float:
+    """Pipelined schedule length for ``blocks`` firings per actor."""
+    cores = platform.core_list()
+    order = network.topological_order()
+    core_free = [0.0] * len(cores)
+    finish: Dict[Tuple[str, int], float] = {}
+
+    for k in range(blocks):
+        for name in order:
+            core = mapping.core_of(name)
+            cost = costs[(name, cores[core].name)]
+            ready = 0.0
+            for pred in network.predecessors(name):
+                ready = max(ready, finish[(pred, k)])
+            if k > 0:
+                ready = max(ready, finish[(name, k - 1)])
+            start = max(ready, core_free[core])
+            finish[(name, k)] = start + cost
+            core_free[core] = start + cost
+
+    return max(finish.values()) if finish else 0.0

@@ -1,0 +1,38 @@
+"""MiniC front-end: lexer, parser, type system and semantic analysis.
+
+MiniC is the C subset the offline compiler accepts.  It covers the style
+of code the paper targets (numerical kernels, control code): the usual
+integer/float scalar types, pointers, arrays, loops, and function calls.
+The public entry point is :func:`parse_and_check`.
+"""
+
+from repro.lang.ast import Program
+from repro.lang.errors import LexError, ParseError, SemanticError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.sema import check
+from repro.lang import types
+
+__all__ = [
+    "tokenize",
+    "parse",
+    "check",
+    "parse_and_check",
+    "types",
+    "Program",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+]
+
+
+def parse_and_check(source: str, filename: str = "<minic>") -> Program:
+    """Parse MiniC ``source`` and run semantic analysis.
+
+    Returns the typed AST (every expression node carries a ``ty``
+    attribute and implicit conversions are materialized as casts), ready
+    for lowering to IR.
+    """
+    program = parse(source, filename=filename)
+    check(program)
+    return program

@@ -1,0 +1,34 @@
+"""Diagnostics for the MiniC front-end."""
+
+
+class CompilerError(Exception):
+    """Base class for all front-end diagnostics.
+
+    Carries an optional source location so messages read like a normal
+    compiler diagnostic: ``file:line:col: message``.
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0,
+                 filename: str = "<minic>"):
+        self.message = message
+        self.line = line
+        self.col = col
+        self.filename = filename
+        super().__init__(self.format())
+
+    def format(self) -> str:
+        if self.line:
+            return f"{self.filename}:{self.line}:{self.col}: {self.message}"
+        return self.message
+
+
+class LexError(CompilerError):
+    """Raised for malformed tokens."""
+
+
+class ParseError(CompilerError):
+    """Raised for syntax errors."""
+
+
+class SemanticError(CompilerError):
+    """Raised for type errors and other semantic violations."""

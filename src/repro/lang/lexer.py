@@ -1,0 +1,184 @@
+"""Hand-written lexer for MiniC.
+
+Produces a flat list of :class:`Token`.  Comments (``//`` and ``/* */``)
+and whitespace are skipped; every token records line and column for
+diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.errors import LexError
+
+KEYWORDS = {
+    "void", "char", "short", "int", "long", "float", "double",
+    "signed", "unsigned",
+    "if", "else", "while", "do", "for", "return", "break", "continue",
+    "sizeof", "const",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "?", ":", ";", ",", "(", ")", "{", "}", "[", "]",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # 'kw', 'ident', 'int', 'float', 'char', 'op', 'eof'
+    text: str
+    value: object = None   # numeric value for literals
+    line: int = 0
+    col: int = 0
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0",
+            "\\": "\\", "'": "'", '"': '"'}
+
+
+def tokenize(source: str, filename: str = "<minic>") -> list[Token]:
+    """Tokenize ``source``; raises :class:`LexError` on malformed input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(msg: str) -> LexError:
+        return LexError(msg, line=line, col=col, filename=filename)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[i:end + 2]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+
+        start_line, start_col = line, col
+
+        if _is_ident_start(ch):
+            j = i
+            while j < n and _is_ident_char(source[j]):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, None, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and (source[j] in "0123456789abcdefABCDEF"):
+                    j += 1
+                if j == i + 2:
+                    raise error("malformed hex literal")
+                value = int(source[i:j], 16)
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                if j < n and source[j] == ".":
+                    is_float = True
+                    j += 1
+                    while j < n and source[j].isdigit():
+                        j += 1
+                if j < n and source[j] in "eE":
+                    is_float = True
+                    j += 1
+                    if j < n and source[j] in "+-":
+                        j += 1
+                    if j >= n or not source[j].isdigit():
+                        raise error("malformed float exponent")
+                    while j < n and source[j].isdigit():
+                        j += 1
+                value = float(source[i:j]) if is_float else int(source[i:j])
+            # Suffixes: u/U, l/L, f/F (f forces float literal).
+            suffix = ""
+            while j < n and source[j] in "uUlLfF":
+                suffix += source[j].lower()
+                j += 1
+            if "f" in suffix:
+                is_float = True
+                value = float(value)
+            text = source[i:j]
+            kind = "float" if is_float else "int"
+            tok = Token(kind, text, value, start_line, start_col)
+            if not is_float and "u" in suffix:
+                tok = Token("int", text, value, start_line, start_col)
+            tokens.append(tok)
+            col += j - i
+            i = j
+            continue
+
+        if ch == "'":
+            j = i + 1
+            if j < n and source[j] == "\\":
+                if j + 1 >= n or source[j + 1] not in _ESCAPES:
+                    raise error("unknown escape in char literal")
+                value = ord(_ESCAPES[source[j + 1]])
+                j += 2
+            elif j < n and source[j] != "'":
+                value = ord(source[j])
+                j += 1
+            else:
+                raise error("empty char literal")
+            if j >= n or source[j] != "'":
+                raise error("unterminated char literal")
+            j += 1
+            tokens.append(Token("char", source[i:j], value, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, None, start_line, start_col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("eof", "", None, line, col))
+    return tokens

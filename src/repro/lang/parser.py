@@ -1,0 +1,428 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar summary (C subset)::
+
+    program     := funcdef*
+    funcdef     := type declarator '(' params ')' (block | ';')
+    params      := 'void' | (type declarator (',' type declarator)*)?
+    block       := '{' stmt* '}'
+    stmt        := block | if | while | do-while | for | return
+                 | 'break' ';' | 'continue' ';' | decl ';' | expr ';' | ';'
+    decl        := type declarator ('=' assign)?
+    declarator  := '*'* ident ('[' int ']')*
+
+Expressions follow the usual C precedence ladder; casts are
+disambiguated from parenthesized expressions by checking whether the
+token after ``(`` begins a type (MiniC has no typedefs, so this is
+exact).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang import ast
+from repro.lang import types as ty
+from repro.lang.errors import ParseError
+from repro.lang.lexer import Token, tokenize
+
+#: Binary operator precedence; higher binds tighter.
+_BINOP_PREC = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+_TYPE_KEYWORDS = {"void", "char", "short", "int", "long", "float", "double",
+                  "signed", "unsigned", "const"}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], filename: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.filename = filename
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if self.at(kind, text):
+            return self.next()
+        tok = self.peek()
+        want = text or kind
+        raise ParseError(f"expected {want!r}, found {tok.text or tok.kind!r}",
+                         line=tok.line, col=tok.col, filename=self.filename)
+
+    def error(self, message: str) -> ParseError:
+        tok = self.peek()
+        return ParseError(message, line=tok.line, col=tok.col,
+                          filename=self.filename)
+
+    # -- types -------------------------------------------------------------
+
+    def at_type(self) -> bool:
+        return self.peek().kind == "kw" and self.peek().text in _TYPE_KEYWORDS
+
+    def parse_base_type(self) -> ty.Type:
+        """Parse a sequence of type keywords into a concrete type."""
+        words: List[str] = []
+        while self.at_type():
+            word = self.next().text
+            if word != "const":      # const is accepted and ignored
+                words.append(word)
+        if not words:
+            raise self.error("expected type")
+        key = " ".join(sorted(words))
+        mapping = {
+            "void": ty.VOID,
+            "char": ty.I8,
+            "char signed": ty.I8,
+            "char unsigned": ty.U8,
+            "short": ty.I16,
+            "short signed": ty.I16,
+            "int short": ty.I16,
+            "short unsigned": ty.U16,
+            "int short unsigned": ty.U16,
+            "int": ty.I32,
+            "signed": ty.I32,
+            "int signed": ty.I32,
+            "unsigned": ty.U32,
+            "int unsigned": ty.U32,
+            "long": ty.I64,
+            "int long": ty.I64,
+            "long signed": ty.I64,
+            "long unsigned": ty.U64,
+            "int long unsigned": ty.U64,
+            "float": ty.F32,
+            "double": ty.F64,
+        }
+        if key not in mapping:
+            raise self.error(f"unsupported type {' '.join(words)!r}")
+        return mapping[key]
+
+    def parse_declarator(self, base: ty.Type) -> Tuple[str, ty.Type]:
+        """Parse ``'*'* ident ('[' int ']')*`` and build the full type."""
+        t = base
+        while self.accept("op", "*"):
+            t = ty.PointerType(t)
+        name_tok = self.expect("ident")
+        dims: List[int] = []
+        while self.accept("op", "["):
+            size_tok = self.expect("int")
+            dims.append(int(size_tok.value))
+            self.expect("op", "]")
+        for dim in reversed(dims):
+            t = ty.ArrayType(t, dim)
+        return name_tok.text, t
+
+    # -- top level ----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        funcs: List[ast.FuncDef] = []
+        while not self.at("eof"):
+            funcs.append(self.parse_funcdef())
+        return ast.Program(funcs=funcs)
+
+    def parse_funcdef(self) -> ast.FuncDef:
+        start = self.peek()
+        base = self.parse_base_type()
+        ret = base
+        while self.accept("op", "*"):
+            ret = ty.PointerType(ret)
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        params: List[ast.Param] = []
+        if self.at("kw", "void") and self.peek(1).text == ")":
+            self.next()
+        elif not self.at("op", ")"):
+            while True:
+                pbase = self.parse_base_type()
+                pname, ptype = self.parse_declarator(pbase)
+                ptype = ty.decay(ptype)
+                params.append(ast.Param(name=pname, param_type=ptype,
+                                        line=start.line, col=start.col))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        if self.accept("op", ";"):
+            body = None
+        else:
+            body = self.parse_block()
+        return ast.FuncDef(name=name, ret_type=ret, params=params, body=body,
+                           line=start.line, col=start.col)
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        start = self.expect("op", "{")
+        stmts: List[ast.Stmt] = []
+        while not self.at("op", "}"):
+            if self.at("eof"):
+                raise self.error("unterminated block")
+            stmts.append(self.parse_stmt())
+        self.expect("op", "}")
+        return ast.Block(stmts=stmts, line=start.line, col=start.col)
+
+    def parse_stmt(self) -> ast.Stmt:
+        tok = self.peek()
+        if self.at("op", "{"):
+            return self.parse_block()
+        if self.at("kw", "if"):
+            return self.parse_if()
+        if self.at("kw", "while"):
+            return self.parse_while()
+        if self.at("kw", "do"):
+            return self.parse_do_while()
+        if self.at("kw", "for"):
+            return self.parse_for()
+        if self.accept("kw", "return"):
+            value = None if self.at("op", ";") else self.parse_expr()
+            self.expect("op", ";")
+            return ast.Return(value=value, line=tok.line, col=tok.col)
+        if self.accept("kw", "break"):
+            self.expect("op", ";")
+            return ast.Break(line=tok.line, col=tok.col)
+        if self.accept("kw", "continue"):
+            self.expect("op", ";")
+            return ast.Continue(line=tok.line, col=tok.col)
+        if self.accept("op", ";"):
+            return ast.Block(stmts=[], line=tok.line, col=tok.col)
+        if self.at_type():
+            decl = self.parse_decl()
+            self.expect("op", ";")
+            return decl
+        expr = self.parse_expr()
+        self.expect("op", ";")
+        return ast.ExprStmt(expr=expr, line=tok.line, col=tok.col)
+
+    def parse_decl(self) -> ast.VarDecl:
+        tok = self.peek()
+        base = self.parse_base_type()
+        name, var_type = self.parse_declarator(base)
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_assign()
+        return ast.VarDecl(name=name, var_type=var_type, init=init,
+                           line=tok.line, col=tok.col)
+
+    def parse_if(self) -> ast.If:
+        tok = self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then = self.parse_stmt()
+        otherwise = None
+        if self.accept("kw", "else"):
+            otherwise = self.parse_stmt()
+        return ast.If(cond=cond, then=then, otherwise=otherwise,
+                      line=tok.line, col=tok.col)
+
+    def parse_while(self) -> ast.While:
+        tok = self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_stmt()
+        return ast.While(cond=cond, body=body, line=tok.line, col=tok.col)
+
+    def parse_do_while(self) -> ast.DoWhile:
+        tok = self.expect("kw", "do")
+        body = self.parse_stmt()
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return ast.DoWhile(body=body, cond=cond, line=tok.line, col=tok.col)
+
+    def parse_for(self) -> ast.For:
+        tok = self.expect("kw", "for")
+        self.expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if not self.at("op", ";"):
+            if self.at_type():
+                init = self.parse_decl()
+            else:
+                expr = self.parse_expr()
+                init = ast.ExprStmt(expr=expr, line=tok.line, col=tok.col)
+        self.expect("op", ";")
+        cond = None if self.at("op", ";") else self.parse_expr()
+        self.expect("op", ";")
+        step = None if self.at("op", ")") else self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_stmt()
+        return ast.For(init=init, cond=cond, step=step, body=body,
+                       line=tok.line, col=tok.col)
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_assign()
+
+    def parse_assign(self) -> ast.Expr:
+        left = self.parse_conditional()
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in _ASSIGN_OPS:
+            self.next()
+            value = self.parse_assign()
+            return ast.Assign(op=tok.text, target=left, value=value,
+                              line=tok.line, col=tok.col)
+        return left
+
+    def parse_conditional(self) -> ast.Expr:
+        cond = self.parse_binary(0)
+        tok = self.peek()
+        if self.accept("op", "?"):
+            then = self.parse_expr()
+            self.expect("op", ":")
+            otherwise = self.parse_conditional()
+            return ast.Conditional(cond=cond, then=then, otherwise=otherwise,
+                                   line=tok.line, col=tok.col)
+        return cond
+
+    def parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self.parse_unary()
+        while True:
+            tok = self.peek()
+            prec = _BINOP_PREC.get(tok.text) if tok.kind == "op" else None
+            if prec is None or prec < min_prec:
+                return left
+            self.next()
+            right = self.parse_binary(prec + 1)
+            left = ast.Binary(op=tok.text, left=left, right=right,
+                              line=tok.line, col=tok.col)
+
+    def parse_unary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("-", "!", "~", "+"):
+            self.next()
+            operand = self.parse_unary()
+            if tok.text == "+":
+                return operand
+            return ast.Unary(op=tok.text, operand=operand,
+                             line=tok.line, col=tok.col)
+        if tok.kind == "op" and tok.text == "*":
+            self.next()
+            operand = self.parse_unary()
+            return ast.Deref(operand=operand, line=tok.line, col=tok.col)
+        if tok.kind == "op" and tok.text == "&":
+            self.next()
+            operand = self.parse_unary()
+            return ast.AddrOf(operand=operand, line=tok.line, col=tok.col)
+        if tok.kind == "op" and tok.text in ("++", "--"):
+            self.next()
+            target = self.parse_unary()
+            return ast.IncDec(op=tok.text, target=target, is_postfix=False,
+                              line=tok.line, col=tok.col)
+        if tok.kind == "kw" and tok.text == "sizeof":
+            self.next()
+            self.expect("op", "(")
+            if self.at_type():
+                base = self.parse_base_type()
+                t = base
+                while self.accept("op", "*"):
+                    t = ty.PointerType(t)
+            else:
+                expr = self.parse_expr()
+                t = None
+                # Defer to sema via a SizeOf with no type: not supported;
+                # MiniC requires sizeof(type).
+                raise self.error("sizeof requires a type operand in MiniC")
+            self.expect("op", ")")
+            return ast.SizeOf(target_type=t, line=tok.line, col=tok.col)
+        # Cast: '(' type ... ')'
+        if tok.kind == "op" and tok.text == "(" and \
+                self.peek(1).kind == "kw" and self.peek(1).text in _TYPE_KEYWORDS:
+            self.next()
+            base = self.parse_base_type()
+            t = base
+            while self.accept("op", "*"):
+                t = ty.PointerType(t)
+            self.expect("op", ")")
+            operand = self.parse_unary()
+            return ast.Cast(target_type=t, operand=operand,
+                            line=tok.line, col=tok.col)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            tok = self.peek()
+            if self.accept("op", "["):
+                index = self.parse_expr()
+                self.expect("op", "]")
+                expr = ast.Index(base=expr, index=index,
+                                 line=tok.line, col=tok.col)
+            elif tok.kind == "op" and tok.text in ("++", "--"):
+                self.next()
+                expr = ast.IncDec(op=tok.text, target=expr, is_postfix=True,
+                                  line=tok.line, col=tok.col)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "int":
+            self.next()
+            return ast.IntLit(value=int(tok.value), line=tok.line, col=tok.col)
+        if tok.kind == "char":
+            self.next()
+            return ast.IntLit(value=int(tok.value), line=tok.line, col=tok.col)
+        if tok.kind == "float":
+            self.next()
+            lit = ast.FloatLit(value=float(tok.value),
+                               line=tok.line, col=tok.col)
+            # An 'f'/'F' suffix makes the literal single precision.
+            lit.single = tok.text[-1] in "fF"
+            return lit
+        if tok.kind == "ident":
+            if self.peek(1).kind == "op" and self.peek(1).text == "(":
+                self.next()
+                self.expect("op", "(")
+                args: List[ast.Expr] = []
+                if not self.at("op", ")"):
+                    while True:
+                        args.append(self.parse_assign())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                return ast.Call(name=tok.text, args=args,
+                                line=tok.line, col=tok.col)
+            self.next()
+            return ast.Ident(name=tok.text, line=tok.line, col=tok.col)
+        if self.accept("op", "("):
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise self.error(f"unexpected token {tok.text or tok.kind!r}")
+
+
+def parse(source: str, filename: str = "<minic>") -> ast.Program:
+    """Parse MiniC source text into an (untyped) AST."""
+    tokens = tokenize(source, filename=filename)
+    parser = _Parser(tokens, filename)
+    return parser.parse_program()

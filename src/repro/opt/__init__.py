@@ -1,0 +1,65 @@
+"""Offline optimization passes over the mid-level IR.
+
+``cleanup_passes()`` is the canonicalizing pipeline (run before any
+pattern-matching pass), ``standard_passes()`` the -O2-like default used
+by the offline compiler, to which the vectorizer is appended by
+:mod:`repro.core.offline`.
+"""
+
+from repro.opt.pass_manager import PassManager, PassResult, PassStats
+from repro.opt.constfold import constfold
+from repro.opt.copyprop import copyprop
+from repro.opt.dce import dce
+from repro.opt.simplify_cfg import simplify_cfg
+from repro.opt.cse import cse
+from repro.opt.strength import strength_reduce
+
+__all__ = [
+    "PassManager", "PassResult", "PassStats",
+    "constfold", "copyprop", "dce", "simplify_cfg", "cse",
+    "strength_reduce",
+    "cleanup_passes", "standard_passes", "run_cleanup", "run_standard",
+]
+
+
+def cleanup_passes():
+    """Canonicalization: run before pattern-matching passes."""
+    return [
+        ("constfold", constfold),
+        ("copyprop", copyprop),
+        ("cse", cse),
+        ("dce", dce),
+        ("simplify-cfg", simplify_cfg),
+    ]
+
+
+def standard_passes():
+    """The -O2-like scalar pipeline of the offline compiler."""
+    from repro.opt.licm import licm
+    from repro.opt.ifconvert import if_convert
+
+    return [
+        ("constfold", constfold),
+        ("copyprop", copyprop),
+        ("cse", cse),
+        ("dce", dce),
+        ("simplify-cfg", simplify_cfg),
+        ("if-convert", if_convert),
+        ("licm", licm),
+        ("strength", strength_reduce),
+        ("constfold.2", constfold),
+        ("copyprop.2", copyprop),
+        ("cse.2", cse),
+        ("dce.2", dce),
+        ("simplify-cfg.2", simplify_cfg),
+    ]
+
+
+def run_cleanup(func, verify: bool = False) -> PassStats:
+    manager = PassManager(cleanup_passes(), verify=verify)
+    return manager.run(func)
+
+
+def run_standard(func, verify: bool = False) -> PassStats:
+    manager = PassManager(standard_passes(), verify=verify)
+    return manager.run(func)

@@ -1,0 +1,120 @@
+"""Constant folding and algebraic simplification.
+
+Folds pure instructions whose operands are all constants, using the
+*same* evaluation semantics as the execution engines, so folding can
+never change observable behaviour.  Also simplifies a few algebraic
+identities (integer only — float identities like ``x + 0.0`` are not
+safe under signed zero / NaN) and turns constant branches into jumps.
+"""
+
+from __future__ import annotations
+
+from repro.lang import types as ty
+from repro.ir import instructions as ins
+from repro.ir.function import Function
+from repro.ir.values import Const, VReg
+from repro.opt.pass_manager import PassResult
+from repro.semantics import TrapError, eval_binop, eval_cast, eval_cmp, \
+    eval_unop
+
+
+def constfold(func: Function) -> PassResult:
+    result = PassResult()
+    for block in func.blocks:
+        new_instrs = []
+        for instr in block.instrs:
+            result.work += 1
+            folded = _fold(instr)
+            new_instrs.append(folded if folded is not None else instr)
+            if folded is not None:
+                result.changed = True
+        block.instrs = new_instrs
+    return result
+
+
+def _all_const(instr: ins.Instr) -> bool:
+    return all(isinstance(s, Const) for s in instr.srcs)
+
+
+def _fold(instr: ins.Instr):
+    """Return a replacement instruction, or None to keep the original."""
+    if isinstance(instr, ins.BinOp):
+        if _all_const(instr):
+            try:
+                value = eval_binop(instr.op, instr.ty,
+                                   instr.a.value, instr.b.value)
+            except TrapError:
+                return None       # e.g. division by zero: keep the trap
+            return ins.Move(instr.dst, Const(value, instr.ty))
+        return _fold_identity(instr)
+    if isinstance(instr, ins.UnOp) and _all_const(instr):
+        value = eval_unop(instr.op, instr.ty, instr.a.value)
+        return ins.Move(instr.dst, Const(value, instr.ty))
+    if isinstance(instr, ins.Cmp) and _all_const(instr):
+        value = eval_cmp(instr.pred, instr.ty, instr.a.value, instr.b.value)
+        return ins.Move(instr.dst, Const(value, ty.I32))
+    if isinstance(instr, ins.Cast) and _all_const(instr):
+        value = eval_cast(instr.src.value, instr.from_ty, instr.to_ty)
+        return ins.Move(instr.dst, Const(value, instr.to_ty))
+    if isinstance(instr, ins.Branch) and isinstance(instr.cond, Const):
+        target = instr.then_target if instr.cond.value != 0 \
+            else instr.else_target
+        return ins.Jump(target)
+    if isinstance(instr, ins.Branch) and \
+            instr.then_target == instr.else_target:
+        return ins.Jump(instr.then_target)
+    return None
+
+
+def _is_int_const(value, n: int) -> bool:
+    return isinstance(value, Const) and ty.is_integer(value.ty) and \
+        value.value == n
+
+
+def _fold_identity(instr: ins.BinOp):
+    """Integer algebraic identities that need only one constant operand."""
+    if not ty.is_integer(instr.ty):
+        return None
+    a, b = instr.a, instr.b
+    op = instr.op
+    if op == "add":
+        if _is_int_const(b, 0):
+            return ins.Move(instr.dst, a)
+        if _is_int_const(a, 0):
+            return ins.Move(instr.dst, b)
+    elif op == "sub":
+        if _is_int_const(b, 0):
+            return ins.Move(instr.dst, a)
+        if isinstance(a, VReg) and isinstance(b, VReg) and a == b:
+            return ins.Move(instr.dst, Const(0, instr.ty))
+    elif op == "mul":
+        if _is_int_const(b, 1):
+            return ins.Move(instr.dst, a)
+        if _is_int_const(a, 1):
+            return ins.Move(instr.dst, b)
+        if _is_int_const(b, 0) or _is_int_const(a, 0):
+            return ins.Move(instr.dst, Const(0, instr.ty))
+    elif op == "div":
+        if _is_int_const(b, 1):
+            return ins.Move(instr.dst, a)
+    elif op in ("shl", "shr"):
+        if _is_int_const(b, 0):
+            return ins.Move(instr.dst, a)
+    elif op == "and":
+        if _is_int_const(b, 0) or _is_int_const(a, 0):
+            return ins.Move(instr.dst, Const(0, instr.ty))
+        if isinstance(a, VReg) and a == b:
+            return ins.Move(instr.dst, a)
+    elif op == "or":
+        if _is_int_const(b, 0):
+            return ins.Move(instr.dst, a)
+        if _is_int_const(a, 0):
+            return ins.Move(instr.dst, b)
+        if isinstance(a, VReg) and a == b:
+            return ins.Move(instr.dst, a)
+    elif op == "xor":
+        if isinstance(a, VReg) and isinstance(b, VReg) and a == b:
+            return ins.Move(instr.dst, Const(0, instr.ty))
+        if _is_int_const(b, 0):
+            return ins.Move(instr.dst, a)
+    return None

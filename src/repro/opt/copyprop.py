@@ -1,0 +1,98 @@
+"""Copy and constant propagation.
+
+Two cooperating levels:
+
+* **global**, for single-definition registers: if ``d = mov s`` is the
+  only definition of ``d`` and ``s`` is a constant or a never-redefined
+  register, every use of ``d`` becomes ``s``.  Single-def dominance is
+  guaranteed by the IR verifier, so this needs no extra analysis.
+* **block-local**, for everything else (the home registers of mutable
+  variables): within a block, track live copies and rewrite uses,
+  invalidating entries when either side is redefined.
+
+Together with DCE this removes the snapshot ``mov``s the lowering pass
+inserts for every variable read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir import instructions as ins
+from repro.ir.function import Function
+from repro.ir.values import Const, Value, VReg
+from repro.opt.pass_manager import PassResult
+
+
+def copyprop(func: Function) -> PassResult:
+    result = PassResult()
+    result += _global_single_def(func)
+    result += _block_local(func)
+    return result
+
+
+def _def_counts(func: Function) -> Dict[VReg, int]:
+    counts: Dict[VReg, int] = {p: 1 for p in func.params}
+    for instr in func.instructions():
+        for reg in instr.defs():
+            counts[reg] = counts.get(reg, 0) + 1
+    return counts
+
+
+def _global_single_def(func: Function) -> PassResult:
+    result = PassResult()
+    counts = _def_counts(func)
+    replacement: Dict[VReg, Value] = {}
+    for instr in func.instructions():
+        result.work += 1
+        if isinstance(instr, ins.Move) and counts.get(instr.dst, 0) == 1:
+            src = instr.src
+            if isinstance(src, Const):
+                replacement[instr.dst] = src
+            elif isinstance(src, VReg) and counts.get(src, 0) == 1:
+                replacement[instr.dst] = src
+    if not replacement:
+        return result
+
+    # Resolve chains (a -> b -> const) up front.
+    def resolve(value: Value) -> Value:
+        seen = set()
+        while isinstance(value, VReg) and value in replacement:
+            if value in seen:       # defensive: cycles cannot happen
+                break
+            seen.add(value)
+            value = replacement[value]
+        return value
+
+    for instr in func.instructions():
+        for reg in list(instr.uses()):
+            if reg in replacement:
+                instr.replace_use(reg, resolve(reg))
+                result.changed = True
+    return result
+
+
+def _block_local(func: Function) -> PassResult:
+    result = PassResult()
+    for block in func.blocks:
+        copies: Dict[VReg, Value] = {}
+        for instr in block.instrs:
+            result.work += 1
+            # Rewrite uses through the live copy table.
+            for reg in list(instr.uses()):
+                if reg in copies:
+                    instr.replace_use(reg, copies[reg])
+                    result.changed = True
+            # Any definition invalidates entries involving the reg.
+            for reg in instr.defs():
+                copies.pop(reg, None)
+                stale = [k for k, v in copies.items() if v == reg]
+                for k in stale:
+                    del copies[k]
+            # Record new copies (after invalidation).
+            if isinstance(instr, ins.Move):
+                src = instr.src
+                if isinstance(src, Const) or \
+                        (isinstance(src, VReg) and src != instr.dst):
+                    copies[instr.dst] = src
+    return result

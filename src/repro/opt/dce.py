@@ -1,0 +1,41 @@
+"""Dead code elimination.
+
+Deletes pure instructions whose results are never used, iterating to a
+fixpoint so chains of dead computations disappear in one pass run.
+Instructions with side effects (stores, calls, terminators) are always
+kept — calls could be refined with purity analysis, which we leave to
+the inliner's caller-side knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.function import Function
+from repro.ir.values import VReg
+from repro.opt.pass_manager import PassResult
+
+
+def dce(func: Function) -> PassResult:
+    result = PassResult()
+    while True:
+        used: Set[VReg] = set()
+        for instr in func.instructions():
+            result.work += 1
+            used.update(instr.uses())
+
+        removed_any = False
+        for block in func.blocks:
+            kept = []
+            for instr in block.instrs:
+                dead = (not instr.has_side_effects() and
+                        instr.dst is not None and
+                        instr.dst not in used)
+                if dead:
+                    removed_any = True
+                    result.changed = True
+                else:
+                    kept.append(instr)
+            block.instrs = kept
+        if not removed_any:
+            return result

@@ -1,0 +1,254 @@
+"""If-conversion: turn small branch diamonds into straight-line selects.
+
+Pattern (as produced by ``if (a[i] > m) m = a[i];``)::
+
+    B:    ... ; c = cmp ... ; branch c, T, J     (or branch c, J, T)
+    T:    <pure side-free instrs> ; r = mov v ; jump J
+    J:    (preds exactly {B, T})
+
+becomes::
+
+    B:    ... ; c = cmp ... ; <T's instrs> ; r = select c, v, r ; jump J
+
+and a peephole then rewrites ``r = select (x > y), x, y`` into
+``r = max x, y`` (resp. ``min``), which is what the vectorizer and the
+branch-averse targets want.
+
+Speculation safety: only pure, non-trapping instructions may be
+hoisted.  Loads are hoisted only when an address with the *same
+expression structure* was already loaded (with the same type) in ``B``
+— re-reading a location that was just read cannot introduce a new
+trap.  Structural equality is decided by hashing single-definition
+expression chains down to multi-def "leaf" registers, and requires
+that no leaf is redefined in either block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir import instructions as ins
+from repro.ir.cfg import predecessors
+from repro.ir.function import BasicBlock, Function
+from repro.ir.values import Const, Value, VReg
+from repro.opt.pass_manager import PassResult
+
+#: Maximum number of instructions worth speculating.
+MAX_HOISTED = 8
+
+_SAFE_OPS = {"add", "sub", "mul", "and", "or", "xor", "shl", "shr",
+             "min", "max"}
+
+
+class _ExprKeys:
+    """Structural hashing of single-def expression chains."""
+
+    def __init__(self, func: Function):
+        counts: Dict[VReg, int] = {p: 2 for p in func.params}
+        def_instr: Dict[int, ins.Instr] = {}
+        for instr in func.instructions():
+            for reg in instr.defs():
+                counts[reg] = counts.get(reg, 0) + 1
+                def_instr[reg.id] = instr
+        self._single = {reg.id for reg, c in counts.items() if c == 1}
+        self._def_instr = def_instr
+        self._memo: Dict[int, Tuple] = {}
+
+    def key(self, value: Value) -> Tuple:
+        if isinstance(value, Const):
+            return ("c", value.value, str(value.ty))
+        assert isinstance(value, VReg)
+        if value.id in self._memo:
+            return self._memo[value.id]
+        self._memo[value.id] = ("leaf", value.id)     # cycle guard
+        result = self._compute(value)
+        self._memo[value.id] = result
+        return result
+
+    def _compute(self, reg: VReg) -> Tuple:
+        if reg.id not in self._single:
+            return ("leaf", reg.id)
+        instr = self._def_instr.get(reg.id)
+        if isinstance(instr, ins.BinOp):
+            a, b = self.key(instr.a), self.key(instr.b)
+            if instr.op in ("add", "mul", "and", "or", "xor", "min",
+                            "max") and b < a:
+                a, b = b, a
+            return ("bin", instr.op, str(instr.ty), a, b)
+        if isinstance(instr, ins.Cast):
+            return ("cast", str(instr.from_ty), str(instr.to_ty),
+                    self.key(instr.src))
+        if isinstance(instr, ins.Move):
+            return self.key(instr.src)
+        if isinstance(instr, ins.FrameAddr):
+            return ("frame", instr.slot)
+        return ("leaf", reg.id)
+
+    def leaves(self, key: Tuple) -> Set[int]:
+        found: Set[int] = set()
+        stack = [key]
+        while stack:
+            item = stack.pop()
+            if isinstance(item, tuple):
+                if item and item[0] == "leaf":
+                    found.add(item[1])
+                else:
+                    stack.extend(item)
+        return found
+
+
+def if_convert(func: Function) -> PassResult:
+    result = PassResult()
+    changed = True
+    while changed:
+        changed = False
+        preds = predecessors(func)
+        keys = _ExprKeys(func)
+        for block in func.blocks:
+            result.work += len(block.instrs)
+            if _try_convert(func, block, preds, keys):
+                result.changed = True
+                changed = True
+                break       # CFG changed; recompute preds and keys
+    _select_to_minmax(func, result)
+    return result
+
+
+def _try_convert(func: Function, block: BasicBlock,
+                 preds: Dict[str, list], keys: _ExprKeys) -> bool:
+    term = block.terminator
+    if not isinstance(term, ins.Branch):
+        return False
+    cond = term.cond
+    if not isinstance(cond, VReg):
+        return False
+
+    for then_label, join_label, negate in (
+            (term.then_target, term.else_target, False),
+            (term.else_target, term.then_target, True)):
+        if then_label == join_label:
+            continue
+        then_block = func.block(then_label)
+        if _convertible(func, block, then_block, then_label,
+                        join_label, preds, keys):
+            _do_convert(func, block, then_block, cond, join_label, negate)
+            return True
+    return False
+
+
+def _convertible(func: Function, block: BasicBlock, then_block: BasicBlock,
+                 then_label: str, join_label: str,
+                 preds: Dict[str, list], keys: _ExprKeys) -> bool:
+    if preds.get(then_label) != [block.label]:
+        return False
+    if sorted(preds.get(join_label, [])) != sorted(
+            [block.label, then_label]):
+        return False
+    term = then_block.terminator
+    if not isinstance(term, ins.Jump) or term.target != join_label:
+        return False
+    body = then_block.instrs[:-1]
+    if not body or len(body) > MAX_HOISTED:
+        return False
+    final = body[-1]
+    if not isinstance(final, ins.Move):
+        return False
+
+    defined_here: Set[int] = set()
+    for instr in list(block.instrs) + body:
+        for reg in instr.defs():
+            defined_here.add(reg.id)
+
+    loaded_in_block = {}
+    for instr in block.instrs:
+        if isinstance(instr, ins.Load):
+            loaded_in_block[(keys.key(instr.addr), str(instr.ty))] = instr
+
+    for instr in body[:-1]:
+        if isinstance(instr, (ins.Move, ins.Cast, ins.Cmp, ins.FrameAddr,
+                              ins.Select, ins.UnOp)):
+            continue
+        if isinstance(instr, ins.BinOp) and instr.op in _SAFE_OPS:
+            continue
+        if isinstance(instr, ins.Load):
+            addr_key = (keys.key(instr.addr), str(instr.ty))
+            if addr_key not in loaded_in_block:
+                return False
+            # The address expression must not depend on anything either
+            # block redefines, or "same expression" is meaningless.
+            if keys.leaves(addr_key[0]) & defined_here:
+                return False
+            continue
+        return False
+
+    # Every def in the body except the final conditional Move must be
+    # single-def in the function, so speculation cannot clobber a value
+    # another path relies on.
+    counts: Dict[VReg, int] = {p: 1 for p in func.params}
+    for instr in func.instructions():
+        for reg in instr.defs():
+            counts[reg] = counts.get(reg, 0) + 1
+    for instr in body[:-1]:
+        for reg in instr.defs():
+            if counts.get(reg, 0) != 1:
+                return False
+    return True
+
+
+def _do_convert(func: Function, block: BasicBlock, then_block: BasicBlock,
+                cond: VReg, join_label: str, negate: bool) -> None:
+    body = then_block.instrs[:-1]
+    final = body[-1]
+    assert isinstance(final, ins.Move)
+    target = final.dst
+    value = final.src
+    block.instrs.pop()                       # drop the branch
+    block.instrs.extend(body[:-1])           # speculate the pure prefix
+    if negate:
+        select = ins.Select(target, cond, target, value, target.ty)
+    else:
+        select = ins.Select(target, cond, value, target, target.ty)
+    block.instrs.append(select)
+    block.instrs.append(ins.Jump(join_label))
+    func.blocks.remove(then_block)
+
+
+def _select_to_minmax(func: Function, result: PassResult) -> None:
+    """Rewrite ``select (x pred y), x, y`` patterns into min/max."""
+    keys = _ExprKeys(func)
+    for block in func.blocks:
+        last_cmp: Dict[int, ins.Cmp] = {}
+        for index, instr in enumerate(block.instrs):
+            result.work += 1
+            if isinstance(instr, ins.Cmp):
+                last_cmp[instr.dst.id] = instr
+            elif instr.defs():
+                for reg in instr.defs():
+                    last_cmp.pop(reg.id, None)
+            if not isinstance(instr, ins.Select):
+                continue
+            if not isinstance(instr.cond, VReg):
+                continue
+            cmp = last_cmp.get(instr.cond.id)
+            if cmp is None or cmp.pred not in ("lt", "le", "gt", "ge"):
+                continue
+            if cmp.ty != instr.ty:
+                continue
+            op = _minmax_op(cmp, instr.a, instr.b, keys)
+            if op is not None:
+                block.instrs[index] = ins.BinOp(op, instr.dst, instr.a,
+                                                instr.b, instr.ty)
+                result.changed = True
+
+
+def _minmax_op(cmp: ins.Cmp, a: Value, b: Value,
+               keys: _ExprKeys) -> Optional[str]:
+    """select(cmp(x pred y), a, b) as min/max, if it is one."""
+    greater = cmp.pred in ("gt", "ge")
+    ka, kb = keys.key(a), keys.key(b)
+    kx, ky = keys.key(cmp.a), keys.key(cmp.b)
+    if kx == ka and ky == kb:
+        return "max" if greater else "min"
+    if kx == kb and ky == ka:
+        return "min" if greater else "max"
+    return None

@@ -1,0 +1,116 @@
+"""Loop-invariant code motion.
+
+Hoists pure computations whose operands do not change inside a loop to
+the loop preheader (creating one if necessary).  In a non-SSA IR the
+safety conditions are:
+
+* the instruction is pure and cannot trap (``div``/``rem`` excluded);
+* its destination has exactly one definition in the whole function
+  (so hoisting cannot clobber another path's value);
+* every register operand is either never defined inside the loop, or
+  defined by an instruction already hoisted in this round;
+* loads additionally require the loop to contain no stores or calls
+  (no alias analysis — conservative).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir import instructions as ins
+from repro.ir.cfg import Loop, natural_loops, predecessors
+from repro.ir.function import BasicBlock, Function
+from repro.ir.values import VReg
+from repro.opt.pass_manager import PassResult
+
+
+def licm(func: Function) -> PassResult:
+    result = PassResult()
+    # Innermost-last order lets invariants bubble outward across runs.
+    loops = sorted(natural_loops(func), key=lambda l: len(l.body))
+    for loop in loops:
+        _hoist_loop(func, loop, result)
+    return result
+
+
+def _ensure_preheader(func: Function, loop: Loop) -> BasicBlock:
+    """Return a block whose only successor is the loop header and which
+    is the only out-of-loop predecessor of the header."""
+    preds = predecessors(func)
+    outside = [p for p in preds[loop.header] if p not in loop.body]
+    if len(outside) == 1:
+        candidate = func.block(outside[0])
+        if candidate.successors() == [loop.header]:
+            return candidate
+    preheader = func.new_block("preheader")
+    preheader.append(ins.Jump(loop.header))
+    for label in outside:
+        block = func.block(label)
+        ins.retarget(block.terminator, loop.header, preheader.label)
+    # Keep the entry block first.
+    func.blocks.remove(preheader)
+    func.blocks.insert(max(1, func.blocks.index(func.block(loop.header))),
+                       preheader)
+    return preheader
+
+
+def _hoist_loop(func: Function, loop: Loop, result: PassResult) -> None:
+    loop_blocks = [b for b in func.blocks if b.label in loop.body]
+
+    defs_in_loop: Dict[VReg, int] = {}
+    has_memory_effects = False
+    for block in loop_blocks:
+        for instr in block.instrs:
+            result.work += 1
+            for reg in instr.defs():
+                defs_in_loop[reg] = defs_in_loop.get(reg, 0) + 1
+            if isinstance(instr, (ins.Store, ins.VStore, ins.Call)):
+                has_memory_effects = True
+
+    func_def_counts: Dict[VReg, int] = {p: 1 for p in func.params}
+    for instr in func.instructions():
+        for reg in instr.defs():
+            func_def_counts[reg] = func_def_counts.get(reg, 0) + 1
+
+    hoisted: List[ins.Instr] = []
+    hoisted_regs: Set[VReg] = set()
+    changed = True
+    while changed:
+        changed = False
+        for block in loop_blocks:
+            for instr in list(block.instrs):
+                if not _hoistable(instr, has_memory_effects):
+                    continue
+                if func_def_counts.get(instr.dst, 0) != 1:
+                    continue
+                operands_ok = all(
+                    reg not in defs_in_loop or reg in hoisted_regs
+                    for reg in instr.uses())
+                if not operands_ok:
+                    continue
+                block.instrs.remove(instr)
+                hoisted.append(instr)
+                hoisted_regs.add(instr.dst)
+                defs_in_loop.pop(instr.dst, None)
+                changed = True
+                result.changed = True
+
+    if hoisted:
+        preheader = _ensure_preheader(func, loop)
+        preheader.instrs = preheader.instrs[:-1] + hoisted + \
+            [preheader.instrs[-1]]
+
+
+def _hoistable(instr: ins.Instr, loop_has_memory_effects: bool) -> bool:
+    if instr.dst is None:
+        return False
+    if isinstance(instr, ins.BinOp):
+        return instr.op not in ("div", "rem")
+    if isinstance(instr, (ins.UnOp, ins.Cast, ins.Cmp, ins.FrameAddr,
+                          ins.Select, ins.VSplat)):
+        return True
+    # Loads are never hoisted: the loop may execute zero times, and a
+    # speculated load could trap where the original program would not.
+    # (The vectorizer hoists invariant loads itself, guarded by the
+    # vector-trip-count check.)
+    return False

@@ -1,0 +1,152 @@
+"""Counted-loop recognition.
+
+After the cleanup pipeline, MiniC ``for`` loops canonicalize to::
+
+    preheader:  ... ; ivar = mov <init> ; jump header
+    header:     c = cmp.<pred> ivar, <bound> ; branch c, work, exit
+    work:       <straight-line body>
+                t = add ivar, <step> ; ivar = mov t ; jump header
+
+:func:`find_counted_loops` recognizes exactly this shape (plus the
+degenerate single-block variant) and returns :class:`CountedLoop`
+descriptors consumed by the unroller and the vectorizer.  Anything that
+does not match is simply not a candidate — the passes are allowed to
+be conservative, never wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.lang import types as ty
+from repro.ir import instructions as ins
+from repro.ir.cfg import Loop, natural_loops, predecessors
+from repro.ir.function import BasicBlock, Function
+from repro.ir.values import Const, Value, VReg
+
+
+@dataclass
+class CountedLoop:
+    """A recognized ``for (i = init; i pred bound; i += step)`` loop."""
+    loop: Loop
+    header: str
+    work: str                 # the straight-line body block
+    exit: str
+    ivar: VReg
+    pred: str                 # comparison predicate ('lt', 'gt', ...)
+    bound: Value              # Const or loop-invariant VReg
+    step: int                 # constant increment (signed)
+    init: Optional[Value]     # Const/VReg moved into ivar in the preheader
+    preheader: Optional[str]
+
+    @property
+    def is_simple_forward(self) -> bool:
+        """The vectorizable shape: ``for (i = 0; i < n; i++)``."""
+        return (self.pred == "lt" and self.step == 1 and
+                isinstance(self.init, Const) and self.init.value == 0 and
+                isinstance(self.ivar.ty, ty.IntType))
+
+
+def _defs_in_blocks(func: Function, labels: Set[str]) -> Dict[VReg, int]:
+    counts: Dict[VReg, int] = {}
+    for block in func.blocks:
+        if block.label not in labels:
+            continue
+        for instr in block.instrs:
+            for reg in instr.defs():
+                counts[reg] = counts.get(reg, 0) + 1
+    return counts
+
+
+def find_counted_loops(func: Function) -> List[CountedLoop]:
+    result: List[CountedLoop] = []
+    blocks = func.block_map()
+    preds = predecessors(func)
+    for loop in natural_loops(func):
+        counted = _match(func, blocks, preds, loop)
+        if counted is not None:
+            result.append(counted)
+    return result
+
+
+def _match(func: Function, blocks: Dict[str, BasicBlock],
+           preds: Dict[str, List[str]], loop: Loop) -> Optional[CountedLoop]:
+    if len(loop.body) != 2:
+        return None
+    header = blocks[loop.header]
+    work_label = next(label for label in loop.body if label != loop.header)
+    work = blocks[work_label]
+
+    # Header: exactly [cmp, branch], branch on the cmp result.
+    if len(header.instrs) != 2:
+        return None
+    cmp, branch = header.instrs
+    if not isinstance(cmp, ins.Cmp) or not isinstance(branch, ins.Branch):
+        return None
+    if branch.cond != cmp.dst:
+        return None
+    targets = {branch.then_target, branch.else_target}
+    if work_label not in targets:
+        return None
+    exit_label = (targets - {work_label}).pop() if len(targets) == 2 else None
+    if exit_label is None or exit_label in loop.body:
+        return None
+    if branch.then_target != work_label:
+        return None      # inverted loops not canonicalized; skip
+
+    # Work block: straight line, ends [add ivar step; mov ivar; jump hdr].
+    if not isinstance(work.terminator, ins.Jump) or \
+            work.terminator.target != loop.header:
+        return None
+    if len(work.instrs) < 3:
+        return None
+    add, mov = work.instrs[-3], work.instrs[-2]
+    if not (isinstance(add, ins.BinOp) and add.op in ("add", "sub") and
+            isinstance(mov, ins.Move) and mov.src == add.dst):
+        return None
+    ivar = mov.dst
+    if not isinstance(add.a, VReg) or add.a != ivar or \
+            not isinstance(add.b, Const):
+        return None
+    step = add.b.value if add.op == "add" else -add.b.value
+
+    # The compared register must be the induction variable.
+    if cmp.a != ivar:
+        return None
+    bound = cmp.b
+    loop_defs = _defs_in_blocks(func, loop.body)
+    if isinstance(bound, VReg) and bound in loop_defs:
+        return None      # bound changes inside the loop
+    # ivar must be defined exactly once inside the loop (the increment).
+    if loop_defs.get(ivar, 0) != 1:
+        return None
+    # No side exits from the work block (already implied by Jump) and no
+    # other branches into the middle of the loop.
+    outside_preds_of_work = [p for p in preds[work_label]
+                             if p not in loop.body]
+    if outside_preds_of_work:
+        return None
+
+    init = _find_init(func, blocks, loop, ivar)
+    return CountedLoop(
+        loop=loop, header=loop.header, work=work_label, exit=exit_label,
+        ivar=ivar, pred=cmp.pred, bound=bound, step=step, init=init,
+        preheader=loop.preheader,
+    )
+
+
+def _find_init(func: Function, blocks: Dict[str, BasicBlock], loop: Loop,
+               ivar: VReg) -> Optional[Value]:
+    if loop.preheader is None:
+        return None
+    preheader = blocks.get(loop.preheader)
+    if preheader is None:
+        return None
+    init: Optional[Value] = None
+    for instr in preheader.instrs:
+        if isinstance(instr, ins.Move) and instr.dst == ivar:
+            init = instr.src
+        elif ivar in instr.defs():
+            init = None
+    return init

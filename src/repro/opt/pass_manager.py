@@ -1,0 +1,90 @@
+"""Pass management with work accounting.
+
+Work accounting matters for the paper's argument: split compilation
+moves *analysis work* offline.  Every pass reports how many instructions
+it visited; the same passes can therefore be run by the offline
+compiler (free at run time) or by the JIT (counted against its compile
+budget), and experiment F1/S3a simply compares the counters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.ir.function import Function
+
+#: A pass is a callable ``(Function) -> PassResult``.
+PassFn = Callable[[Function], "PassResult"]
+
+
+@dataclass
+class PassResult:
+    """Outcome of one pass over one function."""
+    changed: bool = False
+    work: int = 0            # instructions visited (analysis effort proxy)
+
+    def __iadd__(self, other: "PassResult") -> "PassResult":
+        self.changed = self.changed or other.changed
+        self.work += other.work
+        return self
+
+
+@dataclass
+class PassStats:
+    """Accumulated cost of a pipeline run."""
+    work_by_pass: Dict[str, int] = field(default_factory=dict)
+    time_by_pass: Dict[str, float] = field(default_factory=dict)
+    runs: int = 0
+
+    @property
+    def total_work(self) -> int:
+        return sum(self.work_by_pass.values())
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.time_by_pass.values())
+
+
+class PassManager:
+    """Runs a named pipeline of passes to a fixpoint (bounded)."""
+
+    def __init__(self, passes: List[tuple],
+                 max_iterations: int = 4,
+                 verify: bool = False):
+        """``passes`` is a list of ``(name, fn)`` tuples.
+
+        With ``verify=True`` the IR verifier runs after every pass —
+        slow, but the default in the test suite.
+        """
+        self.passes = passes
+        self.max_iterations = max_iterations
+        self.verify = verify
+        self.stats = PassStats()
+
+    def run(self, func: Function) -> PassStats:
+        from repro.ir.verify import verify_function
+
+        for _ in range(self.max_iterations):
+            any_changed = False
+            for name, pass_fn in self.passes:
+                start = time.perf_counter()
+                result = pass_fn(func)
+                elapsed = time.perf_counter() - start
+                self.stats.work_by_pass[name] = \
+                    self.stats.work_by_pass.get(name, 0) + result.work
+                self.stats.time_by_pass[name] = \
+                    self.stats.time_by_pass.get(name, 0.0) + elapsed
+                if self.verify:
+                    try:
+                        verify_function(func)
+                    except Exception as exc:
+                        raise AssertionError(
+                            f"pass {name!r} broke {func.name!r}: {exc}"
+                        ) from exc
+                any_changed = any_changed or result.changed
+            self.stats.runs += 1
+            if not any_changed:
+                break
+        return self.stats

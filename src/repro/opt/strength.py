@@ -1,0 +1,65 @@
+"""Strength reduction: replace expensive integer ops by cheaper ones.
+
+* ``x * 2**k``  ->  ``x << k``
+* ``x / 2**k``  ->  ``x >> k``        (unsigned only)
+* ``x % 2**k``  ->  ``x & (2**k-1)``  (unsigned only)
+
+The signed variants need rounding fixups that cost as much as they
+save on our cost models, so they are left alone.
+"""
+
+from __future__ import annotations
+
+from repro.lang import types as ty
+from repro.ir import instructions as ins
+from repro.ir.function import Function
+from repro.ir.values import Const
+from repro.opt.pass_manager import PassResult
+
+
+def _power_of_two(value) -> int:
+    """Return k if value == 2**k and k > 0, else -1."""
+    if isinstance(value, int) and value > 1 and (value & (value - 1)) == 0:
+        return value.bit_length() - 1
+    return -1
+
+
+def strength_reduce(func: Function) -> PassResult:
+    result = PassResult()
+    for block in func.blocks:
+        for index, instr in enumerate(block.instrs):
+            result.work += 1
+            if not isinstance(instr, ins.BinOp) or \
+                    not ty.is_integer(instr.ty):
+                continue
+            replacement = _reduce(instr)
+            if replacement is not None:
+                block.instrs[index] = replacement
+                result.changed = True
+    return result
+
+
+def _reduce(instr: ins.BinOp):
+    b = instr.b
+    if not isinstance(b, Const):
+        # Commutative multiply: allow the constant on the left.
+        if instr.op == "mul" and isinstance(instr.a, Const):
+            k = _power_of_two(instr.a.value)
+            if k > 0:
+                return ins.BinOp("shl", instr.dst, instr.b,
+                                 Const(k, instr.ty), instr.ty)
+        return None
+    k = _power_of_two(b.value)
+    if k <= 0:
+        return None
+    if instr.op == "mul":
+        return ins.BinOp("shl", instr.dst, instr.a, Const(k, instr.ty),
+                         instr.ty)
+    if not instr.ty.signed:
+        if instr.op == "div":
+            return ins.BinOp("shr", instr.dst, instr.a, Const(k, instr.ty),
+                             instr.ty)
+        if instr.op == "rem":
+            return ins.BinOp("and", instr.dst, instr.a,
+                             Const(b.value - 1, instr.ty), instr.ty)
+    return None

@@ -1,0 +1,161 @@
+"""Loop unrolling for counted loops.
+
+``for (i = init; i < n; i++) body`` becomes::
+
+    u.head: t = i + (F-1) ; c = t < n ; branch c, u.body, orig.head
+    u.body: body ; i++ ; body ; i++ ; ... (F times) ; jump u.head
+    orig loop                                  // remainder, unchanged
+
+Replication is semantically exact (no reassociation): each copy clones
+the body with fresh temporaries while multi-definition registers (the
+induction variable, accumulators) stay shared, and the real increment
+runs between copies.  Used standalone as an iterative-compilation knob
+— note the paper's Table 1 observation that scalarized vector code can
+*beat* plain scalar code because "the scalarization involves some
+unrolling of tiny loops": this pass lets the benches separate that
+unrolling effect from SIMD proper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.lang import types as ty
+from repro.ir import instructions as ins
+from repro.ir.function import Function
+from repro.ir.values import Const, Value, VReg
+from repro.opt.licm import _ensure_preheader
+from repro.opt.loops import CountedLoop, find_counted_loops
+from repro.opt.pass_manager import PassResult
+
+#: Loops with bodies larger than this are not worth unrolling.
+MAX_BODY = 40
+
+
+def clone_instr(func: Function, instr: ins.Instr,
+                reg_map: Dict[int, VReg], shared: Set[VReg]) -> ins.Instr:
+    """Clone one instruction, renaming non-shared destination registers."""
+
+    def src_of(value: Value) -> Value:
+        if isinstance(value, VReg) and value.id in reg_map:
+            return reg_map[value.id]
+        return value
+
+    def dst_of(reg: VReg) -> VReg:
+        if reg in shared:
+            return reg
+        fresh = func.new_reg(reg.ty, reg.name)
+        reg_map[reg.id] = fresh
+        return fresh
+
+    if isinstance(instr, ins.BinOp):
+        a, b = src_of(instr.a), src_of(instr.b)
+        return ins.BinOp(instr.op, dst_of(instr.dst), a, b, instr.ty)
+    if isinstance(instr, ins.UnOp):
+        a = src_of(instr.a)
+        return ins.UnOp(instr.op, dst_of(instr.dst), a, instr.ty)
+    if isinstance(instr, ins.Cmp):
+        a, b = src_of(instr.a), src_of(instr.b)
+        return ins.Cmp(instr.pred, dst_of(instr.dst), a, b, instr.ty)
+    if isinstance(instr, ins.Cast):
+        s = src_of(instr.src)
+        return ins.Cast(dst_of(instr.dst), s, instr.from_ty, instr.to_ty)
+    if isinstance(instr, ins.Move):
+        s = src_of(instr.src)
+        return ins.Move(dst_of(instr.dst), s)
+    if isinstance(instr, ins.Select):
+        c, a, b = (src_of(instr.cond), src_of(instr.a), src_of(instr.b))
+        return ins.Select(dst_of(instr.dst), c, a, b, instr.ty)
+    if isinstance(instr, ins.Load):
+        addr = src_of(instr.addr)
+        return ins.Load(dst_of(instr.dst), addr, instr.ty)
+    if isinstance(instr, ins.Store):
+        return ins.Store(src_of(instr.addr), src_of(instr.value), instr.ty)
+    if isinstance(instr, ins.FrameAddr):
+        return ins.FrameAddr(dst_of(instr.dst), instr.slot)
+    if isinstance(instr, ins.Call):
+        args = [src_of(a) for a in instr.args]
+        dst = dst_of(instr.dst) if instr.dst is not None else None
+        return ins.Call(dst, instr.callee, args, instr.ret_ty)
+    if isinstance(instr, ins.VLoad):
+        return ins.VLoad(dst_of(instr.dst), src_of(instr.addr), instr.vty)
+    if isinstance(instr, ins.VStore):
+        return ins.VStore(src_of(instr.addr), src_of(instr.value),
+                          instr.vty)
+    if isinstance(instr, ins.VBinOp):
+        a, b = src_of(instr.a), src_of(instr.b)
+        return ins.VBinOp(instr.op, dst_of(instr.dst), a, b, instr.vty)
+    if isinstance(instr, ins.VSplat):
+        s = src_of(instr.scalar)
+        return ins.VSplat(dst_of(instr.dst), s, instr.vty)
+    if isinstance(instr, ins.VReduce):
+        s = src_of(instr.src)
+        return ins.VReduce(instr.op, dst_of(instr.dst), s, instr.vty,
+                           instr.acc_ty)
+    raise ValueError(f"cannot clone {type(instr).__name__}")
+
+
+def unroll(func: Function, factor: int = 4) -> PassResult:
+    """Unroll every eligible counted loop by ``factor``."""
+    result = PassResult()
+    if factor < 2:
+        return result
+    processed: Set[str] = set()
+    for _ in range(8):
+        candidate = next(
+            (l for l in find_counted_loops(func)
+             if l.header not in processed), None)
+        if candidate is None:
+            break
+        processed.add(candidate.header)
+        work = func.block(candidate.work)
+        result.work += len(work.instrs)
+        if _eligible(candidate, work):
+            _unroll_loop(func, candidate, factor)
+            result.changed = True
+    return result
+
+
+def _eligible(cl: CountedLoop, work) -> bool:
+    return (cl.pred == "lt" and cl.step == 1 and
+            len(work.instrs) <= MAX_BODY and
+            isinstance(cl.ivar.ty, ty.IntType) and
+            not any(isinstance(i, ins.Call) for i in work.instrs))
+
+
+def _unroll_loop(func: Function, cl: CountedLoop, factor: int) -> None:
+    work = func.block(cl.work)
+    body_and_incr = work.instrs[:-1]           # strip the jump
+
+    shared = _multi_def_regs(func)
+    preheader = _ensure_preheader(func, cl.loop)
+
+    u_head = func.new_block("unroll.head")
+    u_body = func.new_block("unroll.body")
+
+    ahead = func.new_reg(cl.ivar.ty)
+    cond = func.new_reg(ty.I32)
+    u_head.append(ins.BinOp("add", ahead, cl.ivar,
+                            Const(factor - 1, cl.ivar.ty), cl.ivar.ty))
+    u_head.append(ins.Cmp("lt", cond, ahead, cl.bound, cl.ivar.ty))
+    u_head.append(ins.Branch(cond, u_body.label, cl.header))
+
+    for _ in range(factor):
+        reg_map: Dict[int, VReg] = {}
+        for instr in body_and_incr:
+            u_body.append(clone_instr(func, instr, reg_map, shared))
+    u_body.append(ins.Jump(u_head.label))
+
+    ins.retarget(preheader.terminator, cl.header, u_head.label)
+    for block in (u_head, u_body):
+        func.blocks.remove(block)
+    at = func.blocks.index(func.block(cl.header))
+    func.blocks[at:at] = [u_head, u_body]
+
+
+def _multi_def_regs(func: Function) -> Set[VReg]:
+    counts: Dict[VReg, int] = {p: 1 for p in func.params}
+    for instr in func.instructions():
+        for reg in instr.defs():
+            counts[reg] = counts.get(reg, 0) + 1
+    return {reg for reg, c in counts.items() if c > 1}

@@ -1,0 +1,9 @@
+"""Runtime traps shared by every execution engine."""
+
+
+class TrapError(Exception):
+    """A runtime trap: division by zero, out-of-bounds access, bad opcode.
+
+    Deliberately a single type — differential tests assert that when one
+    engine traps, every engine traps.
+    """

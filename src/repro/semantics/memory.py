@@ -1,0 +1,120 @@
+"""Flat little-endian byte-addressable memory.
+
+All engines (interpreter, VM, simulators) execute against this model:
+address 0 is reserved (a null-pointer guard page of 64 bytes), a bump
+allocator hands out heap blocks, and each call frame carves its slots
+from a downward-growing stack at the top of memory.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.lang import types as ty
+from repro.semantics.errors import TrapError
+
+_FORMATS = {
+    (8, True): "<b", (8, False): "<B",
+    (16, True): "<h", (16, False): "<H",
+    (32, True): "<i", (32, False): "<I",
+    (64, True): "<q", (64, False): "<Q",
+}
+
+NULL_GUARD = 64
+
+
+class Memory:
+    """A fixed-size flat memory with bump allocation."""
+
+    def __init__(self, size: int = 1 << 20):
+        if size < 4 * NULL_GUARD:
+            raise ValueError("memory too small")
+        self.size = size
+        self.data = bytearray(size)
+        self.heap_ptr = NULL_GUARD
+        self.stack_ptr = size          # grows downward
+
+    # -- allocation -----------------------------------------------------------
+
+    def alloc(self, size: int, align: int = 16) -> int:
+        """Allocate ``size`` bytes on the heap; returns the address."""
+        addr = (self.heap_ptr + align - 1) // align * align
+        if addr + size > self.stack_ptr:
+            raise TrapError("out of memory (heap meets stack)")
+        self.heap_ptr = addr + size
+        return addr
+
+    def push_frame(self, size: int) -> int:
+        """Reserve a stack frame; returns its base address."""
+        new_sp = (self.stack_ptr - size) & ~15
+        if new_sp <= self.heap_ptr:
+            raise TrapError("stack overflow")
+        self.stack_ptr = new_sp
+        return new_sp
+
+    def pop_frame(self, base: int, size: int) -> None:
+        self.stack_ptr = base + size if base + size <= self.size else self.size
+        # Round back up to the pre-push value's alignment is unnecessary:
+        # frames are popped LIFO with the same base they were pushed at.
+
+    # -- bounds ---------------------------------------------------------------
+
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < NULL_GUARD or addr + nbytes > self.size:
+            raise TrapError(f"memory access out of bounds: "
+                            f"addr={addr:#x} size={nbytes}")
+
+    # -- typed scalar access ---------------------------------------------------
+
+    def load(self, value_ty, addr: int):
+        addr &= (1 << 64) - 1
+        size = ty.sizeof(value_ty)
+        self._check(addr, size)
+        raw = bytes(self.data[addr:addr + size])
+        if isinstance(value_ty, ty.IntType):
+            return struct.unpack(_FORMATS[(value_ty.bits, value_ty.signed)],
+                                 raw)[0]
+        if isinstance(value_ty, ty.FloatType):
+            return struct.unpack("<f" if value_ty.bits == 32 else "<d",
+                                 raw)[0]
+        raise TrapError(f"cannot load type {value_ty}")
+
+    def store(self, value_ty, addr: int, value) -> None:
+        addr &= (1 << 64) - 1
+        size = ty.sizeof(value_ty)
+        self._check(addr, size)
+        if isinstance(value_ty, ty.IntType):
+            raw = struct.pack(_FORMATS[(value_ty.bits, value_ty.signed)],
+                              ty.wrap_int(int(value), value_ty))
+        elif isinstance(value_ty, ty.FloatType):
+            raw = struct.pack("<f" if value_ty.bits == 32 else "<d",
+                              float(value))
+        else:
+            raise TrapError(f"cannot store type {value_ty}")
+        self.data[addr:addr + size] = raw
+
+    # -- vector access ----------------------------------------------------------
+
+    def load_vec(self, elem_ty, lanes: int, addr: int) -> List:
+        size = ty.sizeof(elem_ty)
+        return [self.load(elem_ty, addr + i * size) for i in range(lanes)]
+
+    def store_vec(self, elem_ty, addr: int, values: List) -> None:
+        size = ty.sizeof(elem_ty)
+        for i, value in enumerate(values):
+            self.store(elem_ty, addr + i * size, value)
+
+    # -- convenience for tests and workloads -------------------------------------
+
+    def write_array(self, elem_ty, addr: int, values) -> None:
+        self.store_vec(elem_ty, addr, list(values))
+
+    def read_array(self, elem_ty, addr: int, count: int) -> List:
+        return self.load_vec(elem_ty, count, addr)
+
+    def alloc_array(self, elem_ty, values) -> int:
+        values = list(values)
+        addr = self.alloc(max(1, len(values)) * ty.sizeof(elem_ty))
+        self.write_array(elem_ty, addr, values)
+        return addr

@@ -1,0 +1,158 @@
+"""Scalar operation semantics.
+
+Integers are Python ints kept wrapped to their type's range; floats are
+Python floats, rounded through IEEE single precision after every f32
+operation so results match a real 32-bit FPU.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from repro.lang import types as ty
+from repro.semantics.errors import TrapError
+
+
+def round_float(value: float, float_ty: ty.FloatType) -> float:
+    """Round ``value`` to the precision of ``float_ty``."""
+    if float_ty.bits == 32:
+        return struct.unpack("<f", struct.pack("<f", value))[0]
+    return float(value)
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """C integer division: truncation toward zero."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _trunc_rem(a: int, b: int) -> int:
+    """C remainder: sign follows the dividend."""
+    return a - _trunc_div(a, b) * b
+
+
+def eval_binop(op: str, value_ty, a, b):
+    """Evaluate ``a op b`` in type ``value_ty`` (IntType or FloatType)."""
+    if isinstance(value_ty, ty.FloatType):
+        return _eval_float_binop(op, value_ty, a, b)
+    assert isinstance(value_ty, ty.IntType)
+    return _eval_int_binop(op, value_ty, a, b)
+
+
+def _eval_float_binop(op: str, float_ty: ty.FloatType,
+                      a: float, b: float) -> float:
+    if op == "add":
+        r = a + b
+    elif op == "sub":
+        r = a - b
+    elif op == "mul":
+        r = a * b
+    elif op == "div":
+        if b == 0.0:
+            # IEEE semantics: inf/nan rather than a trap.
+            if a == 0.0 or math.isnan(a):
+                r = math.nan
+            else:
+                r = math.inf if (a > 0) == (not math.copysign(1, b) < 0) \
+                    else -math.inf
+        else:
+            r = a / b
+    elif op == "min":
+        r = min(a, b)
+    elif op == "max":
+        r = max(a, b)
+    else:
+        raise TrapError(f"float op {op!r} undefined")
+    return round_float(r, float_ty)
+
+
+def _eval_int_binop(op: str, int_ty: ty.IntType, a: int, b: int) -> int:
+    if op == "add":
+        r = a + b
+    elif op == "sub":
+        r = a - b
+    elif op == "mul":
+        r = a * b
+    elif op == "div":
+        if b == 0:
+            raise TrapError("integer division by zero")
+        r = _trunc_div(a, b)
+    elif op == "rem":
+        if b == 0:
+            raise TrapError("integer remainder by zero")
+        r = _trunc_rem(a, b)
+    elif op == "and":
+        r = _to_unsigned(a, int_ty) & _to_unsigned(b, int_ty)
+    elif op == "or":
+        r = _to_unsigned(a, int_ty) | _to_unsigned(b, int_ty)
+    elif op == "xor":
+        r = _to_unsigned(a, int_ty) ^ _to_unsigned(b, int_ty)
+    elif op == "shl":
+        r = a << (b & (int_ty.bits - 1))
+    elif op == "shr":
+        amount = b & (int_ty.bits - 1)
+        if int_ty.signed:
+            r = a >> amount                      # arithmetic shift
+        else:
+            r = _to_unsigned(a, int_ty) >> amount
+    elif op == "min":
+        r = min(a, b)
+    elif op == "max":
+        r = max(a, b)
+    else:
+        raise TrapError(f"integer op {op!r} undefined")
+    return ty.wrap_int(r, int_ty)
+
+
+def _to_unsigned(value: int, int_ty: ty.IntType) -> int:
+    return value & ((1 << int_ty.bits) - 1)
+
+
+def eval_unop(op: str, value_ty, a):
+    if op == "neg":
+        if isinstance(value_ty, ty.FloatType):
+            return round_float(-a, value_ty)
+        return ty.wrap_int(-a, value_ty)
+    if op == "not":
+        assert isinstance(value_ty, ty.IntType)
+        return ty.wrap_int(~a, value_ty)
+    raise TrapError(f"unary op {op!r} undefined")
+
+
+def eval_cmp(pred: str, value_ty, a, b) -> int:
+    """Comparison in ``value_ty``; returns 0 or 1.
+
+    For unsigned integer types the comparison is performed on the
+    unsigned bit patterns.
+    """
+    if isinstance(value_ty, ty.IntType) and not value_ty.signed:
+        a = _to_unsigned(a, value_ty)
+        b = _to_unsigned(b, value_ty)
+    if isinstance(value_ty, ty.FloatType) and \
+            (math.isnan(a) or math.isnan(b)):
+        # Unordered comparisons are false except '!='.
+        return 1 if pred == "ne" else 0
+    table = {
+        "eq": a == b, "ne": a != b,
+        "lt": a < b, "le": a <= b,
+        "gt": a > b, "ge": a >= b,
+    }
+    if pred not in table:
+        raise TrapError(f"cmp predicate {pred!r} undefined")
+    return 1 if table[pred] else 0
+
+
+def eval_cast(value, from_ty, to_ty):
+    """Numeric conversion with C-like semantics."""
+    if from_ty == to_ty:
+        return value
+    if isinstance(to_ty, ty.IntType):
+        if isinstance(from_ty, ty.FloatType):
+            if math.isnan(value) or math.isinf(value):
+                return 0       # defined (C leaves it undefined)
+            return ty.wrap_int(int(value), to_ty)
+        return ty.wrap_int(int(value), to_ty)
+    if isinstance(to_ty, ty.FloatType):
+        return round_float(float(value), to_ty)
+    raise TrapError(f"cast {from_ty} -> {to_ty} undefined")

@@ -1,0 +1,18 @@
+"""Split optimizations: the offline halves.
+
+Each module here is the expensive offline half of an optimization whose
+cheap online half lives in the JIT:
+
+* :mod:`repro.split.regalloc_offline` — loop-structure-aware spill
+  priorities (the online half is the annotated policy in
+  :mod:`repro.jit.regalloc`);
+* the auto-vectorizer's offline half is :mod:`repro.opt.vectorize`
+  (its online half is trivial: the JIT maps or scalarizes the vector
+  builtins).
+"""
+
+from repro.split.regalloc_offline import (
+    compute_spill_priorities, regalloc_annotation,
+)
+
+__all__ = ["compute_spill_priorities", "regalloc_annotation"]

@@ -1,0 +1,26 @@
+"""Simulated hardware targets.
+
+Each target is a :class:`~repro.targets.machine.TargetDesc`: an ISA
+capability set (SIMD or not), register-file sizes per class, a cycle
+cost model and a code-size model.  The JIT compiles PVI bytecode to
+:class:`~repro.targets.isa.MInst` "native" instructions for a target;
+:class:`~repro.targets.simulator.Simulator` executes them and counts
+cycles — the stand-in for the paper's real x86/UltraSparc/PowerPC
+machines (see DESIGN.md, substitution table).
+
+The three Table 1 targets plus two extras for the heterogeneous
+experiments are exported as ready-made descriptors.
+"""
+
+from repro.targets.machine import CostModel, TargetDesc
+from repro.targets.isa import MInst, Reg
+from repro.targets.simulator import SimulationResult, Simulator
+from repro.targets.catalog import (
+    DSP, HOST, PPC, SPARC, X86, TARGETS, target_by_name,
+)
+
+__all__ = [
+    "CostModel", "TargetDesc", "MInst", "Reg",
+    "Simulator", "SimulationResult",
+    "X86", "SPARC", "PPC", "DSP", "HOST", "TARGETS", "target_by_name",
+]

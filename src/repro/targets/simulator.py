@@ -1,0 +1,217 @@
+"""Instruction-level simulator for compiled machine code.
+
+Executes :class:`~repro.targets.isa.CompiledModule` against the same
+flat :class:`~repro.semantics.Memory` the VM uses, accumulating the
+per-instruction cycle costs assigned at code generation.  Simulated
+cycles are this reproduction's stand-in for the paper's measured run
+times (the substitution is documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.lang import types as ty
+from repro.semantics import (
+    Memory, TrapError, eval_binop, eval_cast, eval_cmp, eval_unop,
+    vec_binop, vec_reduce, vec_splat,
+)
+from repro.targets.isa import CompiledFunction, CompiledModule, MInst
+
+DEFAULT_FUEL = 200_000_000
+
+
+@dataclass
+class SimulationResult:
+    value: object = None
+    cycles: int = 0
+    instructions: int = 0
+    spill_loads: int = 0
+    spill_stores: int = 0
+    branches: int = 0
+    calls: int = 0
+
+    def merge_counts(self, other: "SimulationResult") -> None:
+        self.cycles += other.cycles
+        self.instructions += other.instructions
+        self.spill_loads += other.spill_loads
+        self.spill_stores += other.spill_stores
+        self.branches += other.branches
+        self.calls += other.calls
+
+
+class Simulator:
+    """Executes compiled functions, counting cycles."""
+
+    def __init__(self, module: CompiledModule,
+                 memory: Optional[Memory] = None,
+                 fuel: int = DEFAULT_FUEL):
+        self.module = module
+        self.memory = memory if memory is not None else Memory()
+        self.fuel = fuel
+        self._executed = 0
+
+    def run(self, name: str, args: List) -> SimulationResult:
+        """Call function ``name``; returns result + counters."""
+        func = self.module[name]
+        if len(args) != len(func.param_locs):
+            raise TrapError(f"{name} expects {len(func.param_locs)} args")
+        result = SimulationResult()
+        result.value = self._call(func, list(args), result)
+        return result
+
+    # -- internals -------------------------------------------------------------
+
+    def _call(self, func: CompiledFunction, args: List,
+              counters: SimulationResult):
+        regs: Dict[str, Dict[int, object]] = {"int": {}, "flt": {},
+                                              "vec": {}}
+        # Spill slots park register values in the frame.  They are
+        # modeled as a per-frame table (typed, exact) while
+        # ``frame_bytes`` still reserves the real stack space, so
+        # memory pressure stays honest but parked values cannot be
+        # corrupted by type-punning through the byte memory.
+        slots: Dict[int, object] = {}
+        frame_base = self.memory.push_frame(func.frame_bytes) \
+            if func.frame_bytes else 0
+
+        # Place arguments at the callee's parameter homes.
+        for loc, value in zip(func.param_locs, args):
+            kind, index = loc
+            if kind == "slot":
+                slots[index] = value
+            else:
+                regs[kind][index] = value
+
+        memory = self.memory
+        code = func.code
+        pc = 0
+
+        def read(operand):
+            kind, value = operand
+            if kind == "imm":
+                return value
+            if kind == "slot":
+                raise TrapError("raw slot operand outside spill op")
+            try:
+                return regs[kind][value]
+            except KeyError:
+                raise TrapError(
+                    f"{func.name}: read of uninitialized register "
+                    f"{kind}{value}")
+
+        try:
+            while True:
+                if pc >= len(code):
+                    raise TrapError(f"{func.name}: fell off code end")
+                instr = code[pc]
+                self._executed += 1
+                if self._executed > self.fuel:
+                    raise TrapError("simulation fuel exhausted")
+                counters.instructions += 1
+                counters.cycles += instr.cost
+                op = instr.op
+
+                if op == "bin":
+                    a = read(instr.srcs[0])
+                    b = read(instr.srcs[1])
+                    regs[instr.dst[0]][instr.dst[1]] = \
+                        eval_binop(instr.arg, instr.ty, a, b)
+                elif op == "mov":
+                    regs[instr.dst[0]][instr.dst[1]] = read(instr.srcs[0])
+                elif op == "cmp":
+                    a = read(instr.srcs[0])
+                    b = read(instr.srcs[1])
+                    regs[instr.dst[0]][instr.dst[1]] = \
+                        eval_cmp(instr.arg, instr.ty, a, b)
+                elif op == "un":
+                    regs[instr.dst[0]][instr.dst[1]] = \
+                        eval_unop(instr.arg, instr.ty, read(instr.srcs[0]))
+                elif op == "cast":
+                    from_ty, to_ty = instr.arg
+                    regs[instr.dst[0]][instr.dst[1]] = \
+                        eval_cast(read(instr.srcs[0]), from_ty, to_ty)
+                elif op == "select":
+                    cond = read(instr.srcs[0])
+                    value = read(instr.srcs[1]) if cond != 0 \
+                        else read(instr.srcs[2])
+                    regs[instr.dst[0]][instr.dst[1]] = value
+                elif op == "load":
+                    addr = read(instr.srcs[0])
+                    if len(instr.srcs) > 1:
+                        addr += read(instr.srcs[1])
+                    regs[instr.dst[0]][instr.dst[1]] = \
+                        memory.load(instr.ty, addr)
+                elif op == "store":
+                    addr = read(instr.srcs[0])
+                    if len(instr.srcs) > 2:
+                        addr += read(instr.srcs[1])
+                    memory.store(instr.ty, addr, read(instr.srcs[-1]))
+                elif op == "lea.frame":
+                    regs[instr.dst[0]][instr.dst[1]] = \
+                        frame_base + instr.arg
+                elif op == "spill.ld":
+                    counters.spill_loads += 1
+                    try:
+                        regs[instr.dst[0]][instr.dst[1]] = slots[instr.arg]
+                    except KeyError:
+                        raise TrapError(f"{func.name}: reload of empty "
+                                        f"spill slot {instr.arg}")
+                elif op == "spill.st":
+                    counters.spill_stores += 1
+                    slots[instr.arg] = read(instr.srcs[0])
+                elif op == "br":
+                    counters.branches += 1
+                    pc = instr.arg
+                    continue
+                elif op == "brif":
+                    counters.branches += 1
+                    if read(instr.srcs[0]) != 0:
+                        pc = instr.arg
+                        continue
+                elif op == "call":
+                    counters.calls += 1
+                    callee = self.module[instr.arg]
+                    values = [slots[s[1]] if s[0] == "slot" else read(s)
+                              for s in instr.srcs]
+                    result = self._call(callee, values, counters)
+                    if instr.dst is not None:
+                        regs[instr.dst[0]][instr.dst[1]] = result
+                elif op == "ret":
+                    if instr.srcs:
+                        return read(instr.srcs[0])
+                    return None
+                elif op == "vload":
+                    addr = read(instr.srcs[0])
+                    if len(instr.srcs) > 1:
+                        addr += read(instr.srcs[1])
+                    regs[instr.dst[0]][instr.dst[1]] = memory.load_vec(
+                        instr.ty.elem, instr.ty.lanes, addr)
+                elif op == "vstore":
+                    addr = read(instr.srcs[0])
+                    if len(instr.srcs) > 2:
+                        addr += read(instr.srcs[1])
+                    memory.store_vec(instr.ty.elem, addr,
+                                     read(instr.srcs[-1]))
+                elif op == "vbin":
+                    a = read(instr.srcs[0])
+                    b = read(instr.srcs[1])
+                    regs[instr.dst[0]][instr.dst[1]] = \
+                        vec_binop(instr.arg, instr.ty.elem, a, b)
+                elif op == "vsplat":
+                    regs[instr.dst[0]][instr.dst[1]] = vec_splat(
+                        read(instr.srcs[0]), instr.ty.lanes)
+                elif op == "vreduce":
+                    reduce_op, acc_ty = instr.arg
+                    lanes = [eval_cast(v, instr.ty.elem, acc_ty)
+                             for v in read(instr.srcs[0])]
+                    regs[instr.dst[0]][instr.dst[1]] = \
+                        vec_reduce(reduce_op, acc_ty, lanes)
+                else:
+                    raise TrapError(f"bad machine opcode {op!r}")
+                pc += 1
+        finally:
+            if func.frame_bytes:
+                self.memory.pop_frame(frame_base, func.frame_bytes)
+

@@ -1,0 +1,12 @@
+"""The PVI virtual machine: a verifying bytecode interpreter.
+
+This is the "runs everywhere" baseline of processor virtualization —
+functional portability without target-specific performance.  The JIT
+compilers in :mod:`repro.jit` share its memory model and semantics, so
+interpreted and jitted executions are bit-identical (and the test suite
+checks exactly that).
+"""
+
+from repro.vm.interpreter import VM
+
+__all__ = ["VM"]

@@ -1,0 +1,20 @@
+"""Workload corpus: MiniC kernels with input builders.
+
+* :data:`TABLE1` — the six kernels of the paper's Table 1;
+* :data:`EXTRA_KERNELS` — additional BLAS-1/DSP-style kernels
+  exercising the same code paths (vectorizable and not);
+* :data:`REGALLOC_CORPUS` — register-pressure-heavy functions for the
+  split register allocation experiment (S4a);
+* :mod:`repro.workloads.pipeline` — the KPN actor sources for the
+  heterogeneous mapping experiment (S4c).
+"""
+
+from repro.workloads.kernels import (
+    ALL_KERNELS, EXTRA_KERNELS, Kernel, KernelRun, TABLE1, kernel_by_name,
+)
+from repro.workloads.regalloc_corpus import REGALLOC_CORPUS
+
+__all__ = [
+    "Kernel", "KernelRun", "TABLE1", "EXTRA_KERNELS", "ALL_KERNELS",
+    "kernel_by_name", "REGALLOC_CORPUS",
+]

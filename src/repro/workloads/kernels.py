@@ -1,0 +1,313 @@
+"""Kernel definitions and deterministic input builders."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.lang import types as ty
+from repro.semantics import Memory
+
+#: (tag, address, count) triples describing output arrays to read back
+Output = Tuple[object, int, int]
+
+
+@dataclass
+class KernelRun:
+    """One prepared invocation: arguments plus output descriptors."""
+    args: List = field(default_factory=list)
+    outputs: List[Output] = field(default_factory=list)
+
+
+@dataclass
+class Kernel:
+    """A benchmark kernel: source, entry point and input builder."""
+    name: str
+    source: str
+    entry: str
+    category: str                     # 'table1' or 'extra'
+    elem: str                         # dominant element type
+    vectorizable: bool
+    make_inputs: Callable[[Memory, int, int], KernelRun]
+
+    def prepare(self, memory: Memory, n: int, seed: int = 7) -> KernelRun:
+        return self.make_inputs(memory, n, seed)
+
+
+def _floats(rng: random.Random, n: int) -> List[float]:
+    return [rng.uniform(-8.0, 8.0) for _ in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# Table 1 kernels
+# ---------------------------------------------------------------------------
+
+def _vecadd_inputs(memory: Memory, n: int, seed: int) -> KernelRun:
+    rng = random.Random(seed)
+    a = memory.alloc_array(ty.F32, _floats(rng, n))
+    b = memory.alloc_array(ty.F32, _floats(rng, n))
+    c = memory.alloc_array(ty.F32, [0.0] * n)
+    return KernelRun(args=[a, b, c, n], outputs=[(ty.F32, c, n)])
+
+
+def _saxpy_inputs(memory: Memory, n: int, seed: int) -> KernelRun:
+    rng = random.Random(seed)
+    x = memory.alloc_array(ty.F32, _floats(rng, n))
+    y = memory.alloc_array(ty.F32, _floats(rng, n))
+    return KernelRun(args=[n, 2.5, x, y], outputs=[(ty.F32, y, n)])
+
+
+def _dscal_inputs(memory: Memory, n: int, seed: int) -> KernelRun:
+    rng = random.Random(seed)
+    x = memory.alloc_array(ty.F64, _floats(rng, n))
+    return KernelRun(args=[n, 1.25, x], outputs=[(ty.F64, x, n)])
+
+
+def _u8_inputs(memory: Memory, n: int, seed: int) -> KernelRun:
+    rng = random.Random(seed)
+    a = memory.alloc_array(ty.U8, [rng.randrange(256) for _ in range(n)])
+    return KernelRun(args=[a, n])
+
+
+def _u16_inputs(memory: Memory, n: int, seed: int) -> KernelRun:
+    rng = random.Random(seed)
+    a = memory.alloc_array(ty.U16, [rng.randrange(65536)
+                                    for _ in range(n)])
+    return KernelRun(args=[a, n])
+
+
+TABLE1: Dict[str, Kernel] = {}
+EXTRA_KERNELS: Dict[str, Kernel] = {}
+
+
+def _register(table: Dict[str, Kernel], kernel: Kernel) -> Kernel:
+    table[kernel.name] = kernel
+    return kernel
+
+
+_register(TABLE1, Kernel(
+    name="vecadd_fp",
+    entry="vecadd",
+    category="table1",
+    elem="f32",
+    vectorizable=True,
+    make_inputs=_vecadd_inputs,
+    source="""
+void vecadd(float *a, float *b, float *c, int n) {
+    for (int i = 0; i < n; i++)
+        c[i] = a[i] + b[i];
+}
+"""))
+
+_register(TABLE1, Kernel(
+    name="saxpy_fp",
+    entry="saxpy",
+    category="table1",
+    elem="f32",
+    vectorizable=True,
+    make_inputs=_saxpy_inputs,
+    source="""
+void saxpy(int n, float a, float *x, float *y) {
+    for (int i = 0; i < n; i++)
+        y[i] = a * x[i] + y[i];
+}
+"""))
+
+_register(TABLE1, Kernel(
+    name="dscal_fp",
+    entry="dscal",
+    category="table1",
+    elem="f64",
+    vectorizable=True,
+    make_inputs=_dscal_inputs,
+    source="""
+void dscal(int n, double a, double *x) {
+    for (int i = 0; i < n; i++)
+        x[i] = a * x[i];
+}
+"""))
+
+_register(TABLE1, Kernel(
+    name="max_u8",
+    entry="max_u8",
+    category="table1",
+    elem="u8",
+    vectorizable=True,
+    make_inputs=_u8_inputs,
+    source="""
+int max_u8(unsigned char *a, int n) {
+    int m = 0;
+    for (int i = 0; i < n; i++)
+        if (a[i] > m)
+            m = a[i];
+    return m;
+}
+"""))
+
+_register(TABLE1, Kernel(
+    name="sum_u8",
+    entry="sum_u8",
+    category="table1",
+    elem="u8",
+    vectorizable=True,
+    make_inputs=_u8_inputs,
+    source="""
+int sum_u8(unsigned char *a, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++)
+        s += a[i];
+    return s;
+}
+"""))
+
+_register(TABLE1, Kernel(
+    name="sum_u16",
+    entry="sum_u16",
+    category="table1",
+    elem="u16",
+    vectorizable=True,
+    make_inputs=_u16_inputs,
+    source="""
+int sum_u16(unsigned short *a, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++)
+        s += a[i];
+    return s;
+}
+"""))
+
+
+# ---------------------------------------------------------------------------
+# Extra kernels (same code paths, broader coverage)
+# ---------------------------------------------------------------------------
+
+def _sdot_inputs(memory: Memory, n: int, seed: int) -> KernelRun:
+    rng = random.Random(seed)
+    x = memory.alloc_array(ty.F32, _floats(rng, n))
+    y = memory.alloc_array(ty.F32, _floats(rng, n))
+    return KernelRun(args=[x, y, n])
+
+
+def _fir_inputs(memory: Memory, n: int, seed: int) -> KernelRun:
+    rng = random.Random(seed)
+    taps = 8
+    signal = memory.alloc_array(ty.F32, _floats(rng, n + taps))
+    coeff = memory.alloc_array(ty.F32, _floats(rng, taps))
+    out = memory.alloc_array(ty.F32, [0.0] * n)
+    return KernelRun(args=[signal, coeff, out, n, taps],
+                     outputs=[(ty.F32, out, n)])
+
+
+def _i32_inputs(memory: Memory, n: int, seed: int) -> KernelRun:
+    rng = random.Random(seed)
+    a = memory.alloc_array(ty.I32, [rng.randrange(-1000, 1000)
+                                    for _ in range(n)])
+    return KernelRun(args=[a, n])
+
+
+def _prefix_inputs(memory: Memory, n: int, seed: int) -> KernelRun:
+    rng = random.Random(seed)
+    a = memory.alloc_array(ty.I32, [rng.randrange(0, 100)
+                                    for _ in range(n)])
+    return KernelRun(args=[a, n], outputs=[(ty.I32, a, n)])
+
+
+def _histogram_inputs(memory: Memory, n: int, seed: int) -> KernelRun:
+    rng = random.Random(seed)
+    data = memory.alloc_array(ty.U8, [rng.randrange(256)
+                                      for _ in range(n)])
+    bins = memory.alloc_array(ty.I32, [0] * 256)
+    return KernelRun(args=[data, bins, n], outputs=[(ty.I32, bins, 256)])
+
+
+_register(EXTRA_KERNELS, Kernel(
+    name="sdot",
+    entry="sdot",
+    category="extra",
+    elem="f32",
+    vectorizable=True,
+    make_inputs=_sdot_inputs,
+    source="""
+float sdot(float *x, float *y, int n) {
+    float s = 0.0f;
+    for (int i = 0; i < n; i++)
+        s += x[i] * y[i];
+    return s;
+}
+"""))
+
+_register(EXTRA_KERNELS, Kernel(
+    name="fir",
+    entry="fir",
+    category="extra",
+    elem="f32",
+    vectorizable=False,          # inner loop too short / not matched
+    make_inputs=_fir_inputs,
+    source="""
+void fir(float *signal, float *coeff, float *out, int n, int taps) {
+    for (int i = 0; i < n; i++) {
+        float acc = 0.0f;
+        for (int k = 0; k < taps; k++)
+            acc += signal[i + k] * coeff[k];
+        out[i] = acc;
+    }
+}
+"""))
+
+_register(EXTRA_KERNELS, Kernel(
+    name="minmax_i32",
+    entry="spread",
+    category="extra",
+    elem="i32",
+    vectorizable=True,
+    make_inputs=_i32_inputs,
+    source="""
+int spread(int *a, int n) {
+    int lo = 2147483647;
+    int hi = -2147483647 - 1;
+    for (int i = 0; i < n; i++)
+        if (a[i] < lo) lo = a[i];
+    for (int i = 0; i < n; i++)
+        if (a[i] > hi) hi = a[i];
+    return hi - lo;
+}
+"""))
+
+_register(EXTRA_KERNELS, Kernel(
+    name="prefix_sum",
+    entry="prefix",
+    category="extra",
+    elem="i32",
+    vectorizable=False,          # loop-carried dependence
+    make_inputs=_prefix_inputs,
+    source="""
+void prefix(int *a, int n) {
+    for (int i = 1; i < n; i++)
+        a[i] = a[i] + a[i - 1];
+}
+"""))
+
+_register(EXTRA_KERNELS, Kernel(
+    name="histogram",
+    entry="hist",
+    category="extra",
+    elem="u8",
+    vectorizable=False,          # indirect store
+    make_inputs=_histogram_inputs,
+    source="""
+void hist(unsigned char *data, int *bins, int n) {
+    for (int i = 0; i < n; i++)
+        bins[data[i]] = bins[data[i]] + 1;
+}
+"""))
+
+ALL_KERNELS: Dict[str, Kernel] = {**TABLE1, **EXTRA_KERNELS}
+
+
+def kernel_by_name(name: str) -> Kernel:
+    try:
+        return ALL_KERNELS[name]
+    except KeyError:
+        raise KeyError(f"unknown kernel {name!r}; "
+                       f"have {sorted(ALL_KERNELS)}") from None

@@ -1,0 +1,123 @@
+"""The signal-processing pipeline for the KPN experiments (S4c).
+
+Eight actors with deliberately mixed character:
+
+* vector-friendly elementwise stages (``gain``, ``mix``, ``clip``,
+  ``square``) that a SIMD core or DSP accelerates;
+* control-heavy recursive stages (``biquad``, ``envelope``, ``agc``)
+  that belong on a branch-friendly core;
+* a reduction (``rms_accum``).
+
+Topology (tee actors fork streams — KPN channels are
+single-consumer)::
+
+    in_l -gain-> g_l -biquad-> f_l -\
+                                     mix -> m -clip-> c -tee-> (c1, c2)
+    in_r -gain-> g_r -biquad-> f_r -/
+    c1 -envelope-> e ;  (c2, e) -agc-> a -tee-> (out_main, a2)
+    a2 -square-> sq -rms-> out_rms
+"""
+
+from __future__ import annotations
+
+from repro.kpn.graph import ProcessNetwork
+
+PIPELINE_SOURCE = """
+void gain(float *in, float *out, int n) {
+    for (int i = 0; i < n; i++)
+        out[i] = 0.7071f * in[i];
+}
+
+void biquad(float *in, float *out, int n) {
+    /* Direct-form I low-pass; loop-carried state: not vectorizable. */
+    float x1 = 0.0f; float x2 = 0.0f;
+    float y1 = 0.0f; float y2 = 0.0f;
+    for (int i = 0; i < n; i++) {
+        float x = in[i];
+        float y = 0.2929f * x + 0.5858f * x1 + 0.2929f * x2
+                - 0.0f * y1 - 0.1716f * y2;
+        x2 = x1; x1 = x;
+        y2 = y1; y1 = y;
+        out[i] = y;
+    }
+}
+
+void mix(float *a, float *b, float *out, int n) {
+    for (int i = 0; i < n; i++)
+        out[i] = 0.5f * a[i] + 0.5f * b[i];
+}
+
+void clip(float *in, float *out, int n) {
+    for (int i = 0; i < n; i++) {
+        float v = in[i];
+        if (v > 0.9f) v = 0.9f;
+        if (v < -0.9f) v = -0.9f;
+        out[i] = v;
+    }
+}
+
+void envelope(float *in, float *out, int n) {
+    /* Attack/release follower: branchy and recursive. */
+    float env = 0.0f;
+    for (int i = 0; i < n; i++) {
+        float v = in[i];
+        if (v < 0.0f) v = -v;
+        if (v > env)
+            env = env + 0.3f * (v - env);
+        else
+            env = env + 0.05f * (v - env);
+        out[i] = env;
+    }
+}
+
+void agc(float *in, float *env, float *out, int n) {
+    for (int i = 0; i < n; i++) {
+        float e = env[i];
+        float g2 = 1.0f;
+        if (e > 0.001f)
+            g2 = 0.5f / e;
+        if (g2 > 4.0f) g2 = 4.0f;
+        out[i] = in[i] * g2;
+    }
+}
+
+void square(float *in, float *out, int n) {
+    for (int i = 0; i < n; i++)
+        out[i] = in[i] * in[i];
+}
+
+void tee(float *in, float *out1, float *out2, int n) {
+    /* KPN channels are single-consumer; forking a stream is an
+       explicit copy actor. */
+    for (int i = 0; i < n; i++) {
+        out1[i] = in[i];
+        out2[i] = in[i];
+    }
+}
+
+void rms_accum(float *in, float *out, int n) {
+    float acc = 0.0f;
+    for (int i = 0; i < n; i++)
+        acc += in[i];
+    for (int i = 0; i < n; i++)
+        out[i] = acc / (float)n;
+}
+"""
+
+
+def build_pipeline(block_size: int = 64) -> ProcessNetwork:
+    """The 8-actor stereo pipeline used by the S4c experiment."""
+    network = ProcessNetwork("audio-pipeline", block_size=block_size)
+    network.add_actor("gain_l", "gain", ["in_l"], ["g_l"])
+    network.add_actor("gain_r", "gain", ["in_r"], ["g_r"])
+    network.add_actor("filter_l", "biquad", ["g_l"], ["f_l"])
+    network.add_actor("filter_r", "biquad", ["g_r"], ["f_r"])
+    network.add_actor("mixer", "mix", ["f_l", "f_r"], ["m"])
+    network.add_actor("clipper", "clip", ["m"], ["c"])
+    network.add_actor("tee1", "tee", ["c"], ["c1", "c2"])
+    network.add_actor("env", "envelope", ["c1"], ["e"])
+    network.add_actor("agc1", "agc", ["c2", "e"], ["a"])
+    network.add_actor("tee2", "tee", ["a"], ["out_main", "a2"])
+    network.add_actor("square1", "square", ["a2"], ["sq"])
+    network.add_actor("rms", "rms_accum", ["sq"], ["out_rms"])
+    return network

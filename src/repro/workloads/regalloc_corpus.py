@@ -1,0 +1,105 @@
+"""Register-pressure corpus for the split register allocation experiment.
+
+Functions with many simultaneously live values inside loops — the shape
+where the spill-choice policy matters.  Standing in for the paper's
+"standard Java benchmarks" (see DESIGN.md substitution table): the 40 %
+claim is about allocator quality under pressure, which these exhibit
+at every K we sweep.
+"""
+
+REGALLOC_CORPUS = {
+    # A polynomial evaluator with many live coefficients: the offline
+    # ranking keeps the loop-carried powers, the baseline evicts them.
+    "poly8": """
+int poly8(int *c, int *xs, int n) {
+    int acc = 0;
+    int c0 = c[0]; int c1 = c[1]; int c2 = c[2]; int c3 = c[3];
+    int c4 = c[4]; int c5 = c[5]; int c6 = c[6]; int c7 = c[7];
+    for (int i = 0; i < n; i++) {
+        int x = xs[i];
+        int x2 = x * x;
+        int x3 = x2 * x;
+        int x4 = x2 * x2;
+        int x5 = x4 * x;
+        int x6 = x4 * x2;
+        int x7 = x6 * x;
+        acc += c0 + c1 * x + c2 * x2 + c3 * x3
+             + c4 * x4 + c5 * x5 + c6 * x6 + c7 * x7;
+    }
+    return acc;
+}
+""",
+    # Several running statistics over one pass: many loop accumulators.
+    "stats": """
+int stats(int *a, int n) {
+    int s1 = 0; int s2 = 0; int mn = 2147483647; int mx = -2147483647;
+    int even = 0; int odd = 0; int run = 0; int best = 0;
+    for (int i = 0; i < n; i++) {
+        int v = a[i];
+        s1 += v;
+        s2 += v * v;
+        if (v < mn) mn = v;
+        if (v > mx) mx = v;
+        if ((v & 1) == 0) even++; else odd++;
+        if (v > 0) run++; else run = 0;
+        if (run > best) best = run;
+    }
+    return s1 + s2 + mn + mx + even + odd + best;
+}
+""",
+    # Unrolled-by-hand butterfly with long dependence chains.
+    "butterfly": """
+void butterfly(int *re, int *im, int n) {
+    for (int i = 0; i + 4 <= n; i += 4) {
+        int a0 = re[i];     int b0 = im[i];
+        int a1 = re[i + 1]; int b1 = im[i + 1];
+        int a2 = re[i + 2]; int b2 = im[i + 2];
+        int a3 = re[i + 3]; int b3 = im[i + 3];
+        int t0 = a0 + a2;   int t1 = a0 - a2;
+        int t2 = a1 + a3;   int t3 = a1 - a3;
+        int u0 = b0 + b2;   int u1 = b0 - b2;
+        int u2 = b1 + b3;   int u3 = b1 - b3;
+        re[i]     = t0 + t2;
+        re[i + 1] = t1 + u3;
+        re[i + 2] = t0 - t2;
+        re[i + 3] = t1 - u3;
+        im[i]     = u0 + u2;
+        im[i + 1] = u1 - t3;
+        im[i + 2] = u0 - u2;
+        im[i + 3] = u1 + t3;
+    }
+}
+""",
+    # A checksum with rotating state registers.
+    "checksum": """
+unsigned checksum(unsigned char *data, int n) {
+    unsigned h1 = 0x12345678u; unsigned h2 = 0x9abcdef0u;
+    unsigned h3 = 0x31415926u; unsigned h4 = 0x27182818u;
+    for (int i = 0; i + 4 <= n; i += 4) {
+        unsigned w1 = data[i];
+        unsigned w2 = data[i + 1];
+        unsigned w3 = data[i + 2];
+        unsigned w4 = data[i + 3];
+        h1 = (h1 ^ w1) * 16777619u + h4;
+        h2 = (h2 ^ w2) * 16777619u + h1;
+        h3 = (h3 ^ w3) * 16777619u + h2;
+        h4 = (h4 ^ w4) * 16777619u + h3;
+    }
+    return h1 ^ h2 ^ h3 ^ h4;
+}
+""",
+    # Matrix 4x4 multiply with fully unrolled accumulators.
+    "mat4": """
+void mat4(int *a, int *b, int *c) {
+    for (int i = 0; i < 4; i++) {
+        int a0 = a[i * 4 + 0]; int a1 = a[i * 4 + 1];
+        int a2 = a[i * 4 + 2]; int a3 = a[i * 4 + 3];
+        for (int j = 0; j < 4; j++) {
+            int acc = a0 * b[0 * 4 + j] + a1 * b[1 * 4 + j]
+                    + a2 * b[2 * 4 + j] + a3 * b[3 * 4 + j];
+            c[i * 4 + j] = acc;
+        }
+    }
+}
+""",
+}

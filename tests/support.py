@@ -1,0 +1,41 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.frontend import lower_source
+from repro.ir.function import Module
+from repro.ir.interp import IRInterpreter
+from repro.ir.verify import verify_function
+from repro.lang import types as ty
+from repro.semantics import Memory
+
+
+def lower_checked(source: str) -> Module:
+    """Lower MiniC source and verify every resulting function."""
+    module = lower_source(source)
+    for func in module:
+        verify_function(func)
+    return module
+
+
+def run_ir(source: str, name: str, args: Sequence,
+           arrays: Optional[Dict[str, Tuple[ty.Type, List]]] = None):
+    """Compile ``source``, allocate named arrays, call ``name``.
+
+    ``arrays`` maps argument placeholders to ``(elem_ty, values)``; the
+    placeholder string appearing in ``args`` is replaced by the
+    allocated address.  Returns ``(result, memory, addresses)``.
+    """
+    module = lower_checked(source)
+    memory = Memory()
+    addresses: Dict[str, int] = {}
+    if arrays:
+        for key, (elem_ty, values) in arrays.items():
+            addresses[key] = memory.alloc_array(elem_ty, values)
+    concrete = [addresses.get(a, a) if isinstance(a, str) else a
+                for a in args]
+    interp = IRInterpreter(module, memory)
+    result = interp.call(name, concrete)
+    return result, memory, addresses

@@ -1,0 +1,87 @@
+"""Iterative compilation tests."""
+
+import pytest
+
+from repro.iterative import (
+    Configuration, default_configuration, evaluate, hill_climb,
+    random_search,
+)
+from repro.iterative.search import all_configurations, compile_with
+from repro.targets import SPARC, X86, Simulator
+from repro.semantics import Memory
+from repro.workloads import ALL_KERNELS
+
+
+class TestConfigurationSpace:
+    def test_space_size(self):
+        assert len(all_configurations()) == 4 * 2 ** 5
+
+    def test_labels_unique(self):
+        labels = {c.label() for c in all_configurations()}
+        assert len(labels) == len(all_configurations())
+
+    def test_default_is_in_space(self):
+        assert default_configuration() in all_configurations()
+
+
+class TestEvaluation:
+    def test_every_configuration_is_correct(self):
+        """Sanity: a sample of configurations all compute the same
+        result (the optimizer may be slow, never wrong)."""
+        kernel = ALL_KERNELS["sum_u8"]
+        reference = None
+        sample = [
+            Configuration(1, False, False, False, False, False),
+            Configuration(4, False, True, True, True, True),
+            Configuration(2, True, True, True, True, True),
+            Configuration(8, True, False, True, False, True),
+        ]
+        for config in sample:
+            compiled = compile_with(kernel, config, X86)
+            memory = Memory(1 << 20)
+            run = kernel.prepare(memory, 75, seed=4)
+            value = Simulator(compiled, memory).run(kernel.entry,
+                                                    run.args).value
+            if reference is None:
+                reference = value
+            assert value == reference, config
+
+    def test_evaluate_returns_positive_cycles(self):
+        kernel = ALL_KERNELS["saxpy_fp"]
+        cycles = evaluate(kernel, default_configuration(), X86, n=64)
+        assert cycles > 0
+
+    def test_vectorize_toggle_matters_on_x86(self):
+        kernel = ALL_KERNELS["sum_u8"]
+        on = evaluate(kernel, Configuration(vectorize=True), X86, n=128)
+        off = evaluate(kernel, Configuration(vectorize=False), X86,
+                       n=128)
+        assert on < off / 4
+
+
+class TestSearch:
+    def test_hill_climb_never_worse_than_default(self):
+        kernel = ALL_KERNELS["prefix_sum"]
+        result = hill_climb(kernel, SPARC, budget=10, n=96)
+        assert result.best_cycles <= result.default_cycles
+        assert result.evaluations <= 10
+
+    def test_hill_climb_finds_unrolling_for_scalar_loop(self):
+        # prefix_sum cannot vectorize; unrolling is the only win.
+        kernel = ALL_KERNELS["prefix_sum"]
+        result = hill_climb(kernel, X86, budget=12, n=128)
+        assert result.improvement > 1.0
+        assert result.best.unroll > 1
+
+    def test_random_search_respects_budget(self):
+        kernel = ALL_KERNELS["fir"]
+        result = random_search(kernel, X86, budget=5, n=64)
+        assert result.evaluations == 6       # 5 samples + default
+        assert result.best_cycles <= result.default_cycles
+
+    def test_history_recorded(self):
+        kernel = ALL_KERNELS["sdot"]
+        result = random_search(kernel, X86, budget=4, n=64)
+        assert len(result.history) == 4
+        for config, cycles in result.history:
+            assert cycles > 0

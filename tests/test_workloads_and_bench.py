@@ -1,0 +1,76 @@
+"""Workload corpus sanity and experiment-harness tests."""
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.experiments import run_table1
+from repro.bench.paperdata import PAPER_TABLE1_RELATIVE
+from repro.core import offline_compile
+from repro.semantics import Memory
+from repro.vm import VM
+from repro.workloads import (
+    ALL_KERNELS, EXTRA_KERNELS, REGALLOC_CORPUS, TABLE1, kernel_by_name,
+)
+
+
+class TestCorpus:
+    def test_table1_has_the_papers_six_kernels(self):
+        assert set(TABLE1) == {"vecadd_fp", "saxpy_fp", "dscal_fp",
+                               "max_u8", "sum_u8", "sum_u16"}
+
+    def test_paper_data_covers_all_cells(self):
+        for kernel in TABLE1:
+            for target in ("x86", "sparc", "ppc"):
+                assert (kernel, target) in PAPER_TABLE1_RELATIVE
+
+    def test_lookup_helper(self):
+        assert kernel_by_name("sdot").entry == "sdot"
+        with pytest.raises(KeyError):
+            kernel_by_name("nope")
+
+    @pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+    def test_every_kernel_compiles_and_runs(self, name):
+        kernel = ALL_KERNELS[name]
+        artifact = offline_compile(kernel.source)
+        memory = Memory()
+        run = kernel.prepare(memory, 24, seed=1)
+        VM(artifact.bytecode, memory=memory).call(kernel.entry, run.args)
+
+    @pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+    def test_vectorizable_flag_accurate(self, name):
+        kernel = ALL_KERNELS[name]
+        artifact = offline_compile(kernel.source)
+        vectorized = kernel.entry in artifact.vectorized_functions
+        assert vectorized == kernel.vectorizable, \
+            f"{name}: flag says {kernel.vectorizable}, got {vectorized}"
+
+    def test_inputs_deterministic_per_seed(self):
+        kernel = TABLE1["sum_u8"]
+        m1, m2 = Memory(), Memory()
+        r1 = kernel.prepare(m1, 32, seed=9)
+        r2 = kernel.prepare(m2, 32, seed=9)
+        from repro.lang import types as ty
+        assert m1.read_array(ty.U8, r1.args[0], 32) == \
+            m2.read_array(ty.U8, r2.args[0], 32)
+
+    @pytest.mark.parametrize("name", sorted(REGALLOC_CORPUS))
+    def test_regalloc_corpus_compiles(self, name):
+        artifact = offline_compile(REGALLOC_CORPUS[name],
+                                   do_vectorize=False)
+        assert name in artifact.bytecode.functions
+
+
+class TestHarness:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long header"],
+                            [(1, 2.5), ("xyz", 3)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_run_table1_subset(self):
+        from repro.targets import X86
+        rows = run_table1(n=64, targets=(X86,), kernels=["sum_u8"])
+        assert len(rows) == 1
+        assert rows[0].relative > 1.0
+        assert rows[0].paper_relative == 5.3
