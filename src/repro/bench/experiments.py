@@ -10,9 +10,9 @@ from repro.bench.paperdata import PAPER_TABLE1_RELATIVE
 from repro.bytecode.encode import encoded_code_size
 from repro.core import (
     Core, DeploymentManager, Platform, compare_flows, deploy,
-    offline_compile,
 )
 from repro.lang import types as ty
+from repro.service import default_service
 from repro.semantics import Memory
 from repro.targets import DSP, HOST, PPC, SPARC, X86
 from repro.targets.machine import TargetDesc
@@ -54,17 +54,18 @@ def run_table1(n: int = 512, seed: int = 7,
                targets: Sequence[TargetDesc] = TABLE1_TARGETS,
                kernels: Optional[Sequence[str]] = None) -> List[Table1Row]:
     """Scalar vs split-vectorized cycles for every kernel × target."""
+    service = default_service()
     rows: List[Table1Row] = []
     names = kernels if kernels is not None else list(TABLE1)
     for name in names:
         kernel = TABLE1[name]
-        artifact = offline_compile(kernel.source)
-        assert kernel.entry in " ".join(artifact.vectorized_functions) \
-            or artifact.vectorized_functions, \
+        artifact = service.artifact(kernel.source)
+        assert kernel.entry in artifact.vectorized_functions, \
             f"{name} failed to vectorize offline"
         for target in targets:
-            scalar = deploy(artifact, target, "offline-only")
-            vector = deploy(artifact, target, "split")
+            scalar = deploy(artifact, target, "offline-only",
+                            service=service)
+            vector = deploy(artifact, target, "split", service=service)
             r_scalar = _simulate_kernel(kernel, scalar, n, seed)
             r_vector = _simulate_kernel(kernel, vector, n, seed)
             if r_scalar.value != r_vector.value:
@@ -83,13 +84,15 @@ def run_split_flow(kernel_name: str = "saxpy_fp",
                    target: TargetDesc = X86,
                    n: int = 512, seed: int = 7) -> List:
     """The three deployment flows of Figure 1 on one kernel."""
+    service = default_service()
     kernel = TABLE1[kernel_name]
-    artifact = offline_compile(kernel.source)
+    artifact = service.artifact(kernel.source)
 
     def make_args(memory: Memory):
         return kernel.prepare(memory, n, seed).args
 
-    return compare_flows(artifact, target, kernel.entry, make_args)
+    return compare_flows(artifact, target, kernel.entry, make_args,
+                         service=service)
 
 
 def run_jit_budget(target: TargetDesc = X86, n: int = 256,
@@ -191,7 +194,7 @@ def run_split_regalloc(k_values: Sequence[int] = (6, 8, 10, 12, 16),
     }
     rows: List[RegAllocRow] = []
     for name, source in REGALLOC_CORPUS.items():
-        artifact = offline_compile(source, do_vectorize=False)
+        artifact = default_service().artifact(source, do_vectorize=False)
         for k in k_values:
             target = replace(X86, name=f"x86k{k}", int_regs=k)
             spills = {}
@@ -231,13 +234,15 @@ class CodeSizeRow:
 
 def run_code_size(targets: Sequence[TargetDesc] = TABLE1_TARGETS) \
         -> List[CodeSizeRow]:
+    service = default_service()
     rows: List[CodeSizeRow] = []
     for name, kernel in ALL_KERNELS.items():
-        artifact = offline_compile(kernel.source, do_vectorize=False)
+        artifact = service.artifact(kernel.source, do_vectorize=False)
         pvi = sum(encoded_code_size(f) for f in artifact.scalar_bytecode)
         row = CodeSizeRow(kernel=name, pvi_bytes=pvi)
         for target in targets:
-            compiled = deploy(artifact, target, "offline-only")
+            compiled = deploy(artifact, target, "offline-only",
+                              service=service)
             row.native[target.name] = compiled.total_code_bytes
         rows.append(row)
     return rows
@@ -299,11 +304,13 @@ class KPNRow:
 
 def run_kpn(blocks: int = 64) -> List[KPNRow]:
     from repro.kpn import (
-        estimate_costs, greedy_map, host_only_map, simulate_makespan,
+        deploy_actor_images, estimate_costs, greedy_map, host_only_map,
+        simulate_makespan,
     )
     from repro.workloads.pipeline import PIPELINE_SOURCE, build_pipeline
 
-    artifact = offline_compile(PIPELINE_SOURCE)
+    service = default_service()
+    artifact = service.artifact(PIPELINE_SOURCE)
     network = build_pipeline()
     platforms = [
         Platform("host x4", [Core(HOST, 4)]),
@@ -313,7 +320,9 @@ def run_kpn(blocks: int = 64) -> List[KPNRow]:
     ]
     rows: List[KPNRow] = []
     for platform in platforms:
-        manager = DeploymentManager(platform)
+        # The three platforms overlap in core kinds; the service memo
+        # means each kind's JIT runs once across the whole experiment.
+        manager = DeploymentManager(platform, service=service)
         images = manager.install(artifact)
         costs = estimate_costs(network, images, platform)
         baseline = simulate_makespan(
@@ -322,6 +331,12 @@ def run_kpn(blocks: int = 64) -> List[KPNRow]:
         mapping = greedy_map(network, platform, costs)
         mapped = simulate_makespan(network, platform, mapping, costs,
                                    blocks)
+        actor_images = deploy_actor_images(network, artifact, platform,
+                                           mapping, service)
+        for actor, core in mapping.assignment.items():
+            kind = platform.core_list()[core].name
+            assert actor_images[actor] is images[kind], \
+                "service returned a different image than the install"
         cores = platform.core_list()
         rows.append(KPNRow(
             platform=platform.name,

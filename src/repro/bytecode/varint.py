@@ -32,9 +32,17 @@ def read_uint(raw: bytes, pos: int) -> Tuple[int, int]:
 
 
 def write_sint(out: bytearray, value: int) -> None:
-    """Zig-zag signed LEB128 (Python's arbitrary-precision ``>>`` acts
-    as an arithmetic shift, so this matches the 64-bit formulation)."""
-    write_uint(out, (value << 1) ^ (value >> 127))
+    """Width-independent zig-zag signed LEB128.
+
+    The classic C formulation ``(v << 1) ^ (v >> 63)`` bakes a word
+    width into the sign-replicating shift; with Python's
+    arbitrary-precision integers any fixed width silently corrupts
+    values of magnitude >= 2**width (a hard-coded ``>> 127`` broke at
+    the 128-bit boundary).  ``~(v << 1)`` is the same interleaving —
+    ``-(v << 1) - 1``, mapping -1, -2, ... to 1, 3, ... — for *any*
+    magnitude, so no width assumption is needed at all.
+    """
+    write_uint(out, (value << 1) if value >= 0 else ~(value << 1))
 
 
 def read_sint(raw: bytes, pos: int) -> Tuple[int, int]:

@@ -39,16 +39,18 @@ class FlowReport:
 def compare_flows(artifact: OfflineArtifact, target: TargetDesc,
                   entry: str, make_args: Callable[[Memory], List],
                   flows: tuple = ("offline-only", "online-only", "split"),
-                  ) -> List[FlowReport]:
+                  service=None) -> List[FlowReport]:
     """Deploy + run ``entry`` under each flow on ``target``.
 
     ``make_args`` receives a fresh :class:`Memory` per flow and returns
     the argument list (allocating any arrays it needs); per-flow
-    memories keep the runs independent.
+    memories keep the runs independent.  A compilation ``service``
+    makes repeated comparisons reuse their compiled images (the work
+    counters come from the first, identical compilation).
     """
     reports: List[FlowReport] = []
     for flow in flows:
-        compiled = deploy(artifact, target, flow)
+        compiled = deploy(artifact, target, flow, service=service)
         memory = Memory()
         args = make_args(memory)
         result = Simulator(compiled, memory).run(entry, args)

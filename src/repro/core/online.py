@@ -29,9 +29,18 @@ def select_bytecode(artifact: OfflineArtifact, flow: str) \
 
 
 def deploy(source: Union[OfflineArtifact, BytecodeModule],
-           target: TargetDesc, flow: str = "split") -> CompiledModule:
-    """Compile the right bytecode flavour for ``target`` under ``flow``."""
+           target: TargetDesc, flow: str = "split",
+           service=None) -> CompiledModule:
+    """Compile the right bytecode flavour for ``target`` under ``flow``.
+
+    With a :class:`~repro.service.CompilationService` passed as
+    ``service``, artifact deployments are memoized per
+    ``(artifact, target, flow)`` — repeated flows hit the service's
+    image cache instead of re-running the JIT.
+    """
     if isinstance(source, OfflineArtifact):
+        if service is not None:
+            return service.deploy(source, target, flow)
         bytecode = select_bytecode(source, flow)
     else:
         bytecode = source

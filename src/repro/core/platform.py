@@ -54,11 +54,20 @@ class Platform:
 
 
 class DeploymentManager:
-    """Installs one application (bytecode) on every core kind."""
+    """Installs one application (bytecode) on every core kind.
 
-    def __init__(self, platform: Platform, flow: str = "split"):
+    Given a :class:`~repro.service.CompilationService` it installs
+    through the service instead: all core kinds are JIT-compiled
+    concurrently and every image is memoized, so re-installing the
+    same artifact (or installing it on an overlapping platform) reuses
+    the images instead of recompiling.
+    """
+
+    def __init__(self, platform: Platform, flow: str = "split",
+                 service=None):
         self.platform = platform
         self.flow = flow
+        self.service = service
         self.installed: Dict[str, CompiledModule] = {}
         self._bytecode: Optional[BytecodeModule] = None
 
@@ -66,10 +75,14 @@ class DeploymentManager:
             -> Dict[str, CompiledModule]:
         """JIT the module once per core kind; returns the images."""
         self.installed = {}
-        for target in self.platform.kinds():
-            if target.name not in self.installed:
-                self.installed[target.name] = deploy(source, target,
-                                                     self.flow)
+        if self.service is not None and isinstance(source, OfflineArtifact):
+            self.installed = dict(self.service.deploy_many(
+                source, self.platform.kinds(), self.flow))
+        else:
+            for target in self.platform.kinds():
+                if target.name not in self.installed:
+                    self.installed[target.name] = deploy(source, target,
+                                                         self.flow)
         if isinstance(source, OfflineArtifact):
             self._bytecode = source.bytecode if self.flow == "split" \
                 else source.scalar_bytecode

@@ -18,11 +18,12 @@ and composable concurrency".  This package provides:
 from repro.kpn.graph import Actor, Channel, ProcessNetwork
 from repro.kpn.runtime import NetworkRuntime
 from repro.kpn.mapping import (
-    Mapping, estimate_costs, greedy_map, host_only_map, simulate_makespan,
+    Mapping, deploy_actor_images, estimate_costs, greedy_map,
+    host_only_map, simulate_makespan,
 )
 
 __all__ = [
     "Actor", "Channel", "ProcessNetwork", "NetworkRuntime",
-    "Mapping", "estimate_costs", "greedy_map", "host_only_map",
-    "simulate_makespan",
+    "Mapping", "deploy_actor_images", "estimate_costs", "greedy_map",
+    "host_only_map", "simulate_makespan",
 ]

@@ -68,6 +68,29 @@ def estimate_costs(network: ProcessNetwork, images: Dict[str, object],
     return table
 
 
+def deploy_actor_images(network: ProcessNetwork, artifact,
+                        platform: Platform, mapping: "Mapping",
+                        service, flow: str = "split") -> Dict[str, object]:
+    """Deploy each actor's bytecode to its mapped core through the
+    compilation service.
+
+    Returns actor name -> :class:`CompiledModule` for the core kind
+    the mapping placed it on.  The service compiles each *kind* at
+    most once (concurrently, memoized), however many actors share it —
+    the once-compile/many-deploy shape of the paper's Figure 1 applied
+    to a process network.
+    """
+    cores = platform.core_list()
+    kinds_needed = {}
+    for actor in network.actors:
+        target = cores[mapping.core_of(actor)]
+        kinds_needed[target.name] = target
+    images = service.deploy_many(artifact, list(kinds_needed.values()),
+                                 flow)
+    return {actor: images[cores[mapping.core_of(actor)].name]
+            for actor in network.actors}
+
+
 def host_only_map(network: ProcessNetwork, platform: Platform,
                   host_name: str = "host") -> Mapping:
     cores = platform.core_list()

@@ -1,0 +1,199 @@
+"""The compilation service: split compilation as a serving layer.
+
+The paper's economics — expensive µproc-independent analysis offline,
+cheap µproc-specific JIT online — only pay off if the offline work is
+actually *reused*.  :class:`CompilationService` is the facade that
+enforces the reuse:
+
+* :mod:`repro.service.cache` — content-addressed artifact cache keyed
+  by ``sha256(source, offline options)``, LRU in memory with optional
+  on-disk persistence of the binary PVI encoding;
+* :mod:`repro.service.deployment` — concurrent multi-target deployment
+  with a per-``(artifact, target, flow)`` image memo;
+* :mod:`repro.service.requests` — the batch request/response API with
+  hit/miss/latency accounting.
+
+Every higher layer (``core.online.deploy``, the platform
+``DeploymentManager``, the KPN mapper, the experiment harness) can
+route through one service instance so repeated flows hit the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.offline import OfflineArtifact, offline_compile
+from repro.service.cache import (
+    ArtifactCache, CacheStats, artifact_fingerprint, artifact_key,
+    canonical_options, deserialize_artifact, serialize_artifact,
+)
+from repro.service.deployment import DeploymentPool, DeployStats
+from repro.service.requests import (
+    CompileOutcome, CompileRequest, DeployResult, ServiceStats,
+    TargetDeployment,
+)
+from repro.targets.isa import CompiledModule
+from repro.targets.machine import TargetDesc
+
+__all__ = [
+    "ArtifactCache", "CacheStats", "artifact_key", "artifact_fingerprint",
+    "canonical_options", "serialize_artifact", "deserialize_artifact",
+    "DeploymentPool", "DeployStats",
+    "CompileRequest", "CompileOutcome", "DeployResult",
+    "TargetDeployment", "ServiceStats",
+    "CompilationService", "default_service", "reset_default_service",
+]
+
+
+class CompilationService:
+    """Facade tying the artifact cache to the deployment pool.
+
+    One instance per process is the intended shape (see
+    :func:`default_service`); everything on it is safe to call from
+    multiple threads.  Compilation of the *same* key racing on two
+    threads may run twice — both results are identical and the second
+    store is idempotent, so this costs time, never correctness.
+    """
+
+    def __init__(self, cache: Optional[ArtifactCache] = None,
+                 cache_capacity: int = 64,
+                 persist_dir: Optional[Path] = None,
+                 max_workers: Optional[int] = None):
+        self.cache = cache if cache is not None else \
+            ArtifactCache(cache_capacity, persist_dir)
+        self.pool = DeploymentPool(max_workers=max_workers)
+        self._counter_lock = threading.Lock()
+        self._requests = 0
+        self._offline_latency = 0.0
+        self._deploy_latency = 0.0
+
+    def shutdown(self) -> None:
+        self.pool.shutdown()
+
+    # -- offline half -------------------------------------------------------
+
+    def compile(self, source: str, name: str = "module",
+                **options) -> CompileOutcome:
+        """Offline-compile through the cache."""
+        start = time.perf_counter()
+        key = artifact_key(source, name, options or None)
+        artifact = self.cache.get(key)
+        hit = artifact is not None
+        if artifact is None:
+            artifact = offline_compile(source, name,
+                                       **canonical_options(options or None))
+            # Remember the content address so deployment keys line up
+            # with the cache key without re-encoding the modules.
+            artifact._pvi_fingerprint = key
+            self.cache.put(key, artifact)
+        latency = time.perf_counter() - start
+        with self._counter_lock:
+            self._offline_latency += latency
+        return CompileOutcome(artifact=artifact, key=key, cache_hit=hit,
+                              latency=latency)
+
+    def artifact(self, source: str, name: str = "module",
+                 **options) -> OfflineArtifact:
+        """Drop-in replacement for ``offline_compile`` (cached)."""
+        return self.compile(source, name, **options).artifact
+
+    # -- online half --------------------------------------------------------
+
+    def deploy(self, artifact: OfflineArtifact, target: TargetDesc,
+               flow: str = "split") -> CompiledModule:
+        """Compile (or reuse) one image for one target."""
+        start = time.perf_counter()
+        image = self.pool.deploy_one(artifact, target, flow)
+        with self._counter_lock:
+            self._deploy_latency += time.perf_counter() - start
+        return image
+
+    def deploy_many(self, artifact: OfflineArtifact,
+                    targets: Sequence[TargetDesc], flow: str = "split",
+                    concurrent: bool = True) -> Dict[str, CompiledModule]:
+        """Fan one artifact out over a target catalog."""
+        start = time.perf_counter()
+        images = self.pool.deploy_many(artifact, targets, flow,
+                                       concurrent=concurrent)
+        with self._counter_lock:
+            self._deploy_latency += time.perf_counter() - start
+        return images
+
+    # -- batch API ----------------------------------------------------------
+
+    def submit(self, request: CompileRequest) -> DeployResult:
+        """Serve one request end to end: cache, then fan-out."""
+        start = time.perf_counter()
+        with self._counter_lock:
+            self._requests += 1
+        outcome = self.compile(request.source, request.name,
+                               **(request.options or {}))
+        deploy_start = time.perf_counter()
+        info = self.pool.deploy_many_info(outcome.artifact,
+                                          request.targets, request.flow)
+        with self._counter_lock:
+            self._deploy_latency += time.perf_counter() - deploy_start
+        deployments = {}
+        for name, (compiled, reused) in info.items():
+            # memo_hit means this request did not trigger the JIT —
+            # either the image was memoized or another thread's
+            # in-flight compilation was joined; only a triggering
+            # request is charged the JIT time.
+            deployments[name] = TargetDeployment(
+                target=name,
+                compiled=compiled,
+                memo_hit=reused,
+                latency=0.0 if reused else sum(
+                    f.jit_time for f in compiled.functions.values()))
+        return DeployResult(
+            name=request.name,
+            artifact_key=outcome.key,
+            artifact_cache_hit=outcome.cache_hit,
+            offline_latency=outcome.latency,
+            deployments=deployments,
+            total_latency=time.perf_counter() - start)
+
+    def submit_batch(self, requests: Iterable[CompileRequest]) \
+            -> List[DeployResult]:
+        return [self.submit(request) for request in requests]
+
+    # -- observability ------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        cache = self.cache.stats
+        pool = self.pool.stats
+        return ServiceStats(
+            artifact_hits=cache.hits,
+            artifact_disk_hits=cache.disk_hits,
+            artifact_misses=cache.misses,
+            artifact_evictions=cache.evictions,
+            deploy_compiles=pool.compiles,
+            deploy_memo_hits=pool.memo_hits,
+            requests=self._requests,
+            total_offline_latency=self._offline_latency,
+            total_deploy_latency=self._deploy_latency)
+
+
+_DEFAULT: Optional[CompilationService] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_service() -> CompilationService:
+    """The process-wide service instance (created on first use)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            _DEFAULT = CompilationService()
+        return _DEFAULT
+
+
+def reset_default_service() -> None:
+    """Drop the process-wide instance (tests use this for isolation)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is not None:
+            _DEFAULT.shutdown()
+        _DEFAULT = None

@@ -1,0 +1,248 @@
+"""Content-addressed artifact cache for the compilation service.
+
+The offline step is the expensive, µproc-independent half of Figure 1;
+its whole point is to run *once* per program and be reused by every
+deployment.  This module makes that concrete: offline artifacts are
+keyed by ``sha256(source, offline options)`` so any two requests for
+the same compilation share one artifact, across an in-memory LRU and
+(optionally) an on-disk store that survives the process.
+
+Persistence reuses the binary PVI serialization (`encode_module` /
+`decode_module`) for both bytecode flavours, plus a small JSON metadata
+sidecar carrying the fields of :class:`OfflineArtifact` that the
+bytecode itself does not record (analysis work, vectorized functions).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.bytecode.encode import decode_module, encode_module
+from repro.bytecode.varint import read_bytes, write_bytes
+from repro.core.offline import OfflineArtifact, offline_compile
+
+#: magic prefix of a persisted artifact file (PVI Artifact, version 1)
+ARTIFACT_MAGIC = b"PVA1"
+
+#: default options of :func:`repro.core.offline.offline_compile` — the
+#: key canonicalization fills these in so explicit-default and implicit
+#: calls hash identically.  Derived from the signature (its options are
+#: exactly the keyword-only parameters) so adding or re-defaulting an
+#: offline option can never silently desynchronize the cache key.
+DEFAULT_OFFLINE_OPTIONS: Dict[str, object] = {
+    param.name: param.default
+    for param in inspect.signature(offline_compile).parameters.values()
+    if param.kind == inspect.Parameter.KEYWORD_ONLY
+}
+
+
+def canonical_options(options: Optional[Dict[str, object]] = None) \
+        -> Dict[str, object]:
+    """Fill defaults and reject unknown offline options."""
+    merged = dict(DEFAULT_OFFLINE_OPTIONS)
+    if options:
+        unknown = set(options) - set(DEFAULT_OFFLINE_OPTIONS)
+        if unknown:
+            raise ValueError(f"unknown offline options {sorted(unknown)}; "
+                             f"have {sorted(DEFAULT_OFFLINE_OPTIONS)}")
+        merged.update(options)
+    hotness = merged["hotness"]
+    if hotness is not None:
+        merged["hotness"] = {name: int(w)
+                             for name, w in sorted(hotness.items())}
+    return merged
+
+
+def artifact_key(source: str, name: str = "module",
+                 options: Optional[Dict[str, object]] = None) -> str:
+    """Content address of one offline compilation.
+
+    Covers everything that determines the artifact: the program text,
+    the module name (it is embedded in the bytecode) and the full
+    canonicalized option set.
+    """
+    payload = json.dumps(
+        {"source": source, "name": name,
+         "options": canonical_options(options)},
+        sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def artifact_fingerprint(artifact: OfflineArtifact) -> str:
+    """Content address of an already-built artifact (deployment key).
+
+    Used when a caller hands the deployment layer an artifact that did
+    not come through the cache: the hash of both encoded bytecode
+    flavours identifies it exactly.  Memoized on the artifact object —
+    encoding is linear but not free.
+    """
+    cached = getattr(artifact, "_pvi_fingerprint", None)
+    if cached is None:
+        digest = hashlib.sha256()
+        digest.update(encode_module(artifact.bytecode))
+        digest.update(encode_module(artifact.scalar_bytecode))
+        cached = digest.hexdigest()
+        artifact._pvi_fingerprint = cached
+    return cached
+
+
+# ---------------------------------------------------------------------------
+# serialization
+# ---------------------------------------------------------------------------
+
+def serialize_artifact(artifact: OfflineArtifact) -> bytes:
+    """Artifact -> bytes: magic, JSON metadata sidecar, both modules."""
+    meta = {
+        "name": artifact.name,
+        "offline_work": artifact.offline_work,
+        "offline_time": artifact.offline_time,
+        "vectorized_functions": list(artifact.vectorized_functions),
+    }
+    out = bytearray()
+    out.extend(ARTIFACT_MAGIC)
+    write_bytes(out, json.dumps(meta, sort_keys=True).encode("utf-8"))
+    write_bytes(out, encode_module(artifact.bytecode))
+    write_bytes(out, encode_module(artifact.scalar_bytecode))
+    return bytes(out)
+
+
+def deserialize_artifact(raw: bytes) -> OfflineArtifact:
+    if raw[:4] != ARTIFACT_MAGIC:
+        raise ValueError("not a persisted PVI artifact (bad magic)")
+    pos = 4
+    meta_raw, pos = read_bytes(raw, pos)
+    meta = json.loads(meta_raw.decode("utf-8"))
+    bytecode_raw, pos = read_bytes(raw, pos)
+    scalar_raw, pos = read_bytes(raw, pos)
+    return OfflineArtifact(
+        name=meta["name"],
+        bytecode=decode_module(bytecode_raw),
+        scalar_bytecode=decode_module(scalar_raw),
+        offline_work=int(meta["offline_work"]),
+        offline_time=float(meta["offline_time"]),
+        vectorized_functions=list(meta["vectorized_functions"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# the cache
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    hits: int = 0              # served from the in-memory LRU
+    disk_hits: int = 0         # revived from the persistence directory
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    corrupt_entries: int = 0   # unreadable disk entries (dropped)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.disk_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        if lookups == 0:
+            return 0.0
+        return (self.hits + self.disk_hits) / lookups
+
+
+class ArtifactCache:
+    """In-memory LRU over content-addressed artifacts, with optional
+    on-disk persistence.
+
+    ``get``/``put`` are thread-safe; the deployment pool calls them
+    from worker threads.  Disk entries outlive LRU eviction, so an
+    evicted artifact costs a decode instead of a full recompilation.
+    """
+
+    def __init__(self, capacity: int = 64,
+                 persist_dir: Optional[Path] = None):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.persist_dir = Path(persist_dir) if persist_dir else None
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, OfflineArtifact]" = OrderedDict()
+        self._lock = threading.Lock()
+        if self.persist_dir is not None:
+            self.persist_dir.mkdir(parents=True, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[OfflineArtifact]:
+        with self._lock:
+            artifact = self._entries.get(key)
+            if artifact is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return artifact
+        artifact = self._load_persisted(key)
+        if artifact is not None:
+            # The cache key IS the content address; pin it so the
+            # deployment memo sees the same identity as the in-memory
+            # copy it replaces.
+            artifact._pvi_fingerprint = key
+            with self._lock:
+                self.stats.disk_hits += 1
+                self._insert(key, artifact)
+            return artifact
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def put(self, key: str, artifact: OfflineArtifact) -> None:
+        if getattr(artifact, "_pvi_fingerprint", None) is None:
+            artifact._pvi_fingerprint = key
+        with self._lock:
+            self.stats.stores += 1
+            self._insert(key, artifact)
+        if self.persist_dir is not None:
+            path = self._path(key)
+            if not path.exists():
+                path.write_bytes(serialize_artifact(artifact))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # -- internals ----------------------------------------------------------
+
+    def _insert(self, key: str, artifact: OfflineArtifact) -> None:
+        self._entries[key] = artifact
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _path(self, key: str) -> Path:
+        return self.persist_dir / f"{key}.pvia"
+
+    def _load_persisted(self, key: str) -> Optional[OfflineArtifact]:
+        if self.persist_dir is None:
+            return None
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            return deserialize_artifact(path.read_bytes())
+        except Exception:
+            # A truncated or corrupted entry degrades to a miss (and a
+            # recompile overwrites it); it must never take the service
+            # down.
+            self.stats.corrupt_entries += 1
+            path.unlink(missing_ok=True)
+            return None

@@ -1,0 +1,186 @@
+"""Concurrent multi-target deployment with per-target memoization.
+
+Deployment is the µproc-*specific* half of Figure 1: one JIT
+invocation per ``(artifact, target, flow)`` triple.  The seed code ran
+these serially, one target at a time; this manager fans a whole target
+catalog out across a :class:`~concurrent.futures.ThreadPoolExecutor`
+and memoizes every compiled image, so a triple is JIT-compiled at most
+once per process no matter how many platforms, experiments or requests
+ask for it.
+
+In-flight deduplication: if two threads request the same triple
+concurrently, the second blocks on the first's future instead of
+compiling twice — the once-compile/many-deploy economics the paper
+argues for, enforced under concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.offline import OfflineArtifact
+from repro.core.online import FLOWS, select_bytecode
+from repro.jit import compile_for_target
+from repro.service.cache import artifact_fingerprint
+from repro.targets.isa import CompiledModule
+from repro.targets.machine import TargetDesc
+
+#: memoization key of one compiled image: (artifact hash, target
+#: descriptor, flow).  The target component is the full dataclass
+#: repr, not just the name — two targets sharing a name but differing
+#: in registers or cost model must not alias to one image.
+DeployKey = Tuple[str, str, str]
+
+
+@dataclass
+class DeployStats:
+    compiles: int = 0          # actual JIT invocations
+    memo_hits: int = 0         # served from the image memo
+    evictions: int = 0         # finished images dropped at capacity
+
+    @property
+    def requests(self) -> int:
+        return self.compiles + self.memo_hits
+
+
+class DeploymentPool:
+    """Memoizing, concurrency-safe JIT front door.
+
+    ``deploy_one`` compiles (or reuses) a single image; ``deploy_many``
+    fans one artifact out over N targets through the shared executor.
+    The memo is bounded (LRU over finished images, ``max_images``) and
+    failed compilations are never cached — a raising deploy re-runs on
+    the next request instead of poisoning the triple.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 max_images: int = 512):
+        if max_images < 1:
+            raise ValueError("max_images must be >= 1")
+        self._images: "OrderedDict[DeployKey, Future]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="pvi-deploy")
+        self.max_images = max_images
+        self.stats = DeployStats()
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    # -- public API ---------------------------------------------------------
+
+    def deploy_one(self, artifact: OfflineArtifact, target: TargetDesc,
+                   flow: str = "split") -> CompiledModule:
+        return self._image_future(artifact, target, flow)[0].result()
+
+    def deploy_many(self, artifact: OfflineArtifact,
+                    targets: Sequence[TargetDesc], flow: str = "split",
+                    concurrent: bool = True) -> Dict[str, CompiledModule]:
+        """Compile ``artifact`` for every target; returns name -> image.
+
+        Duplicate targets in the catalog collapse onto one compilation.
+        ``concurrent=False`` degrades to a serial loop (the benchmark
+        baseline and a debugging aid).
+        """
+        info = self.deploy_many_info(artifact, targets, flow,
+                                     concurrent=concurrent)
+        return {name: image for name, (image, _) in info.items()}
+
+    def deploy_many_info(self, artifact: OfflineArtifact,
+                         targets: Sequence[TargetDesc],
+                         flow: str = "split", concurrent: bool = True) \
+            -> Dict[str, Tuple[CompiledModule, bool]]:
+        """Like :meth:`deploy_many`, returning name -> (image, reused).
+
+        ``reused`` is True when this call did not trigger the
+        compilation — the image was memoized or already in flight on
+        another thread's behalf.
+        """
+        if flow not in FLOWS:
+            raise ValueError(f"unknown flow {flow!r}; expected one "
+                             f"of {FLOWS}")
+        if not concurrent:
+            out = {}
+            for target in targets:
+                future, created = self._image_future(artifact, target,
+                                                     flow)
+                out[target.name] = (future.result(), not created)
+            return out
+        futures = {}
+        for target in targets:
+            future, created = self._image_future(artifact, target, flow)
+            reused = futures.get(target.name, (None, True))[1] and \
+                not created
+            futures[target.name] = (future, reused)
+        return {name: (future.result(), reused)
+                for name, (future, reused) in futures.items()}
+
+    def cached_image(self, artifact: OfflineArtifact, target: TargetDesc,
+                     flow: str = "split") -> Optional[CompiledModule]:
+        """The memoized image if it is already built, else ``None``
+        (never triggers a compilation, never raises)."""
+        key = self._key(artifact, target, flow)
+        with self._lock:
+            future = self._images.get(key)
+        if future is None or not future.done() or \
+                future.exception() is not None:
+            return None
+        return future.result()
+
+    def known_keys(self) -> List[DeployKey]:
+        with self._lock:
+            return list(self._images)
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _key(artifact: OfflineArtifact, target: TargetDesc,
+             flow: str) -> DeployKey:
+        return (artifact_fingerprint(artifact), repr(target), flow)
+
+    def _image_future(self, artifact: OfflineArtifact, target: TargetDesc,
+                      flow: str) -> Tuple[Future, bool]:
+        """(future, created): ``created`` is True when this call
+        submitted the compilation rather than joining an existing one."""
+        key = self._key(artifact, target, flow)
+        with self._lock:
+            future = self._images.get(key)
+            if future is not None:
+                self.stats.memo_hits += 1
+                self._images.move_to_end(key)
+                return future, False
+            self.stats.compiles += 1
+            future = self._executor.submit(
+                self._compile, artifact, target, flow)
+            self._images[key] = future
+        # Registered outside the lock: an already-finished future runs
+        # its callback synchronously in this thread, and _settle needs
+        # the (non-reentrant) lock itself.
+        future.add_done_callback(
+            lambda done, key=key: self._settle(key, done))
+        return future, True
+
+    def _settle(self, key: DeployKey, future: Future) -> None:
+        """Drop failed compilations; bound the memo once settled."""
+        with self._lock:
+            if future.exception() is not None:
+                if self._images.get(key) is future:
+                    del self._images[key]
+                return
+            overflow = len(self._images) - self.max_images
+            if overflow > 0:
+                for victim in [k for k, f in self._images.items()
+                               if f.done() and
+                               f.exception() is None][:overflow]:
+                    del self._images[victim]
+                    self.stats.evictions += 1
+
+    @staticmethod
+    def _compile(artifact: OfflineArtifact, target: TargetDesc,
+                 flow: str) -> CompiledModule:
+        return compile_for_target(select_bytecode(artifact, flow),
+                                  target, flow)

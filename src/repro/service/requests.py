@@ -1,0 +1,98 @@
+"""Batch request/response types for the compilation service.
+
+A :class:`CompileRequest` is the unit of work a client submits: one
+program plus the set of targets it must land on.  The service answers
+with a :class:`DeployResult` that carries the compiled images *and*
+the observability data a serving layer needs — which stages were cache
+hits, and how long each took.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.offline import OfflineArtifact
+from repro.targets.isa import CompiledModule
+from repro.targets.machine import TargetDesc
+
+
+@dataclass
+class CompileRequest:
+    """One program headed for one or more targets under one flow."""
+    source: str
+    name: str = "module"
+    targets: Sequence[TargetDesc] = ()
+    flow: str = "split"
+    #: offline_compile keyword options (see DEFAULT_OFFLINE_OPTIONS)
+    options: Optional[Dict[str, object]] = None
+
+
+@dataclass
+class CompileOutcome:
+    """The offline half of a request: the (possibly cached) artifact."""
+    artifact: OfflineArtifact
+    key: str                    # content address in the artifact cache
+    cache_hit: bool
+    latency: float              # seconds spent in this call
+
+
+@dataclass
+class TargetDeployment:
+    """One target's share of a deployment fan-out."""
+    target: str
+    compiled: CompiledModule
+    memo_hit: bool              # image reused from the deployment memo
+    latency: float
+
+
+@dataclass
+class DeployResult:
+    """Everything the service produced for one request."""
+    name: str
+    artifact_key: str
+    artifact_cache_hit: bool
+    offline_latency: float
+    deployments: Dict[str, TargetDeployment] = field(default_factory=dict)
+    total_latency: float = 0.0
+
+    def image_for(self, target_name: str) -> CompiledModule:
+        return self.deployments[target_name].compiled
+
+    @property
+    def target_names(self) -> List[str]:
+        return list(self.deployments)
+
+    @property
+    def fully_cached(self) -> bool:
+        return self.artifact_cache_hit and \
+            all(d.memo_hit for d in self.deployments.values())
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate service-level counters (snapshot, not live)."""
+    artifact_hits: int = 0
+    artifact_disk_hits: int = 0
+    artifact_misses: int = 0
+    artifact_evictions: int = 0
+    deploy_compiles: int = 0
+    deploy_memo_hits: int = 0
+    requests: int = 0
+    total_offline_latency: float = 0.0
+    total_deploy_latency: float = 0.0
+
+    @property
+    def artifact_hit_rate(self) -> float:
+        lookups = (self.artifact_hits + self.artifact_disk_hits +
+                   self.artifact_misses)
+        if lookups == 0:
+            return 0.0
+        return (self.artifact_hits + self.artifact_disk_hits) / lookups
+
+    @property
+    def deploy_hit_rate(self) -> float:
+        total = self.deploy_compiles + self.deploy_memo_hits
+        if total == 0:
+            return 0.0
+        return self.deploy_memo_hits / total

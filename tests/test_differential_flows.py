@@ -1,0 +1,136 @@
+"""Differential testing: the VM and every JIT deployment must agree.
+
+For each workload kernel, the portable reference semantics (the stack
+VM interpreting the flow's bytecode flavour) is compared against the
+simulated JIT output for all three deployment flows on every target in
+the catalog — return value *and* output arrays, bit for bit.  A
+cache-hit deployment (service memo) is compared against a cache-miss
+deployment (fresh JIT) of the same triple, so the serving layer is
+covered by the same oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import deploy
+from repro.core.online import FLOWS, select_bytecode
+from repro.semantics import Memory
+from repro.service import CompilationService
+from repro.targets import Simulator
+from repro.targets.catalog import TARGETS
+from repro.vm import VM
+from repro.workloads import ALL_KERNELS
+
+N = 48
+SEED = 23
+MEMORY_BYTES = 1 << 21
+
+
+@pytest.fixture(scope="module")
+def service():
+    svc = CompilationService()
+    yield svc
+    svc.shutdown()
+
+
+def _observe(run, memory, value):
+    """(value, output arrays) in comparable form."""
+    outputs = [memory.read_array(elem_ty, addr, count)
+               for elem_ty, addr, count in run.outputs]
+    return repr(value), tuple(repr(values) for values in outputs)
+
+
+def vm_reference(kernel, bytecode):
+    memory = Memory(MEMORY_BYTES)
+    run = kernel.prepare(memory, N, SEED)
+    value = VM(bytecode, memory=memory).call(kernel.entry, run.args)
+    return _observe(run, memory, value)
+
+
+def simulate(kernel, compiled):
+    memory = Memory(MEMORY_BYTES)
+    run = kernel.prepare(memory, N, SEED)
+    result = Simulator(compiled, memory).run(kernel.entry, run.args)
+    return _observe(run, memory, result.value)
+
+
+def expected_reference(flow: str, target, scalar_ref, vector_ref):
+    """Which VM run a deployment must match, exactly.
+
+    The split flow ships the vectorized bytecode, and scalarizing JITs
+    preserve its lane-by-lane evaluation order, so every split
+    deployment matches the VM on the vector flavour.  offline-only
+    ships and runs the scalar flavour.  online-only starts from the
+    scalar flavour but re-vectorizes on SIMD targets — reassociating
+    float reductions exactly the way the offline vectorizer did.
+    """
+    if flow == "split":
+        return vector_ref
+    if flow == "online-only" and target.has_simd:
+        return vector_ref
+    return scalar_ref
+
+
+@pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+def test_vm_and_jit_agree_everywhere(name, service):
+    """kernels × flows × targets: one oracle, every deployment."""
+    kernel = ALL_KERNELS[name]
+    artifact = service.artifact(kernel.source, name)
+    scalar_ref = vm_reference(kernel, artifact.scalar_bytecode)
+    vector_ref = vm_reference(kernel, artifact.bytecode)
+    for flow in FLOWS:
+        assert vm_reference(kernel, select_bytecode(artifact, flow)) \
+            == (vector_ref if flow == "split" else scalar_ref)
+        for target in TARGETS.values():
+            compiled = service.deploy(artifact, target, flow)
+            got = simulate(kernel, compiled)
+            reference = expected_reference(flow, target, scalar_ref,
+                                           vector_ref)
+            assert got == reference, \
+                f"{name}: JIT({target.name}, {flow}) diverged from VM"
+    # The two references may differ only by float-reduction
+    # reassociation; for everything else all 15 deployments agree.
+    if kernel.elem not in ("f32", "f64") or not kernel.vectorizable:
+        assert scalar_ref == vector_ref, \
+            f"{name}: scalar/vector bytecode disagree"
+
+
+@pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+@pytest.mark.parametrize("target_name", ("x86", "host"))
+def test_cache_hit_matches_cache_miss(name, target_name, service):
+    """A memoized image must behave exactly like a freshly JITted one."""
+    kernel = ALL_KERNELS[name]
+    target = TARGETS[target_name]
+    artifact = service.artifact(kernel.source, name)
+    warm = service.deploy(artifact, target, "split")      # memo hit
+    assert service.deploy(artifact, target, "split") is warm
+    cold = deploy(artifact, target, "split")              # fresh JIT
+    assert cold is not warm
+    assert simulate(kernel, warm) == simulate(kernel, cold)
+    code_of = lambda image: [repr(i)
+                             for f in image.functions.values()
+                             for i in f.code]
+    assert code_of(warm) == code_of(cold)
+
+
+def test_cached_artifact_deploys_identically(service, tmp_path):
+    """Disk-revived artifact (cache persistence) vs in-memory artifact:
+    same deployments, same results, on every target."""
+    kernel = ALL_KERNELS["sdot"]
+    persisted = CompilationService(cache_capacity=2,
+                                  persist_dir=tmp_path)
+    try:
+        original = persisted.artifact(kernel.source, "sdot")
+        persisted.cache.clear()
+        revived = persisted.compile(kernel.source, "sdot")
+        assert revived.cache_hit
+        assert revived.artifact is not original
+        for target in TARGETS.values():
+            a = simulate(kernel, deploy(original, target, "split"))
+            b = simulate(kernel,
+                         persisted.deploy(revived.artifact, target,
+                                          "split"))
+            assert a == b
+    finally:
+        persisted.shutdown()

@@ -1,0 +1,201 @@
+"""Property-based roundtrip tests for the binary PVI encoding.
+
+The service's persistence path stores artifacts as encoded bytecode,
+so ``decode(encode(m))`` must be the identity and the encoding must be
+canonical (re-encoding a decoded module reproduces the exact bytes).
+Randomized inputs come from seeded ``random`` generators — hypothesis
+without the dependency.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bytecode.encode import decode_module, encode_module
+from repro.bytecode.module import (
+    BytecodeFunction, BytecodeModule, FrameSlotInfo,
+)
+from repro.bytecode.opcodes import BCInstr, BIN_OPS, CMP_PREDS
+from repro.bytecode.varint import (
+    read_sint, read_str, read_uint, write_sint, write_str, write_uint,
+)
+from repro.core import offline_compile
+from repro.workloads import ALL_KERNELS
+
+SCALAR_TAGS = ("i8", "u8", "i16", "u16", "i32", "u32", "i64", "u64",
+               "f32", "f64")
+INT_TAGS = ("i8", "u8", "i16", "u16", "i32", "u32", "i64", "u64")
+
+
+# ---------------------------------------------------------------------------
+# varints
+# ---------------------------------------------------------------------------
+
+def _uint_samples(rng: random.Random, count: int):
+    for _ in range(count):
+        bits = rng.randrange(1, 300)
+        yield rng.getrandbits(bits)
+
+
+class TestVarint:
+    def test_uint_roundtrip_randomized(self):
+        rng = random.Random(1)
+        for value in _uint_samples(rng, 500):
+            buf = bytearray()
+            write_uint(buf, value)
+            got, pos = read_uint(bytes(buf), 0)
+            assert got == value
+            assert pos == len(buf)
+
+    def test_sint_roundtrip_randomized(self):
+        rng = random.Random(2)
+        for magnitude in _uint_samples(rng, 500):
+            for value in (magnitude, -magnitude):
+                buf = bytearray()
+                write_sint(buf, value)
+                got, pos = read_sint(bytes(buf), 0)
+                assert got == value, f"zig-zag broke at {value}"
+                assert pos == len(buf)
+
+    @pytest.mark.parametrize("value", [
+        0, -1, 1, 63, -64,
+        2**63 - 1, -2**63, 2**63, -2**63 - 1,
+        # regression: the old zig-zag hard-coded `value >> 127` and
+        # silently corrupted everything at and past the 128-bit line
+        2**126, -2**126, 2**127 - 1, -2**127,
+        2**127, -2**127 - 1, 2**127 + 1,
+        2**128, -2**128, 2**200 + 12345, -(2**200 + 12345),
+    ])
+    def test_sint_boundary_values(self, value):
+        buf = bytearray()
+        write_sint(buf, value)
+        got, _ = read_sint(bytes(buf), 0)
+        assert got == value
+
+    def test_zigzag_interleaving_is_dense(self):
+        """0,-1,1,-2,2,... must map to 0,1,2,3,4,... exactly."""
+        encoded = []
+        for value in (0, -1, 1, -2, 2, -3, 3):
+            buf = bytearray()
+            write_sint(buf, value)
+            encoded.append(read_uint(bytes(buf), 0)[0])
+        assert encoded == [0, 1, 2, 3, 4, 5, 6]
+
+    def test_sequential_values_share_a_buffer(self):
+        rng = random.Random(3)
+        values = [rng.getrandbits(rng.randrange(1, 200)) *
+                  rng.choice((1, -1)) for _ in range(64)]
+        buf = bytearray()
+        for value in values:
+            write_sint(buf, value)
+        raw = bytes(buf)
+        pos = 0
+        for value in values:
+            got, pos = read_sint(raw, pos)
+            assert got == value
+        assert pos == len(raw)
+
+    def test_str_roundtrip_randomized(self):
+        rng = random.Random(4)
+        alphabet = "abcdefghijklmnop.:/é∂"
+        for _ in range(100):
+            text = "".join(rng.choice(alphabet)
+                           for _ in range(rng.randrange(0, 40)))
+            buf = bytearray()
+            write_str(buf, text)
+            got, pos = read_str(bytes(buf), 0)
+            assert got == text
+            assert pos == len(buf)
+
+
+# ---------------------------------------------------------------------------
+# random module generation
+# ---------------------------------------------------------------------------
+
+def _random_instr(rng: random.Random) -> BCInstr:
+    choice = rng.randrange(9)
+    if choice == 0:
+        tag = rng.choice(INT_TAGS)
+        magnitude = rng.getrandbits(rng.randrange(1, 160))
+        return BCInstr("const", tag, magnitude * rng.choice((1, -1)))
+    if choice == 1:
+        return BCInstr("const", rng.choice(("f32", "f64")),
+                       rng.uniform(-1e6, 1e6))
+    if choice == 2:
+        return BCInstr(rng.choice(("ldarg", "ldloc", "stloc", "frame",
+                                   "br", "brif")), None,
+                       rng.randrange(0, 1 << 20))
+    if choice == 3:
+        return BCInstr("cmp", rng.choice(SCALAR_TAGS),
+                       rng.choice(CMP_PREDS))
+    if choice == 4:
+        tags = rng.sample(SCALAR_TAGS, 2)
+        return BCInstr("cast", tags[0], tags[1])
+    if choice == 5:
+        return BCInstr("call", None, f"callee_{rng.randrange(100)}")
+    if choice == 6:
+        return BCInstr("vec.reduce", rng.choice(("u8", "i32", "f32")),
+                       (rng.choice(("add", "max", "min")),
+                        rng.choice(("i32", "u32", "f32"))))
+    if choice == 7:
+        return BCInstr(rng.choice(("load", "store")),
+                       rng.choice(SCALAR_TAGS))
+    return BCInstr(rng.choice(BIN_OPS), rng.choice(SCALAR_TAGS))
+
+
+def _random_module(seed: int) -> BytecodeModule:
+    rng = random.Random(seed)
+    module = BytecodeModule(f"random_{seed}")
+    for index in range(rng.randrange(1, 4)):
+        params = [rng.choice(SCALAR_TAGS)
+                  for _ in range(rng.randrange(0, 4))]
+        ret = rng.choice((None,) + SCALAR_TAGS)
+        locals_ = [rng.choice(SCALAR_TAGS)
+                   for _ in range(rng.randrange(0, 5))]
+        slots = [FrameSlotInfo(f"s{i}", rng.choice((4, 8, 16, 64)),
+                               rng.choice((4, 8, 16)))
+                 for i in range(rng.randrange(0, 3))]
+        code = [_random_instr(rng)
+                for _ in range(rng.randrange(1, 40))]
+        module.add(BytecodeFunction(f"f{index}", params, ret, locals_,
+                                    slots, code))
+    return module
+
+
+# ---------------------------------------------------------------------------
+# module roundtrips
+# ---------------------------------------------------------------------------
+
+class TestModuleRoundtrip:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_module_reencodes_byte_identical(self, seed):
+        module = _random_module(seed)
+        raw = encode_module(module)
+        decoded = decode_module(raw)
+        assert encode_module(decoded) == raw
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_module_decodes_to_equal_structure(self, seed):
+        module = _random_module(seed + 1000)
+        decoded = decode_module(encode_module(module))
+        assert decoded.name == module.name
+        assert list(decoded.functions) == list(module.functions)
+        for func in module:
+            twin = decoded[func.name]
+            assert twin.param_types == func.param_types
+            assert twin.ret_type == func.ret_type
+            assert twin.local_types == func.local_types
+            assert twin.frame_slots == func.frame_slots
+            assert [repr(i) for i in twin.code] == \
+                [repr(i) for i in func.code]
+
+    @pytest.mark.parametrize("kernel", sorted(ALL_KERNELS))
+    def test_real_kernels_reencode_byte_identical(self, kernel):
+        """Both flavours of every workload artifact, annotations and
+        all — exactly what the cache's persistence path writes."""
+        artifact = offline_compile(ALL_KERNELS[kernel].source, kernel)
+        for flavour in (artifact.bytecode, artifact.scalar_bytecode):
+            raw = encode_module(flavour)
+            assert encode_module(decode_module(raw)) == raw

@@ -1,0 +1,308 @@
+"""Unit tests for the compilation service (cache, deployment, stats)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import deploy, offline_compile
+from repro.core.offline import OfflineArtifact
+from repro.semantics import Memory
+from repro.service import (
+    ArtifactCache, CompilationService, CompileRequest, artifact_key,
+    canonical_options, deserialize_artifact, serialize_artifact,
+)
+from repro.service.cache import artifact_fingerprint
+from repro.targets import Simulator, X86
+from repro.targets.catalog import TARGETS
+from repro.workloads import TABLE1
+
+SAXPY = TABLE1["saxpy_fp"].source
+SUM_U8 = TABLE1["sum_u8"].source
+ALL_TARGETS = list(TARGETS.values())
+
+
+@pytest.fixture
+def service():
+    svc = CompilationService(cache_capacity=8)
+    yield svc
+    svc.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# cache keys
+# ---------------------------------------------------------------------------
+
+class TestCacheKey:
+    def test_key_is_stable(self):
+        assert artifact_key(SAXPY) == artifact_key(SAXPY)
+
+    def test_explicit_defaults_hash_like_implicit(self):
+        assert artifact_key(SAXPY) == artifact_key(
+            SAXPY, options={"optimize": True, "do_vectorize": True})
+
+    def test_source_changes_key(self):
+        assert artifact_key(SAXPY) != artifact_key(SUM_U8)
+
+    def test_name_changes_key(self):
+        assert artifact_key(SAXPY, "a") != artifact_key(SAXPY, "b")
+
+    def test_options_change_key(self):
+        assert artifact_key(SAXPY) != \
+            artifact_key(SAXPY, options={"do_vectorize": False})
+
+    def test_hotness_is_order_insensitive(self):
+        assert artifact_key(SAXPY, options={"hotness": {"a": 1, "b": 2}}) \
+            == artifact_key(SAXPY, options={"hotness": {"b": 2, "a": 1}})
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="unknown offline option"):
+            canonical_options({"opt_level": 3})
+
+    def test_fingerprint_distinguishes_artifacts(self):
+        a = offline_compile(SAXPY)
+        b = offline_compile(SUM_U8)
+        assert artifact_fingerprint(a) != artifact_fingerprint(b)
+
+
+# ---------------------------------------------------------------------------
+# LRU + stats
+# ---------------------------------------------------------------------------
+
+class TestLRU:
+    def make(self, name: str) -> OfflineArtifact:
+        return offline_compile(SAXPY, name, do_vectorize=False,
+                               optimize=False)
+
+    def test_eviction_drops_least_recent(self):
+        cache = ArtifactCache(capacity=2)
+        for key in ("k1", "k2", "k3"):
+            cache.put(key, self.make(key))
+        assert "k1" not in cache
+        assert "k2" in cache and "k3" in cache
+        assert cache.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = ArtifactCache(capacity=2)
+        cache.put("k1", self.make("k1"))
+        cache.put("k2", self.make("k2"))
+        assert cache.get("k1") is not None     # k2 is now least recent
+        cache.put("k3", self.make("k3"))
+        assert "k1" in cache and "k2" not in cache
+
+    def test_stats_counters(self):
+        cache = ArtifactCache(capacity=2)
+        assert cache.get("missing") is None
+        cache.put("k1", self.make("k1"))
+        assert cache.get("k1") is not None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# persistence
+# ---------------------------------------------------------------------------
+
+class TestPersistence:
+    def test_serialize_roundtrip_preserves_everything(self):
+        artifact = offline_compile(SAXPY, "persisted",
+                                   hotness={"saxpy": 9})
+        revived = deserialize_artifact(serialize_artifact(artifact))
+        assert revived.name == artifact.name
+        assert revived.offline_work == artifact.offline_work
+        assert revived.vectorized_functions == \
+            artifact.vectorized_functions
+        assert serialize_artifact(revived) == serialize_artifact(artifact)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="bad magic"):
+            deserialize_artifact(b"NOPE" + b"\x00" * 16)
+
+    def test_corrupt_disk_entry_degrades_to_miss(self, tmp_path):
+        svc = CompilationService(cache_capacity=1, persist_dir=tmp_path)
+        try:
+            svc.compile(SAXPY, "one")
+            entry = next(tmp_path.glob("*.pvia"))
+            entry.write_bytes(entry.read_bytes()[:40])   # truncate
+            svc.cache.clear()
+            outcome = svc.compile(SAXPY, "one")          # must recompile
+            assert not outcome.cache_hit
+            assert svc.cache.stats.corrupt_entries == 1
+            # the recompile re-persisted a healthy entry
+            svc.cache.clear()
+            assert svc.compile(SAXPY, "one").cache_hit
+        finally:
+            svc.shutdown()
+
+    def test_disk_revival_after_eviction(self, tmp_path):
+        svc = CompilationService(cache_capacity=1, persist_dir=tmp_path)
+        try:
+            svc.compile(SAXPY, "one")
+            svc.compile(SUM_U8, "two")     # evicts "one" from memory
+            outcome = svc.compile(SAXPY, "one")
+            assert outcome.cache_hit
+            assert svc.cache.stats.disk_hits == 1
+            # the revived artifact deploys identically to a fresh one
+            fresh = deploy(offline_compile(SAXPY, "one"), X86, "split")
+            revived = svc.deploy(outcome.artifact, X86, "split")
+            assert [repr(i) for i in revived["saxpy"].code] == \
+                [repr(i) for i in fresh["saxpy"].code]
+        finally:
+            svc.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# the service facade
+# ---------------------------------------------------------------------------
+
+class TestService:
+    def test_repeat_compile_hits_cache(self, service):
+        first = service.compile(SAXPY)
+        second = service.compile(SAXPY)
+        assert not first.cache_hit and second.cache_hit
+        assert first.artifact is second.artifact
+
+    def test_deploy_memoizes_per_target_and_flow(self, service):
+        artifact = service.artifact(SAXPY)
+        split = service.deploy(artifact, X86, "split")
+        assert service.deploy(artifact, X86, "split") is split
+        assert service.deploy(artifact, X86, "offline-only") is not split
+        stats = service.stats()
+        assert stats.deploy_compiles == 2
+        assert stats.deploy_memo_hits == 1
+
+    def test_deploy_through_core_online(self, service):
+        artifact = service.artifact(SAXPY)
+        a = deploy(artifact, X86, "split", service=service)
+        b = deploy(artifact, X86, "split", service=service)
+        assert a is b
+        # without a service every deploy is a fresh JIT
+        assert deploy(artifact, X86, "split") is not a
+
+    def test_unknown_flow_rejected(self, service):
+        artifact = service.artifact(SAXPY)
+        with pytest.raises(ValueError, match="unknown flow"):
+            service.deploy_many(artifact, ALL_TARGETS, "hybrid")
+
+    def test_submit_reports_hits_and_latency(self, service):
+        request = CompileRequest(source=SAXPY, name="m",
+                                 targets=ALL_TARGETS, flow="split")
+        first = service.submit(request)
+        second = service.submit(request)
+        assert not first.artifact_cache_hit and not first.fully_cached
+        assert second.artifact_cache_hit and second.fully_cached
+        assert sorted(first.target_names) == sorted(TARGETS)
+        assert first.total_latency > 0
+        assert all(d.latency > 0 for d in first.deployments.values())
+        assert all(d.memo_hit for d in second.deployments.values())
+
+    def test_submit_batch(self, service):
+        results = service.submit_batch([
+            CompileRequest(source=SAXPY, name="m", targets=[X86]),
+            CompileRequest(source=SAXPY, name="m", targets=[X86]),
+        ])
+        assert len(results) == 2
+        assert results[1].fully_cached
+
+
+# ---------------------------------------------------------------------------
+# concurrency
+# ---------------------------------------------------------------------------
+
+class TestConcurrentDeployment:
+    def _simulate(self, compiled, n=64, seed=7):
+        kernel = TABLE1["saxpy_fp"]
+        memory = Memory(1 << 21)
+        run = kernel.prepare(memory, n, seed)
+        result = Simulator(compiled, memory).run(kernel.entry, run.args)
+        outputs = [memory.read_array(t, addr, count)
+                   for t, addr, count in run.outputs]
+        return repr(result.value), [repr(o) for o in outputs], \
+            result.cycles
+
+    def test_concurrent_matches_serial_deploy(self, service):
+        """The fan-out must be an optimization, not a semantic change."""
+        artifact = service.artifact(SAXPY)
+        concurrent = service.deploy_many(artifact, ALL_TARGETS, "split")
+        for target in ALL_TARGETS:
+            serial = deploy(artifact, target, "split")
+            image = concurrent[target.name]
+            assert [repr(i) for i in image["saxpy"].code] == \
+                [repr(i) for i in serial["saxpy"].code]
+            assert self._simulate(image) == self._simulate(serial)
+
+    def test_duplicate_targets_compile_once(self, service):
+        artifact = service.artifact(SAXPY)
+        catalog = [X86, X86, X86]
+        images = service.deploy_many(artifact, catalog, "split")
+        assert len(images) == 1
+        assert service.stats().deploy_compiles == 1
+
+    def test_same_name_different_target_not_aliased(self, service):
+        """Memo keys cover the whole TargetDesc, not just its name."""
+        from dataclasses import replace
+        artifact = service.artifact(SAXPY)
+        full = service.deploy(artifact, X86, "split")
+        squeezed = service.deploy(artifact, replace(X86, int_regs=4),
+                                  "split")
+        assert squeezed is not full
+        assert service.stats().deploy_compiles == 2
+        assert squeezed["saxpy"].spill_slot_count > \
+            full["saxpy"].spill_slot_count
+
+    def test_failed_compile_is_not_poisoned(self, service):
+        """A raising deploy must not stick in the memo forever."""
+        artifact = service.artifact(SAXPY)
+        original = service.pool._compile
+        calls = []
+
+        def flaky(artifact, target, flow):
+            calls.append(flow)
+            if len(calls) == 1:
+                raise MemoryError("transient")
+            return original(artifact, target, flow)
+
+        service.pool._compile = flaky
+        with pytest.raises(MemoryError):
+            service.deploy(artifact, X86, "split")
+        assert service.pool.cached_image(artifact, X86, "split") is None
+        image = service.deploy(artifact, X86, "split")   # retried
+        assert image["saxpy"].code
+        assert len(calls) == 2
+
+    def test_image_memo_is_bounded(self):
+        from repro.service import DeploymentPool
+        pool = DeploymentPool(max_images=2)
+        try:
+            artifact = offline_compile(SAXPY)
+            for target in ALL_TARGETS[:4]:
+                pool.deploy_one(artifact, target, "split")
+            assert len(pool.known_keys()) <= 2
+            assert pool.stats.evictions >= 2
+        finally:
+            pool.shutdown()
+
+    def test_racing_threads_share_one_image(self, service):
+        artifact = service.artifact(SAXPY)
+        images = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            images.append(service.deploy(artifact, X86, "split"))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(images) == 8
+        assert all(image is images[0] for image in images)
+        assert service.stats().deploy_compiles == 1
