@@ -10,18 +10,21 @@ analysis work happened and what the generated code achieves.
 import pytest
 
 from repro.bench import format_table, run_split_flow
+from repro.flows import flow_names
 from repro.targets import X86
 
-from conftest import register_report
+from conftest import SMOKE, register_report
 
-KERNELS = ("saxpy_fp", "sum_u8")
+# smoke mode (CI per-PR trend job): the smallest kernel only
+KERNELS = ("sum_u8",) if SMOKE else ("saxpy_fp", "sum_u8")
+N = 128 if SMOKE else 512
 
 
 @pytest.fixture(scope="module")
 def flow_reports():
     all_rows = []
     for kernel in KERNELS:
-        for report in run_split_flow(kernel, X86, n=512):
+        for report in run_split_flow(kernel, X86, n=N):
             all_rows.append((kernel, report))
     table = format_table(
         ["kernel", "flow", "offline work", "online work",
@@ -30,7 +33,18 @@ def flow_reports():
           r.online_analysis_work, r.code_bytes, r.cycles)
          for kernel, r in all_rows],
         title="Figure 1 — split compilation flows (x86)")
-    register_report("fig1_split_flow", table)
+    register_report("fig1_split_flow", table, data={
+        "n": N,
+        "flows": list(flow_names()),
+        "rows": [{"kernel": kernel, "flow": r.flow,
+                  "offline_work": r.offline_work,
+                  "online_work": r.online_work,
+                  "online_analysis_work": r.online_analysis_work,
+                  "code_bytes": r.code_bytes, "cycles": r.cycles,
+                  "offline_pass_work": r.offline_pass_work,
+                  "online_pass_work": r.online_pass_work}
+                 for kernel, r in all_rows],
+    })
     return all_rows
 
 
@@ -72,6 +86,6 @@ class TestFlowShape:
 def test_bench_split_deployment(benchmark, flow_reports):
     """Wall-clock of one full split deployment (JIT included)."""
     result = benchmark.pedantic(
-        lambda: run_split_flow("saxpy_fp", X86, n=128),
+        lambda: run_split_flow(KERNELS[0], X86, n=128),
         rounds=2, iterations=1)
-    assert len(result) == 3
+    assert len(result) == len(flow_names())

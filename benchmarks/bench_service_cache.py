@@ -22,11 +22,13 @@ from repro.targets.catalog import TARGETS
 from repro.workloads import TABLE1
 from repro.workloads.pipeline import PIPELINE_SOURCE
 
-from conftest import register_report
+from conftest import SMOKE, register_report
 
-CACHE_KERNELS = ("saxpy_fp", "sum_u8", "dscal_fp")
+# smoke mode (CI per-PR trend job): the smallest kernel only
+CACHE_KERNELS = ("sum_u8",) if SMOKE else \
+    ("saxpy_fp", "sum_u8", "dscal_fp")
 CATALOG = list(TARGETS.values())
-ROUNDS = 3
+ROUNDS = 2 if SMOKE else 3
 
 
 @pytest.fixture(scope="module")
@@ -83,7 +85,22 @@ def report(measurements):
         ["workload", "cold ms", "warm ms", "speedup"], rows,
         title=f"Compilation service — cache and {len(CATALOG)}-target "
               f"fan-out")
-    register_report("service_cache", table)
+    register_report("service_cache", table, data={
+        "compiles": [{"kernel": name, "cold_s": cold, "warm_s": warm}
+                     for name, cold, warm in compile_rows],
+        "fanout_rounds": [{"round": i + 1, "serial_s": serial,
+                           "service_s": svc}
+                          for i, (serial, svc) in
+                          enumerate(zip(serial_rounds, service_rounds))],
+        "targets": len(CATALOG),
+        "service_stats": {
+            "artifact_hits": stats.artifact_hits,
+            "artifact_misses": stats.artifact_misses,
+            "deploy_compiles": stats.deploy_compiles,
+            "deploy_memo_hits": stats.deploy_memo_hits,
+            "deploy_by_flow": stats.deploy_by_flow,
+        },
+    })
     return table
 
 

@@ -3,24 +3,47 @@
 Each bench module computes its experiment once (module-scoped
 fixture), registers the paper-style table for the terminal summary,
 and wraps representative pieces in pytest-benchmark timers.  Tables
-are also written to ``benchmarks/results/`` so a plain
-``pytest benchmarks/ --benchmark-only`` leaves artifacts behind.
+are written to ``benchmarks/results/`` as text; a bench that also
+passes ``data=`` gets a machine-readable ``BENCH_<name>.json`` next to
+it, so CI can track the perf trajectory per PR without parsing tables.
+
+Setting ``PVI_BENCH_SMOKE=1`` shrinks the suites to their smallest
+kernel / fewest rounds — the CI smoke job uses this to keep the JSON
+artifacts fresh on every push at a few seconds' cost.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 _REPORTS: List[Tuple[str, str]] = []
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: benches read this to shrink to their smallest configuration
+#: (explicit falsy spellings count as off: PVI_BENCH_SMOKE=0 is a
+#: full run, not a smoke run)
+SMOKE = os.environ.get("PVI_BENCH_SMOKE", "").strip().lower() \
+    not in ("", "0", "false", "no")
 
-def register_report(name: str, text: str) -> None:
-    """Queue a table for the terminal summary and write it to disk."""
+
+def register_report(name: str, text: str,
+                    data: Optional[dict] = None) -> None:
+    """Queue a table for the terminal summary and write it to disk.
+
+    ``data`` (JSON-able) additionally lands in
+    ``results/BENCH_<name>.json`` with a ``smoke`` marker so trend
+    tooling can tell full runs from smoke runs apart.
+    """
     _REPORTS.append((name, text))
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        payload = {"bench": name, "smoke": SMOKE, "data": data}
+        (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

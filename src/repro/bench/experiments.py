@@ -82,8 +82,14 @@ def run_table1(n: int = 512, seed: int = 7,
 
 def run_split_flow(kernel_name: str = "saxpy_fp",
                    target: TargetDesc = X86,
-                   n: int = 512, seed: int = 7) -> List:
-    """The three deployment flows of Figure 1 on one kernel."""
+                   n: int = 512, seed: int = 7,
+                   flows: Optional[Sequence] = None) -> List:
+    """The deployment flows of Figure 1 on one kernel.
+
+    ``flows`` defaults to every registered flow (see
+    :mod:`repro.flows`) — the paper's three plus ``split-O3`` and
+    ``adaptive``, and any flow user code registered.
+    """
     service = default_service()
     kernel = TABLE1[kernel_name]
     artifact = service.artifact(kernel.source)
@@ -92,7 +98,7 @@ def run_split_flow(kernel_name: str = "saxpy_fp",
         return kernel.prepare(memory, n, seed).args
 
     return compare_flows(artifact, target, kernel.entry, make_args,
-                         service=service)
+                         flows=flows, service=service)
 
 
 def run_jit_budget(target: TargetDesc = X86, n: int = 256,
@@ -102,9 +108,12 @@ def run_jit_budget(target: TargetDesc = X86, n: int = 256,
     Returns rows (flow, online_work, online_analysis_work, cycles,
     online_time_ms).
     """
+    from repro.core.online import FLOWS
+
     totals: Dict[str, List[float]] = {}
     for name in TABLE1:
-        for report in run_split_flow(name, target, n, seed):
+        for report in run_split_flow(name, target, n, seed,
+                                     flows=FLOWS):
             entry = totals.setdefault(report.flow, [0, 0, 0, 0.0])
             entry[0] += report.online_work
             entry[1] += report.online_analysis_work
@@ -281,7 +290,7 @@ def run_iterative(kernel_names: Optional[Sequence[str]] = None,
             kernel=name, target=target.name,
             default_cycles=result.default_cycles,
             best_cycles=result.best_cycles,
-            best_label=result.best.label(),
+            best_label=result.best_label,
             evaluations=result.evaluations))
     return rows
 

@@ -18,10 +18,16 @@ from repro.core.offline import OfflineArtifact, offline_compile
 from repro.core.online import deploy, select_bytecode
 from repro.core.budget import FlowReport, compare_flows
 from repro.core.platform import Core, DeploymentManager, Platform
+from repro.flows import (
+    Flow, FlowRegistry, PipelineSpec, UnknownFlowError, flow_names,
+    get_flow, register_flow,
+)
 
 __all__ = [
     "OfflineArtifact", "offline_compile",
     "deploy", "select_bytecode",
     "FlowReport", "compare_flows",
     "Core", "Platform", "DeploymentManager",
+    "Flow", "FlowRegistry", "PipelineSpec", "UnknownFlowError",
+    "register_flow", "get_flow", "flow_names",
 ]

@@ -2,18 +2,20 @@
 
 The paper's core quantitative argument: a JIT is CPU- and memory-bound,
 so the analysis work of aggressive optimization must move offline.
-:func:`compare_flows` runs one workload through all three deployment
-flows and reports, per flow, where the work happened and what the
+:func:`compare_flows` runs one workload through every registered
+deployment flow (or an explicit subset) and reports, per flow, where
+the work happened — down to the individual offline pass — and what the
 generated code achieves.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.core.offline import OfflineArtifact
+from repro.core.offline import OfflineArtifact, offline_compile
 from repro.core.online import deploy
+from repro.flows import Flow, as_flow, flow_names
 from repro.semantics import Memory
 from repro.targets.machine import TargetDesc
 from repro.targets.simulator import Simulator
@@ -30,35 +32,68 @@ class FlowReport:
     code_bytes: int
     cycles: Optional[int] = None
     value: object = None
+    #: offline analysis work by pass (empty when the flow ships the
+    #: scalar baseline and charges nothing offline)
+    offline_pass_work: Dict[str, int] = field(default_factory=dict)
+    #: online analysis work by pass (non-empty for flows that re-derive
+    #: optimizations in the JIT)
+    online_pass_work: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_work(self) -> int:
         return self.offline_work + self.online_work
 
 
+def artifact_for_flow(artifact: OfflineArtifact, flow: Flow,
+                      service=None) -> OfflineArtifact:
+    """The artifact a flow actually deploys.
+
+    A flow whose pipeline spec matches the artifact's (or an artifact
+    that no longer knows its source) deploys the artifact as-is; a flow
+    with a different offline pipeline (e.g. ``split-O3``) recompiles
+    from source — through the service's content-addressed cache when
+    one is supplied, so the recompilation happens once per
+    (source, pipeline)."""
+    if artifact.source is None or artifact.pipeline == flow.pipeline:
+        return artifact
+    if service is not None:
+        return service.artifact(artifact.source, artifact.name,
+                                pipeline=flow.pipeline,
+                                hotness=artifact.hotness)
+    return offline_compile(artifact.source, artifact.name,
+                           pipeline=flow.pipeline,
+                           hotness=artifact.hotness)
+
+
 def compare_flows(artifact: OfflineArtifact, target: TargetDesc,
                   entry: str, make_args: Callable[[Memory], List],
-                  flows: tuple = ("offline-only", "online-only", "split"),
+                  flows: Optional[Sequence[Union[str, Flow]]] = None,
                   service=None) -> List[FlowReport]:
     """Deploy + run ``entry`` under each flow on ``target``.
 
-    ``make_args`` receives a fresh :class:`Memory` per flow and returns
-    the argument list (allocating any arrays it needs); per-flow
-    memories keep the runs independent.  A compilation ``service``
-    makes repeated comparisons reuse their compiled images (the work
-    counters come from the first, identical compilation).
+    ``flows`` defaults to *every registered flow*, in registration
+    order — a freshly registered custom flow shows up here with no
+    further plumbing.  ``make_args`` receives a fresh :class:`Memory`
+    per flow and returns the argument list (allocating any arrays it
+    needs); per-flow memories keep the runs independent.  A compilation
+    ``service`` makes repeated comparisons reuse their compiled images
+    (the work counters come from the first, identical compilation).
     """
+    if flows is None:
+        flows = flow_names()
     reports: List[FlowReport] = []
     for flow in flows:
-        compiled = deploy(artifact, target, flow, service=service)
+        flow = as_flow(flow)
+        flow_artifact = artifact_for_flow(artifact, flow, service)
+        compiled = deploy(flow_artifact, target, flow, service=service)
         memory = Memory()
         args = make_args(memory)
         result = Simulator(compiled, memory).run(entry, args)
-        offline_work = artifact.offline_work if flow == "split" else 0
+        charged = flow.charges_offline
         reports.append(FlowReport(
-            flow=flow,
+            flow=flow.name,
             target=target.name,
-            offline_work=offline_work,
+            offline_work=flow_artifact.offline_work if charged else 0,
             online_work=compiled.total_jit_work,
             online_analysis_work=compiled.total_jit_analysis_work,
             online_time=sum(f.jit_time
@@ -66,5 +101,9 @@ def compare_flows(artifact: OfflineArtifact, target: TargetDesc,
             code_bytes=compiled.total_code_bytes,
             cycles=result.cycles,
             value=result.value,
+            offline_pass_work=dict(
+                flow_artifact.pass_stats.work_by_pass) if charged
+            else {},
+            online_pass_work=compiled.total_jit_pass_work,
         ))
     return reports

@@ -1,4 +1,10 @@
-"""Deployment: the µproc-specific online step of Figure 1."""
+"""Deployment: the µproc-specific online step of Figure 1.
+
+Flows are resolved through :mod:`repro.flows` — every function here
+accepts either a registered flow name or a :class:`~repro.flows.Flow`
+object, so a flow registered by user code deploys exactly like the
+built-in ones.
+"""
 
 from __future__ import annotations
 
@@ -6,30 +12,33 @@ from typing import Union
 
 from repro.bytecode.module import BytecodeModule
 from repro.core.offline import OfflineArtifact
+from repro.flows import Flow, as_flow
 from repro.jit import compile_for_target
 from repro.targets.isa import CompiledModule
 from repro.targets.machine import TargetDesc
 
+#: the three deployment flows of the paper (the registry may hold
+#: more; see ``repro.flows.flow_names()`` for the authoritative list)
 FLOWS = ("split", "offline-only", "online-only")
 
 
-def select_bytecode(artifact: OfflineArtifact, flow: str) \
-        -> BytecodeModule:
+def select_bytecode(artifact: OfflineArtifact,
+                    flow: Union[str, Flow]) -> BytecodeModule:
     """Which bytecode flavour does this flow ship to the device?
 
-    The split flow ships the annotated vector bytecode; the other two
-    ship the plain scalar bytecode (offline-only runs it as-is,
-    online-only re-optimizes it at run time).
+    Vector-flavour flows (split and friends) ship the annotated vector
+    bytecode; scalar-flavour flows ship the plain scalar bytecode
+    (offline-only runs it as-is, online-only and adaptive re-optimize
+    it at run time).
     """
-    if flow == "split":
+    flow = as_flow(flow)
+    if flow.bytecode == "vector":
         return artifact.bytecode
-    if flow in ("offline-only", "online-only"):
-        return artifact.scalar_bytecode
-    raise ValueError(f"unknown flow {flow!r}; expected one of {FLOWS}")
+    return artifact.scalar_bytecode
 
 
 def deploy(source: Union[OfflineArtifact, BytecodeModule],
-           target: TargetDesc, flow: str = "split",
+           target: TargetDesc, flow: Union[str, Flow] = "split",
            service=None) -> CompiledModule:
     """Compile the right bytecode flavour for ``target`` under ``flow``.
 
@@ -38,6 +47,7 @@ def deploy(source: Union[OfflineArtifact, BytecodeModule],
     ``(artifact, target, flow)`` — repeated flows hit the service's
     image cache instead of re-running the JIT.
     """
+    flow = as_flow(flow)
     if isinstance(source, OfflineArtifact):
         if service is not None:
             return service.deploy(source, target, flow)

@@ -17,7 +17,8 @@ from typing import Dict, List, Optional, Union
 from repro.bytecode.annotations import HWRequirementAnnotation
 from repro.bytecode.module import BytecodeModule
 from repro.core.offline import OfflineArtifact
-from repro.core.online import deploy
+from repro.core.online import deploy, select_bytecode
+from repro.flows import Flow, as_flow
 from repro.targets.isa import CompiledModule
 from repro.targets.machine import TargetDesc
 
@@ -63,10 +64,10 @@ class DeploymentManager:
     the images instead of recompiling.
     """
 
-    def __init__(self, platform: Platform, flow: str = "split",
-                 service=None):
+    def __init__(self, platform: Platform,
+                 flow: Union[str, Flow] = "split", service=None):
         self.platform = platform
-        self.flow = flow
+        self.flow = as_flow(flow)
         self.service = service
         self.installed: Dict[str, CompiledModule] = {}
         self._bytecode: Optional[BytecodeModule] = None
@@ -84,8 +85,7 @@ class DeploymentManager:
                     self.installed[target.name] = deploy(source, target,
                                                          self.flow)
         if isinstance(source, OfflineArtifact):
-            self._bytecode = source.bytecode if self.flow == "split" \
-                else source.scalar_bytecode
+            self._bytecode = select_bytecode(source, self.flow)
         else:
             self._bytecode = source
         return self.installed

@@ -14,6 +14,13 @@ that the fixed "-O2" default is beaten somewhere, which is the point
 of the experiment (S4b).  Random sampling and hill climbing are
 provided for when the space grows (they are what [21] calls
 "quick and practical" evaluation).
+
+Every candidate is a :class:`repro.flows.PipelineSpec` under the hood:
+a :class:`Configuration` is just a point in the knob cube that renders
+to a spec, and the *registered flows'* pipeline specs join the search
+space automatically (``search_space()``), so a custom
+``register_flow(...)`` is immediately a candidate the search will
+evaluate — no private pass list to keep in sync with ``repro.opt``.
 """
 
 from __future__ import annotations
@@ -21,25 +28,23 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from repro.bytecode.emit import emit_module
+from repro.flows import (
+    Flow, PipelineSpec, get_flow, registered_flows, run_pipeline,
+)
 from repro.frontend import lower_source
 from repro.jit import compile_for_target
-from repro.opt import (
-    PassManager, constfold, copyprop, cse as cse_pass, dce, simplify_cfg,
-    strength_reduce,
-)
-from repro.opt.ifconvert import if_convert
-from repro.opt.licm import licm
-from repro.opt.unroll import unroll
-from repro.opt.vectorize import vectorize
 from repro.semantics import Memory
 from repro.targets.machine import TargetDesc
 from repro.targets.simulator import Simulator
 from repro.workloads.kernels import Kernel
 
 UNROLL_CHOICES = (1, 2, 4, 8)
+
+#: anything the search can evaluate
+Candidate = Union["Configuration", PipelineSpec, Flow, str]
 
 
 @dataclass(frozen=True)
@@ -56,6 +61,26 @@ class Configuration:
             ("V", self.vectorize), ("L", self.licm), ("C", self.cse),
             ("S", self.strength), ("I", self.ifconvert)] if on)
         return f"u{self.unroll}{flags or '-'}"
+
+    def pipeline(self) -> PipelineSpec:
+        """Render the knob point as a declarative pipeline spec."""
+        names = ["constfold", "copyprop"]
+        if self.cse:
+            names.append("cse")
+        names += ["dce", "simplify-cfg"]
+        if self.ifconvert:
+            names.append("if-convert")
+        if self.licm:
+            names.append("licm")
+        if self.strength:
+            names.append("strength")
+        names += ["constfold.2", "copyprop.2"]
+        if self.cse:
+            names.append("cse.2")
+        names += ["dce.2", "simplify-cfg.2"]
+        return PipelineSpec(passes=tuple(names), unroll=self.unroll,
+                            vectorize=self.vectorize,
+                            annotate_regalloc=False, annotate_hw=False)
 
 
 def default_configuration() -> Configuration:
@@ -74,42 +99,60 @@ def all_configurations() -> List[Configuration]:
     return points
 
 
-def _build_pipeline(config: Configuration) -> List[tuple]:
-    passes = [("constfold", constfold), ("copyprop", copyprop)]
-    if config.cse:
-        passes.append(("cse", cse_pass))
-    passes += [("dce", dce), ("simplify-cfg", simplify_cfg)]
-    if config.ifconvert:
-        passes.append(("if-convert", if_convert))
-    if config.licm:
-        passes.append(("licm", licm))
-    if config.strength:
-        passes.append(("strength", strength_reduce))
-    passes += [("constfold.2", constfold), ("copyprop.2", copyprop)]
-    if config.cse:
-        passes.append(("cse.2", cse_pass))
-    passes += [("dce.2", dce), ("simplify-cfg.2", simplify_cfg)]
-    return passes
+def _compile_key(spec: PipelineSpec) -> tuple:
+    """What actually distinguishes candidates to ``compile_with`` —
+    the annotation knobs do not apply there."""
+    return (spec.passes, spec.unroll, spec.vectorize)
 
 
-def compile_with(kernel: Kernel, config: Configuration,
+def search_space() -> List[Candidate]:
+    """The knob cube plus every registered flow's pipeline spec.
+
+    Flows whose pipelines compile identically to a cube point (all the
+    built-in flows, typically) are not duplicated; a custom flow with
+    a genuinely new pipeline joins as its own candidate.
+    """
+    space: List[Candidate] = list(all_configurations())
+    seen = {_compile_key(config.pipeline()) for config in space}
+    for flow in registered_flows():
+        key = _compile_key(flow.pipeline)
+        if key not in seen:
+            space.append(flow)
+            seen.add(key)
+    return space
+
+
+def pipeline_of(candidate: Candidate) -> PipelineSpec:
+    if isinstance(candidate, Configuration):
+        return candidate.pipeline()
+    if isinstance(candidate, PipelineSpec):
+        return candidate
+    return get_flow(candidate).pipeline
+
+
+def label_of(candidate: Candidate) -> str:
+    if isinstance(candidate, str):
+        candidate = get_flow(candidate)
+    if isinstance(candidate, Flow):
+        return f"flow:{candidate.name}"
+    return candidate.label()
+
+
+def compile_with(kernel: Kernel, candidate: Candidate,
                  target: TargetDesc):
-    """Offline-compile ``kernel`` under ``config`` for ``target``."""
+    """Offline-compile ``kernel`` under ``candidate`` for ``target``."""
+    spec = pipeline_of(candidate)
     module = lower_source(kernel.source)
     for func in module:
-        PassManager(_build_pipeline(config)).run(func)
-        if config.unroll > 1:
-            unroll(func, config.unroll)
-        if config.vectorize:
-            vectorize(func)
+        run_pipeline(func, spec)
     bytecode, _ = emit_module(module)
     return compile_for_target(bytecode, target, "split")
 
 
-def evaluate(kernel: Kernel, config: Configuration, target: TargetDesc,
+def evaluate(kernel: Kernel, candidate: Candidate, target: TargetDesc,
              n: int = 256, seed: int = 13) -> int:
-    """Cycles for one run of ``kernel`` under ``config``."""
-    compiled = compile_with(kernel, config, target)
+    """Cycles for one run of ``kernel`` under ``candidate``."""
+    compiled = compile_with(kernel, candidate, target)
     memory = Memory(1 << 21)
     run = kernel.prepare(memory, n, seed)
     result = Simulator(compiled, memory).run(kernel.entry, run.args)
@@ -118,26 +161,30 @@ def evaluate(kernel: Kernel, config: Configuration, target: TargetDesc,
 
 @dataclass
 class SearchResult:
-    best: Configuration
+    best: Candidate
     best_cycles: int
     default_cycles: int
     evaluations: int
-    history: List[Tuple[Configuration, int]] = field(default_factory=list)
+    history: List[Tuple[Candidate, int]] = field(default_factory=list)
 
     @property
     def improvement(self) -> float:
         """Speedup of best-found over the fixed default pipeline."""
         return self.default_cycles / self.best_cycles
 
+    @property
+    def best_label(self) -> str:
+        return label_of(self.best)
+
 
 def _search(kernel: Kernel, target: TargetDesc,
-            candidates: List[Configuration], n: int,
+            candidates: List[Candidate], n: int,
             seed: int) -> SearchResult:
     default_cycles = evaluate(kernel, default_configuration(), target,
                               n, seed)
-    best: Optional[Configuration] = default_configuration()
+    best: Candidate = default_configuration()
     best_cycles = default_cycles
-    history: List[Tuple[Configuration, int]] = []
+    history: List[Tuple[Candidate, int]] = []
     for config in candidates:
         cycles = evaluate(kernel, config, target, n, seed)
         history.append((config, cycles))
@@ -151,14 +198,14 @@ def _search(kernel: Kernel, target: TargetDesc,
 
 def exhaustive_search(kernel: Kernel, target: TargetDesc,
                       n: int = 256, seed: int = 13) -> SearchResult:
-    return _search(kernel, target, all_configurations(), n, seed)
+    return _search(kernel, target, search_space(), n, seed)
 
 
 def random_search(kernel: Kernel, target: TargetDesc, budget: int = 24,
                   n: int = 256, seed: int = 13) -> SearchResult:
     rng = random.Random(seed)
-    candidates = rng.sample(all_configurations(),
-                            min(budget, len(all_configurations())))
+    space = search_space()
+    candidates = rng.sample(space, min(budget, len(space)))
     return _search(kernel, target, candidates, n, seed)
 
 
@@ -169,7 +216,7 @@ def hill_climb(kernel: Kernel, target: TargetDesc, budget: int = 24,
     current_cycles = evaluate(kernel, current, target, n, seed)
     default_cycles = current_cycles
     evaluations = 1
-    history = [(current, current_cycles)]
+    history: List[Tuple[Candidate, int]] = [(current, current_cycles)]
 
     improved = True
     while improved and evaluations < budget:

@@ -2,7 +2,9 @@
 
 ``JITCompiler(target, options).compile_module(bytecode)`` produces a
 :class:`~repro.targets.isa.CompiledModule` ready for simulation.  The
-options select one of the paper's deployment flows:
+options are the *online* half of a deployment flow (see
+:mod:`repro.flows` for the registry that pairs them with offline
+pipeline specs); the paper's three flows map to:
 
 * **split** (default): trust annotations; no online analysis.  The
   offline compiler already vectorized and ranked registers; the JIT
@@ -24,7 +26,9 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.bytecode.annotations import RegAllocAnnotation
+from repro.bytecode.annotations import (
+    HotnessAnnotation, RegAllocAnnotation,
+)
 from repro.bytecode.module import BytecodeModule
 from repro.jit.addrfold import fold_addressing
 from repro.jit.codegen import generate
@@ -36,9 +40,9 @@ from repro.targets.isa import CompiledFunction, CompiledModule
 from repro.targets.machine import TargetDesc
 
 
-@dataclass
+@dataclass(frozen=True)
 class JITOptions:
-    """Knobs selecting the deployment flow."""
+    """Knobs selecting the online half of a deployment flow."""
     use_annotations: bool = True
     online_optimize: bool = False      # run the scalar pipeline online
     online_vectorize: bool = False     # run the auto-vectorizer online
@@ -46,18 +50,17 @@ class JITOptions:
     #: 'linear' (plain furthest-end linear scan), or 'local'
     #: (2010-era baseline: variables live in memory)
     regalloc_mode: str = "annotated"
+    #: when set, the online analyses above run only for functions whose
+    #: HotnessAnnotation weight reaches the threshold (functions with
+    #: no profile count as hot) — the 'adaptive' flow's gate
+    hotness_threshold: Optional[int] = None
 
     @classmethod
     def flow(cls, name: str) -> "JITOptions":
-        if name == "split":
-            return cls(use_annotations=True)
-        if name == "offline-only":
-            return cls(use_annotations=False)
-        if name == "online-only":
-            return cls(use_annotations=False, online_optimize=True,
-                       online_vectorize=True)
-        raise ValueError(f"unknown flow {name!r}; expected split / "
-                         f"offline-only / online-only")
+        """The online options of a *registered* flow (see
+        :mod:`repro.flows`); raises ``UnknownFlowError`` otherwise."""
+        from repro.flows import get_flow
+        return get_flow(name).jit
 
 
 class JITCompiler:
@@ -87,16 +90,22 @@ class JITCompiler:
         # *analysis-heavy* passes below, which stay optional.
         work += quick_cleanup(lir)
 
-        if self.options.online_optimize:
+        pass_work: Dict[str, int] = {}
+        analyze = self._wants_online_analysis(module, name)
+        if self.options.online_optimize and analyze:
             from repro.opt import PassManager, standard_passes
             stats = PassManager(standard_passes()).run(lir)
             work += stats.total_work
             analysis_work += stats.total_work
-        if self.options.online_vectorize and self.target.has_simd:
+            pass_work.update(stats.work_by_pass)
+        if self.options.online_vectorize and analyze and \
+                self.target.has_simd:
             from repro.opt.vectorize import vectorize
             result = vectorize(lir)
             work += result.work
             analysis_work += result.work
+            pass_work["vectorize"] = \
+                pass_work.get("vectorize", 0) + result.work
 
         if not self.target.has_simd:
             work += scalarize_vectors(lir, self.target)
@@ -123,8 +132,23 @@ class JITCompiler:
         work += codegen_work
         compiled.jit_work = work
         compiled.jit_analysis_work = analysis_work
+        compiled.jit_pass_work = pass_work
         compiled.jit_time = time.perf_counter() - start
         return compiled
+
+    def _wants_online_analysis(self, module: BytecodeModule,
+                               name: str) -> bool:
+        """The adaptive gate: with a hotness threshold set, spend the
+        online analysis budget only on functions profiled at least that
+        hot.  Unprofiled functions count as hot (nothing argues they
+        are cold)."""
+        threshold = self.options.hotness_threshold
+        if threshold is None:
+            return True
+        annotations = module.annotations_for(name, HotnessAnnotation)
+        if not annotations:
+            return True
+        return max(a.weight for a in annotations) >= threshold
 
     def _annotation_priorities(self, module: BytecodeModule, name: str,
                                lir) -> Optional[Dict[int, int]]:
@@ -146,6 +170,8 @@ class JITCompiler:
 
 
 def compile_for_target(module: BytecodeModule, target: TargetDesc,
-                       flow: str = "split") -> CompiledModule:
-    """One-call deployment: compile ``module`` for ``target``."""
-    return JITCompiler(target, JITOptions.flow(flow)).compile_module(module)
+                       flow="split") -> CompiledModule:
+    """One-call deployment: compile ``module`` for ``target`` under a
+    flow (a registered name or a :class:`repro.flows.Flow`)."""
+    from repro.flows import as_flow
+    return JITCompiler(target, as_flow(flow).jit).compile_module(module)

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.core.platform import Platform
+from repro.flows import as_flow
 from repro.kpn.graph import ProcessNetwork
 from repro.lang import types as ty
 from repro.semantics import Memory
@@ -70,9 +71,10 @@ def estimate_costs(network: ProcessNetwork, images: Dict[str, object],
 
 def deploy_actor_images(network: ProcessNetwork, artifact,
                         platform: Platform, mapping: "Mapping",
-                        service, flow: str = "split") -> Dict[str, object]:
+                        service, flow="split") -> Dict[str, object]:
     """Deploy each actor's bytecode to its mapped core through the
-    compilation service.
+    compilation service.  ``flow`` is a registered flow name or a
+    :class:`repro.flows.Flow`.
 
     Returns actor name -> :class:`CompiledModule` for the core kind
     the mapping placed it on.  The service compiles each *kind* at
@@ -80,6 +82,7 @@ def deploy_actor_images(network: ProcessNetwork, artifact,
     the once-compile/many-deploy shape of the paper's Figure 1 applied
     to a process network.
     """
+    flow = as_flow(flow)          # fail on a typo before any JIT runs
     cores = platform.core_list()
     kinds_needed = {}
     for actor in network.actors:

@@ -4,9 +4,19 @@
 pattern-matching pass), ``standard_passes()`` the -O2-like default used
 by the offline compiler, to which the vectorizer is appended by
 :mod:`repro.core.offline`.
+
+Passes are addressable *by name* through :func:`resolve_passes` so a
+pipeline can be described as data (a tuple of names) — the form
+:class:`repro.flows.PipelineSpec` stores and the flow registry, the
+artifact cache and the iterative search all share.  A ``.N`` suffix
+(``"cse.2"``) names a repeated invocation of the same pass.
 """
 
-from repro.opt.pass_manager import PassManager, PassResult, PassStats
+from typing import Iterable, List, Tuple
+
+from repro.opt.pass_manager import (
+    PassManager, PassRecord, PassResult, PassStats, PassSummary,
+)
 from repro.opt.constfold import constfold
 from repro.opt.copyprop import copyprop
 from repro.opt.dce import dce
@@ -15,44 +25,69 @@ from repro.opt.cse import cse
 from repro.opt.strength import strength_reduce
 
 __all__ = [
-    "PassManager", "PassResult", "PassStats",
+    "PassManager", "PassResult", "PassStats", "PassRecord", "PassSummary",
     "constfold", "copyprop", "dce", "simplify_cfg", "cse",
     "strength_reduce",
     "cleanup_passes", "standard_passes", "run_cleanup", "run_standard",
+    "pass_table", "resolve_passes",
+    "CLEANUP_PASS_NAMES", "STANDARD_PASS_NAMES",
 ]
+
+#: the canonicalizing prefix every pipeline starts from
+CLEANUP_PASS_NAMES: Tuple[str, ...] = (
+    "constfold", "copyprop", "cse", "dce", "simplify-cfg",
+)
+
+#: the -O2-like scalar pipeline of the offline compiler
+STANDARD_PASS_NAMES: Tuple[str, ...] = (
+    "constfold", "copyprop", "cse", "dce", "simplify-cfg",
+    "if-convert", "licm", "strength",
+    "constfold.2", "copyprop.2", "cse.2", "dce.2", "simplify-cfg.2",
+)
+
+
+def pass_table():
+    """name -> pass function, for every registered IR pass."""
+    from repro.opt.licm import licm
+    from repro.opt.ifconvert import if_convert
+
+    return {
+        "constfold": constfold,
+        "copyprop": copyprop,
+        "cse": cse,
+        "dce": dce,
+        "simplify-cfg": simplify_cfg,
+        "if-convert": if_convert,
+        "licm": licm,
+        "strength": strength_reduce,
+    }
+
+
+def resolve_passes(names: Iterable[str]) -> List[tuple]:
+    """Turn pass names into the ``[(name, fn)]`` list PassManager runs.
+
+    ``"cse.2"`` resolves to the ``cse`` pass but keeps its suffixed
+    name, so repeated invocations stay distinguishable in the stats.
+    """
+    table = pass_table()
+    resolved = []
+    for name in names:
+        base = name.rsplit(".", 1)[0] if "." in name else name
+        if base not in table:
+            raise KeyError(f"unknown pass {name!r}; "
+                           f"known passes: {sorted(table)}")
+        resolved.append((name, table[base]))
+    return resolved
 
 
 def cleanup_passes():
     """Canonicalization: run before pattern-matching passes."""
-    return [
-        ("constfold", constfold),
-        ("copyprop", copyprop),
-        ("cse", cse),
-        ("dce", dce),
-        ("simplify-cfg", simplify_cfg),
-    ]
+    return resolve_passes(CLEANUP_PASS_NAMES)
 
 
 def standard_passes():
     """The -O2-like scalar pipeline of the offline compiler."""
-    from repro.opt.licm import licm
-    from repro.opt.ifconvert import if_convert
-
-    return [
-        ("constfold", constfold),
-        ("copyprop", copyprop),
-        ("cse", cse),
-        ("dce", dce),
-        ("simplify-cfg", simplify_cfg),
-        ("if-convert", if_convert),
-        ("licm", licm),
-        ("strength", strength_reduce),
-        ("constfold.2", constfold),
-        ("copyprop.2", copyprop),
-        ("cse.2", cse),
-        ("dce.2", dce),
-        ("simplify-cfg.2", simplify_cfg),
-    ]
+    return resolve_passes(STANDARD_PASS_NAMES)
 
 
 def run_cleanup(func, verify: bool = False) -> PassStats:

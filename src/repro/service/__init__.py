@@ -26,9 +26,11 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.offline import OfflineArtifact, offline_compile
+from repro.flows import DEFAULT_PIPELINE, as_flow
 from repro.service.cache import (
-    ArtifactCache, CacheStats, artifact_fingerprint, artifact_key,
-    canonical_options, deserialize_artifact, serialize_artifact,
+    ArtifactCache, CacheStats, SCHEMA_VERSION, artifact_fingerprint,
+    artifact_key, canonical_options, deserialize_artifact,
+    serialize_artifact,
 )
 from repro.service.deployment import DeploymentPool, DeployStats
 from repro.service.requests import (
@@ -39,7 +41,8 @@ from repro.targets.isa import CompiledModule
 from repro.targets.machine import TargetDesc
 
 __all__ = [
-    "ArtifactCache", "CacheStats", "artifact_key", "artifact_fingerprint",
+    "ArtifactCache", "CacheStats", "SCHEMA_VERSION",
+    "artifact_key", "artifact_fingerprint",
     "canonical_options", "serialize_artifact", "deserialize_artifact",
     "DeploymentPool", "DeployStats",
     "CompileRequest", "CompileOutcome", "DeployResult",
@@ -103,7 +106,7 @@ class CompilationService:
     # -- online half --------------------------------------------------------
 
     def deploy(self, artifact: OfflineArtifact, target: TargetDesc,
-               flow: str = "split") -> CompiledModule:
+               flow="split") -> CompiledModule:
         """Compile (or reuse) one image for one target."""
         start = time.perf_counter()
         image = self.pool.deploy_one(artifact, target, flow)
@@ -112,7 +115,7 @@ class CompilationService:
         return image
 
     def deploy_many(self, artifact: OfflineArtifact,
-                    targets: Sequence[TargetDesc], flow: str = "split",
+                    targets: Sequence[TargetDesc], flow="split",
                     concurrent: bool = True) -> Dict[str, CompiledModule]:
         """Fan one artifact out over a target catalog."""
         start = time.perf_counter()
@@ -125,15 +128,24 @@ class CompilationService:
     # -- batch API ----------------------------------------------------------
 
     def submit(self, request: CompileRequest) -> DeployResult:
-        """Serve one request end to end: cache, then fan-out."""
+        """Serve one request end to end: cache, then fan-out.
+
+        The flow is resolved through the registry up front (raising
+        ``UnknownFlowError`` before any work happens), and its offline
+        pipeline spec joins the artifact cache key, so flows with
+        distinct pipelines get distinct cached artifacts."""
         start = time.perf_counter()
+        flow = as_flow(request.flow)
         with self._counter_lock:
             self._requests += 1
-        outcome = self.compile(request.source, request.name,
-                               **(request.options or {}))
+        options = dict(request.options or {})
+        if "pipeline" not in options and \
+                flow.pipeline != DEFAULT_PIPELINE:
+            options["pipeline"] = flow.pipeline
+        outcome = self.compile(request.source, request.name, **options)
         deploy_start = time.perf_counter()
         info = self.pool.deploy_many_info(outcome.artifact,
-                                          request.targets, request.flow)
+                                          request.targets, flow)
         with self._counter_lock:
             self._deploy_latency += time.perf_counter() - deploy_start
         deployments = {}
@@ -154,7 +166,10 @@ class CompilationService:
             artifact_cache_hit=outcome.cache_hit,
             offline_latency=outcome.latency,
             deployments=deployments,
-            total_latency=time.perf_counter() - start)
+            total_latency=time.perf_counter() - start,
+            flow=flow.name,
+            offline_pass_work=dict(
+                outcome.artifact.pass_stats.work_by_pass))
 
     def submit_batch(self, requests: Iterable[CompileRequest]) \
             -> List[DeployResult]:
@@ -174,7 +189,11 @@ class CompilationService:
             deploy_memo_hits=pool.memo_hits,
             requests=self._requests,
             total_offline_latency=self._offline_latency,
-            total_deploy_latency=self._deploy_latency)
+            total_deploy_latency=self._deploy_latency,
+            deploy_by_flow={
+                name: {"compiles": entry.compiles,
+                       "memo_hits": entry.memo_hits}
+                for name, entry in self.pool.flow_stats().items()})
 
 
 _DEFAULT: Optional[CompilationService] = None

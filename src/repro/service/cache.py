@@ -24,12 +24,24 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.bytecode.encode import VERSION as PVI_ENCODER_VERSION
 from repro.bytecode.encode import decode_module, encode_module
 from repro.bytecode.varint import read_bytes, write_bytes
-from repro.core.offline import OfflineArtifact, offline_compile
+from repro.core.offline import (
+    OfflineArtifact, effective_pipeline, offline_compile,
+)
+from repro.opt import PassStats
 
-#: magic prefix of a persisted artifact file (PVI Artifact, version 1)
-ARTIFACT_MAGIC = b"PVA1"
+#: magic prefix of a persisted artifact file (PVI Artifact, container
+#: layout 2: metadata sidecar carries schema/source/pipeline/per-pass)
+ARTIFACT_MAGIC = b"PVA2"
+
+#: full schema identity of anything this module writes or keys:
+#: the artifact container layout plus the PVI wire-format version.
+#: It is embedded in every cache key and persisted entry, so artifacts
+#: written by an older encoding self-invalidate (key miss on lookup,
+#: rejection on decode) instead of decoding garbage.
+SCHEMA_VERSION = f"pva2+pvi{PVI_ENCODER_VERSION}"
 
 #: default options of :func:`repro.core.offline.offline_compile` — the
 #: key canonicalization fills these in so explicit-default and implicit
@@ -45,7 +57,12 @@ DEFAULT_OFFLINE_OPTIONS: Dict[str, object] = {
 
 def canonical_options(options: Optional[Dict[str, object]] = None) \
         -> Dict[str, object]:
-    """Fill defaults and reject unknown offline options."""
+    """Fill defaults and reject unknown offline options.
+
+    A ``pipeline`` option (a :class:`~repro.flows.PipelineSpec` or its
+    dict form) is normalized to a validated spec; it overrides the
+    legacy boolean knobs exactly as ``offline_compile`` would.
+    """
     merged = dict(DEFAULT_OFFLINE_OPTIONS)
     if options:
         unknown = set(options) - set(DEFAULT_OFFLINE_OPTIONS)
@@ -57,7 +74,18 @@ def canonical_options(options: Optional[Dict[str, object]] = None) \
     if hotness is not None:
         merged["hotness"] = {name: int(w)
                              for name, w in sorted(hotness.items())}
+    if merged.get("pipeline") is not None:
+        merged["pipeline"] = effective_pipeline(merged["pipeline"])
     return merged
+
+
+def _json_options(merged: Dict[str, object]) -> Dict[str, object]:
+    """Canonicalized options in JSON-able form (for key hashing)."""
+    out = dict(merged)
+    pipeline = out.get("pipeline")
+    if pipeline is not None:
+        out["pipeline"] = pipeline.to_dict()
+    return out
 
 
 def artifact_key(source: str, name: str = "module",
@@ -65,12 +93,15 @@ def artifact_key(source: str, name: str = "module",
     """Content address of one offline compilation.
 
     Covers everything that determines the artifact: the program text,
-    the module name (it is embedded in the bytecode) and the full
-    canonicalized option set.
+    the module name (it is embedded in the bytecode), the full
+    canonicalized option set — including the pipeline spec, so every
+    flow with its own offline pipeline gets its own entry — and the
+    encoder schema version, so entries persisted by an older encoding
+    can never be served to a newer decoder.
     """
     payload = json.dumps(
-        {"source": source, "name": name,
-         "options": canonical_options(options)},
+        {"schema": SCHEMA_VERSION, "source": source, "name": name,
+         "options": _json_options(canonical_options(options))},
         sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -98,12 +129,24 @@ def artifact_fingerprint(artifact: OfflineArtifact) -> str:
 # ---------------------------------------------------------------------------
 
 def serialize_artifact(artifact: OfflineArtifact) -> bytes:
-    """Artifact -> bytes: magic, JSON metadata sidecar, both modules."""
+    """Artifact -> bytes: magic, JSON metadata sidecar, both modules.
+
+    The sidecar records the schema version, the source text, the
+    pipeline spec that produced the artifact and the per-pass
+    instrumentation summary, so a disk-revived artifact is a faithful
+    stand-in for the original (and an entry written under any other
+    schema self-invalidates on decode)."""
     meta = {
+        "schema": SCHEMA_VERSION,
         "name": artifact.name,
         "offline_work": artifact.offline_work,
         "offline_time": artifact.offline_time,
         "vectorized_functions": list(artifact.vectorized_functions),
+        "source": artifact.source,
+        "pipeline": artifact.pipeline.to_dict()
+        if artifact.pipeline is not None else None,
+        "hotness": artifact.hotness,
+        "per_pass": artifact.pass_stats.summary_dict(),
     }
     out = bytearray()
     out.extend(ARTIFACT_MAGIC)
@@ -119,8 +162,14 @@ def deserialize_artifact(raw: bytes) -> OfflineArtifact:
     pos = 4
     meta_raw, pos = read_bytes(raw, pos)
     meta = json.loads(meta_raw.decode("utf-8"))
+    schema = meta.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"persisted artifact schema {schema!r} does not match this "
+            f"encoder ({SCHEMA_VERSION!r}); entry is stale")
     bytecode_raw, pos = read_bytes(raw, pos)
     scalar_raw, pos = read_bytes(raw, pos)
+    pipeline = meta.get("pipeline")
     return OfflineArtifact(
         name=meta["name"],
         bytecode=decode_module(bytecode_raw),
@@ -128,6 +177,13 @@ def deserialize_artifact(raw: bytes) -> OfflineArtifact:
         offline_work=int(meta["offline_work"]),
         offline_time=float(meta["offline_time"]),
         vectorized_functions=list(meta["vectorized_functions"]),
+        source=meta.get("source"),
+        pipeline=effective_pipeline(pipeline)
+        if pipeline is not None else None,
+        hotness={name: int(w)
+                 for name, w in meta["hotness"].items()}
+        if meta.get("hotness") else None,
+        pass_stats=PassStats.from_summary(meta.get("per_pass", {})),
     )
 
 

@@ -19,21 +19,34 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.offline import OfflineArtifact
-from repro.core.online import FLOWS, select_bytecode
+from repro.core.online import select_bytecode
+from repro.flows import Flow, as_flow
 from repro.jit import compile_for_target
 from repro.service.cache import artifact_fingerprint
 from repro.targets.isa import CompiledModule
 from repro.targets.machine import TargetDesc
 
 #: memoization key of one compiled image: (artifact hash, target
-#: descriptor, flow).  The target component is the full dataclass
-#: repr, not just the name — two targets sharing a name but differing
-#: in registers or cost model must not alias to one image.
+#: descriptor, flow cache key).  The target component is the full
+#: dataclass repr, not just the name — two targets sharing a name but
+#: differing in registers or cost model must not alias to one image.
+#: The flow component is ``Flow.cache_key()`` (name + config digest),
+#: so a custom flow — or a re-registered name with different knobs —
+#: is cached under its own identity.
 DeployKey = Tuple[str, str, str]
+
+Flowish = Union[str, Flow]
+
+
+@dataclass
+class FlowDeployStats:
+    """Per-flow share of the pool's traffic."""
+    compiles: int = 0
+    memo_hits: int = 0
 
 
 @dataclass
@@ -41,10 +54,21 @@ class DeployStats:
     compiles: int = 0          # actual JIT invocations
     memo_hits: int = 0         # served from the image memo
     evictions: int = 0         # finished images dropped at capacity
+    #: traffic broken down by flow name (custom flows included)
+    by_flow: Dict[str, FlowDeployStats] = field(default_factory=dict)
 
     @property
     def requests(self) -> int:
         return self.compiles + self.memo_hits
+
+    def _count(self, flow_name: str, hit: bool) -> None:
+        entry = self.by_flow.setdefault(flow_name, FlowDeployStats())
+        if hit:
+            self.memo_hits += 1
+            entry.memo_hits += 1
+        else:
+            self.compiles += 1
+            entry.compiles += 1
 
 
 class DeploymentPool:
@@ -74,11 +98,13 @@ class DeploymentPool:
     # -- public API ---------------------------------------------------------
 
     def deploy_one(self, artifact: OfflineArtifact, target: TargetDesc,
-                   flow: str = "split") -> CompiledModule:
-        return self._image_future(artifact, target, flow)[0].result()
+                   flow: Flowish = "split") -> CompiledModule:
+        return self._image_future(artifact, target,
+                                  as_flow(flow))[0].result()
 
     def deploy_many(self, artifact: OfflineArtifact,
-                    targets: Sequence[TargetDesc], flow: str = "split",
+                    targets: Sequence[TargetDesc],
+                    flow: Flowish = "split",
                     concurrent: bool = True) -> Dict[str, CompiledModule]:
         """Compile ``artifact`` for every target; returns name -> image.
 
@@ -92,7 +118,8 @@ class DeploymentPool:
 
     def deploy_many_info(self, artifact: OfflineArtifact,
                          targets: Sequence[TargetDesc],
-                         flow: str = "split", concurrent: bool = True) \
+                         flow: Flowish = "split",
+                         concurrent: bool = True) \
             -> Dict[str, Tuple[CompiledModule, bool]]:
         """Like :meth:`deploy_many`, returning name -> (image, reused).
 
@@ -100,9 +127,7 @@ class DeploymentPool:
         compilation — the image was memoized or already in flight on
         another thread's behalf.
         """
-        if flow not in FLOWS:
-            raise ValueError(f"unknown flow {flow!r}; expected one "
-                             f"of {FLOWS}")
+        flow = as_flow(flow)      # raises UnknownFlowError on a typo
         if not concurrent:
             out = {}
             for target in targets:
@@ -120,10 +145,10 @@ class DeploymentPool:
                 for name, (future, reused) in futures.items()}
 
     def cached_image(self, artifact: OfflineArtifact, target: TargetDesc,
-                     flow: str = "split") -> Optional[CompiledModule]:
+                     flow: Flowish = "split") -> Optional[CompiledModule]:
         """The memoized image if it is already built, else ``None``
         (never triggers a compilation, never raises)."""
-        key = self._key(artifact, target, flow)
+        key = self._key(artifact, target, as_flow(flow))
         with self._lock:
             future = self._images.get(key)
         if future is None or not future.done() or \
@@ -135,25 +160,34 @@ class DeploymentPool:
         with self._lock:
             return list(self._images)
 
+    def flow_stats(self) -> Dict[str, FlowDeployStats]:
+        """Snapshot of the per-flow counters (copied under the lock —
+        ``stats.by_flow`` itself is mutated by concurrent deploys)."""
+        with self._lock:
+            return {name: FlowDeployStats(entry.compiles,
+                                          entry.memo_hits)
+                    for name, entry in self.stats.by_flow.items()}
+
     # -- internals ----------------------------------------------------------
 
     @staticmethod
     def _key(artifact: OfflineArtifact, target: TargetDesc,
-             flow: str) -> DeployKey:
-        return (artifact_fingerprint(artifact), repr(target), flow)
+             flow: Flow) -> DeployKey:
+        return (artifact_fingerprint(artifact), repr(target),
+                flow.cache_key())
 
     def _image_future(self, artifact: OfflineArtifact, target: TargetDesc,
-                      flow: str) -> Tuple[Future, bool]:
+                      flow: Flow) -> Tuple[Future, bool]:
         """(future, created): ``created`` is True when this call
         submitted the compilation rather than joining an existing one."""
         key = self._key(artifact, target, flow)
         with self._lock:
             future = self._images.get(key)
             if future is not None:
-                self.stats.memo_hits += 1
+                self.stats._count(flow.name, hit=True)
                 self._images.move_to_end(key)
                 return future, False
-            self.stats.compiles += 1
+            self.stats._count(flow.name, hit=False)
             future = self._executor.submit(
                 self._compile, artifact, target, flow)
             self._images[key] = future
@@ -181,6 +215,6 @@ class DeploymentPool:
 
     @staticmethod
     def _compile(artifact: OfflineArtifact, target: TargetDesc,
-                 flow: str) -> CompiledModule:
+                 flow: Flow) -> CompiledModule:
         return compile_for_target(select_bytecode(artifact, flow),
                                   target, flow)

@@ -10,21 +10,28 @@ hits, and how long each took.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.offline import OfflineArtifact
+from repro.flows import Flow
 from repro.targets.isa import CompiledModule
 from repro.targets.machine import TargetDesc
 
 
 @dataclass
 class CompileRequest:
-    """One program headed for one or more targets under one flow."""
+    """One program headed for one or more targets under one flow.
+
+    ``flow`` is a registered flow name or a :class:`~repro.flows.Flow`
+    object; its offline pipeline spec feeds the artifact cache key, so
+    two flows with different pipelines never share an artifact entry.
+    """
     source: str
     name: str = "module"
     targets: Sequence[TargetDesc] = ()
-    flow: str = "split"
-    #: offline_compile keyword options (see DEFAULT_OFFLINE_OPTIONS)
+    flow: Union[str, Flow] = "split"
+    #: offline_compile keyword options (see DEFAULT_OFFLINE_OPTIONS);
+    #: a 'pipeline' entry here overrides the flow's own pipeline spec
     options: Optional[Dict[str, object]] = None
 
 
@@ -55,6 +62,11 @@ class DeployResult:
     offline_latency: float
     deployments: Dict[str, TargetDeployment] = field(default_factory=dict)
     total_latency: float = 0.0
+    #: which flow served the request (flow name)
+    flow: str = "split"
+    #: offline analysis work by pass for the served artifact — the
+    #: per-pass instrumentation of the flow's offline pipeline
+    offline_pass_work: Dict[str, int] = field(default_factory=dict)
 
     def image_for(self, target_name: str) -> CompiledModule:
         return self.deployments[target_name].compiled
@@ -81,6 +93,10 @@ class ServiceStats:
     requests: int = 0
     total_offline_latency: float = 0.0
     total_deploy_latency: float = 0.0
+    #: deployment traffic per flow name: {flow: {"compiles": n,
+    #: "memo_hits": m}} — registered custom flows appear here the
+    #: moment they are first deployed
+    deploy_by_flow: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def artifact_hit_rate(self) -> float:

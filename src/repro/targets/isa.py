@@ -93,6 +93,8 @@ class CompiledFunction:
     jit_work: int = 0               # total effort spent compiling
     jit_analysis_work: int = 0      # optional analysis portion of it
     jit_time: float = 0.0
+    #: analysis work by pass name, when the flow ran online analyses
+    jit_pass_work: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -118,3 +120,12 @@ class CompiledModule:
     @property
     def total_jit_analysis_work(self) -> int:
         return sum(f.jit_analysis_work for f in self.functions.values())
+
+    @property
+    def total_jit_pass_work(self) -> dict:
+        """Online analysis work by pass, summed over functions."""
+        out: dict = {}
+        for func in self.functions.values():
+            for name, work in func.jit_pass_work.items():
+                out[name] = out.get(name, 0) + work
+        return out

@@ -98,12 +98,28 @@ class TestCompareFlows:
             return kernel.prepare(memory, 64, seed=2).args
 
         reports = compare_flows(artifact, X86, kernel.entry, make_args)
-        assert [r.flow for r in reports] == \
-            ["offline-only", "online-only", "split"]
+        # default = every registered flow, paper trio first
+        names = [r.flow for r in reports]
+        assert names[:3] == ["offline-only", "online-only", "split"]
+        assert "split-O3" in names and "adaptive" in names
         assert len({repr(r.value) for r in reports}) == 1
-        split = reports[-1]
+        by_flow = {r.flow: r for r in reports}
+        split = by_flow["split"]
         assert split.offline_work > 0
         assert split.online_analysis_work == 0
+        assert sum(split.offline_pass_work.values()) == \
+            split.offline_work
+
+    def test_explicit_subset_respected(self):
+        kernel = TABLE1["sum_u8"]
+        artifact = offline_compile(kernel.source)
+
+        def make_args(memory):
+            return kernel.prepare(memory, 64, seed=2).args
+
+        reports = compare_flows(artifact, X86, kernel.entry, make_args,
+                                flows=("split", "offline-only"))
+        assert [r.flow for r in reports] == ["split", "offline-only"]
 
 
 class TestSpillPriorities:
