@@ -4,6 +4,11 @@ All engines (interpreter, VM, simulators) execute against this model:
 address 0 is reserved (a null-pointer guard page of 64 bytes), a bump
 allocator hands out heap blocks, and each call frame carves its slots
 from a downward-growing stack at the top of memory.
+
+Scalar and vector accesses go through cached :class:`struct.Struct`
+instances — one per scalar type, one per ``(element, lanes)`` pair —
+so the hot load/store paths do a single ``unpack_from``/``pack_into``
+against the backing ``bytearray`` with no intermediate copies.
 """
 
 from __future__ import annotations
@@ -14,14 +19,51 @@ from typing import List
 from repro.lang import types as ty
 from repro.semantics.errors import TrapError
 
-_FORMATS = {
-    (8, True): "<b", (8, False): "<B",
-    (16, True): "<h", (16, False): "<H",
-    (32, True): "<i", (32, False): "<I",
-    (64, True): "<q", (64, False): "<Q",
+_FORMAT_CHARS = {
+    (8, True): "b", (8, False): "B",
+    (16, True): "h", (16, False): "H",
+    (32, True): "i", (32, False): "I",
+    (64, True): "q", (64, False): "Q",
 }
 
+#: one cached Struct per scalar language type
+_SCALAR_STRUCTS = {}
+for _bits_signed, _char in _FORMAT_CHARS.items():
+    _int_ty = ty.IntType(*_bits_signed)
+    _SCALAR_STRUCTS[_int_ty] = struct.Struct("<" + _char)
+_SCALAR_STRUCTS[ty.F32] = struct.Struct("<f")
+_SCALAR_STRUCTS[ty.F64] = struct.Struct("<d")
+
+_VECTOR_STRUCTS = {}
+
+#: wrong-type values handed to a cached packer (floats into an int
+#: slot, out-of-range ints); the slow path coerces exactly like the
+#: old per-scalar code did.  OverflowError is deliberately absent —
+#: packing a float too large for f32 must propagate, as the reference
+#: per-scalar pack would raise it too.  The fast engines' generated
+#: store code shares this tuple so coercion behaviour cannot drift.
+PACK_COERCE_ERRORS = (struct.error, TypeError)
+_PACK_ERRORS = PACK_COERCE_ERRORS
+
 NULL_GUARD = 64
+_MASK64 = (1 << 64) - 1
+
+
+def scalar_struct(value_ty) -> struct.Struct:
+    """The cached packer/unpacker for a scalar type (KeyError if the
+    type has no byte representation)."""
+    return _SCALAR_STRUCTS[value_ty]
+
+
+def vector_struct(elem_ty, lanes: int) -> struct.Struct:
+    """Cached bulk packer for ``lanes`` contiguous elements."""
+    key = (elem_ty, lanes)
+    cached = _VECTOR_STRUCTS.get(key)
+    if cached is None:
+        elem_fmt = _SCALAR_STRUCTS[elem_ty].format[1:]
+        cached = struct.Struct("<" + elem_fmt * lanes)
+        _VECTOR_STRUCTS[key] = cached
+    return cached
 
 
 class Memory:
@@ -34,6 +76,7 @@ class Memory:
         self.data = bytearray(size)
         self.heap_ptr = NULL_GUARD
         self.stack_ptr = size          # grows downward
+        self._saved_sps: List[int] = []
 
     # -- allocation -----------------------------------------------------------
 
@@ -50,13 +93,23 @@ class Memory:
         new_sp = (self.stack_ptr - size) & ~15
         if new_sp <= self.heap_ptr:
             raise TrapError("stack overflow")
+        self._saved_sps.append(self.stack_ptr)
         self.stack_ptr = new_sp
         return new_sp
 
     def pop_frame(self, base: int, size: int) -> None:
-        self.stack_ptr = base + size if base + size <= self.size else self.size
-        # Round back up to the pre-push value's alignment is unnecessary:
-        # frames are popped LIFO with the same base they were pushed at.
+        """Release the most recent frame (frames are strictly LIFO).
+
+        Restores the *exact* pre-push stack pointer.  ``base + size``
+        loses the padding :meth:`push_frame` introduced by aligning the
+        new pointer down to 16 bytes, so restoring it would leak that
+        padding and creep the stack downward across repeated calls.
+        """
+        if self._saved_sps:
+            self.stack_ptr = self._saved_sps.pop()
+        else:
+            # Unpaired pop (hand-driven harnesses): best-effort restore.
+            self.stack_ptr = min(base + size, self.size)
 
     # -- bounds ---------------------------------------------------------------
 
@@ -68,42 +121,57 @@ class Memory:
     # -- typed scalar access ---------------------------------------------------
 
     def load(self, value_ty, addr: int):
-        addr &= (1 << 64) - 1
-        size = ty.sizeof(value_ty)
-        self._check(addr, size)
-        raw = bytes(self.data[addr:addr + size])
-        if isinstance(value_ty, ty.IntType):
-            return struct.unpack(_FORMATS[(value_ty.bits, value_ty.signed)],
-                                 raw)[0]
-        if isinstance(value_ty, ty.FloatType):
-            return struct.unpack("<f" if value_ty.bits == 32 else "<d",
-                                 raw)[0]
-        raise TrapError(f"cannot load type {value_ty}")
+        addr &= _MASK64
+        packer = _SCALAR_STRUCTS.get(value_ty)
+        if packer is None:
+            raise TrapError(f"cannot load type {value_ty}")
+        size = packer.size
+        if addr < NULL_GUARD or addr + size > self.size:
+            raise TrapError(f"memory access out of bounds: "
+                            f"addr={addr:#x} size={size}")
+        return packer.unpack_from(self.data, addr)[0]
 
     def store(self, value_ty, addr: int, value) -> None:
-        addr &= (1 << 64) - 1
-        size = ty.sizeof(value_ty)
-        self._check(addr, size)
-        if isinstance(value_ty, ty.IntType):
-            raw = struct.pack(_FORMATS[(value_ty.bits, value_ty.signed)],
-                              ty.wrap_int(int(value), value_ty))
-        elif isinstance(value_ty, ty.FloatType):
-            raw = struct.pack("<f" if value_ty.bits == 32 else "<d",
-                              float(value))
-        else:
+        addr &= _MASK64
+        packer = _SCALAR_STRUCTS.get(value_ty)
+        if packer is None:
             raise TrapError(f"cannot store type {value_ty}")
-        self.data[addr:addr + size] = raw
+        size = packer.size
+        if addr < NULL_GUARD or addr + size > self.size:
+            raise TrapError(f"memory access out of bounds: "
+                            f"addr={addr:#x} size={size}")
+        try:
+            packer.pack_into(self.data, addr, value)
+        except _PACK_ERRORS:
+            packer.pack_into(self.data, addr, self._coerce(value_ty, value))
+
+    @staticmethod
+    def _coerce(value_ty, value):
+        if isinstance(value_ty, ty.IntType):
+            return ty.wrap_int(int(value), value_ty)
+        return float(value)
 
     # -- vector access ----------------------------------------------------------
 
     def load_vec(self, elem_ty, lanes: int, addr: int) -> List:
-        size = ty.sizeof(elem_ty)
-        return [self.load(elem_ty, addr + i * size) for i in range(lanes)]
+        if not lanes:
+            return []
+        addr &= _MASK64
+        packer = vector_struct(elem_ty, lanes)
+        self._check(addr, packer.size)
+        return list(packer.unpack_from(self.data, addr))
 
     def store_vec(self, elem_ty, addr: int, values: List) -> None:
-        size = ty.sizeof(elem_ty)
-        for i, value in enumerate(values):
-            self.store(elem_ty, addr + i * size, value)
+        if not values:
+            return
+        addr &= _MASK64
+        packer = vector_struct(elem_ty, len(values))
+        self._check(addr, packer.size)
+        try:
+            packer.pack_into(self.data, addr, *values)
+        except _PACK_ERRORS:
+            packer.pack_into(self.data, addr,
+                             *[self._coerce(elem_ty, v) for v in values])
 
     # -- convenience for tests and workloads -------------------------------------
 

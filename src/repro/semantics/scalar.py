@@ -8,10 +8,19 @@ operation so results match a real 32-bit FPU.
 from __future__ import annotations
 
 import math
+import operator
 import struct
 
 from repro.lang import types as ty
 from repro.semantics.errors import TrapError
+
+#: predicate name -> comparison function, hoisted to module level so
+#: eval_cmp does not rebuild a dict on every single comparison
+_CMP_FUNCS = {
+    "eq": operator.eq, "ne": operator.ne,
+    "lt": operator.lt, "le": operator.le,
+    "gt": operator.gt, "ge": operator.ge,
+}
 
 
 def round_float(value: float, float_ty: ty.FloatType) -> float:
@@ -133,14 +142,10 @@ def eval_cmp(pred: str, value_ty, a, b) -> int:
             (math.isnan(a) or math.isnan(b)):
         # Unordered comparisons are false except '!='.
         return 1 if pred == "ne" else 0
-    table = {
-        "eq": a == b, "ne": a != b,
-        "lt": a < b, "le": a <= b,
-        "gt": a > b, "ge": a >= b,
-    }
-    if pred not in table:
+    compare = _CMP_FUNCS.get(pred)
+    if compare is None:
         raise TrapError(f"cmp predicate {pred!r} undefined")
-    return 1 if table[pred] else 0
+    return 1 if compare(a, b) else 0
 
 
 def eval_cast(value, from_ty, to_ty):
