@@ -1,0 +1,169 @@
+"""Execution-core throughput: fast vs reference engines.
+
+The fast engines (predecoded closure threading + type-specialized
+semantics kernels) exist to make the host-side execution layer — the
+slowest path in every experiment — cheap.  This bench measures VM and
+simulator throughput in MIPS (million executed instructions per
+second) for both engines across the Table 1 kernels, asserting along
+the way that the engines execute *identical* instruction and cycle
+counts (the perf claim is meaningless without the parity claim).
+
+The machine-readable ``BENCH_interp_throughput.json`` anchors the perf
+trajectory per PR; the CI smoke job fails if the fast engine ever
+regresses below the reference engine (a sanity floor, not a flaky
+absolute threshold).
+"""
+
+import time
+
+import pytest
+
+from repro.bench import format_table
+from repro.core import deploy, offline_compile
+from repro.engine import FAST, REFERENCE
+from repro.semantics import Memory
+from repro.targets import X86, Simulator
+from repro.vm import VM
+from repro.workloads import TABLE1
+
+from conftest import SMOKE, register_report
+
+KERNELS = ("sum_u8",) if SMOKE else tuple(TABLE1)
+N = 64 if SMOKE else 512
+SEED = 7
+REPEATS = 3 if SMOKE else 5
+MEMORY_BYTES = 1 << 21
+ENGINES = (FAST, REFERENCE)
+
+
+def _vm_measure(artifact, kernel, engine):
+    """(instructions, best seconds) for one VM call."""
+    best = float("inf")
+    instructions = None
+    for _ in range(REPEATS):
+        memory = Memory(MEMORY_BYTES)
+        run = kernel.prepare(memory, N, SEED)
+        vm = VM(artifact.bytecode, memory=memory, verify=False,
+                engine=engine)
+        start = time.perf_counter()
+        vm.call(kernel.entry, run.args)
+        best = min(best, time.perf_counter() - start)
+        instructions = vm.instructions_executed
+    return instructions, best
+
+
+def _sim_measure(compiled, kernel, engine):
+    """(instructions, cycles, best seconds) for one simulated call."""
+    best = float("inf")
+    counts = None
+    for _ in range(REPEATS):
+        memory = Memory(MEMORY_BYTES)
+        run = kernel.prepare(memory, N, SEED)
+        simulator = Simulator(compiled, memory, engine=engine)
+        start = time.perf_counter()
+        result = simulator.run(kernel.entry, run.args)
+        best = min(best, time.perf_counter() - start)
+        counts = (result.instructions, result.cycles)
+    return counts, best
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    rows = []
+    for name in KERNELS:
+        kernel = TABLE1[name]
+        artifact = offline_compile(kernel.source)
+        compiled = deploy(artifact, X86, "split")
+
+        vm = {}
+        for engine in ENGINES:
+            instructions, seconds = _vm_measure(artifact, kernel,
+                                                engine)
+            vm[engine] = (instructions, instructions / seconds / 1e6)
+        assert vm[FAST][0] == vm[REFERENCE][0], \
+            f"{name}: engines executed different instruction counts"
+
+        sim = {}
+        for engine in ENGINES:
+            counts, seconds = _sim_measure(compiled, kernel, engine)
+            sim[engine] = (counts, counts[0] / seconds / 1e6)
+        assert sim[FAST][0] == sim[REFERENCE][0], \
+            f"{name}: engines disagree on instructions/cycles"
+
+        rows.append({
+            "kernel": name,
+            "vm_instructions": vm[FAST][0],
+            "vm_fast_mips": vm[FAST][1],
+            "vm_reference_mips": vm[REFERENCE][1],
+            "vm_speedup": vm[FAST][1] / vm[REFERENCE][1],
+            "sim_instructions": sim[FAST][0][0],
+            "sim_cycles": sim[FAST][0][1],
+            "sim_fast_mips": sim[FAST][1],
+            "sim_reference_mips": sim[REFERENCE][1],
+            "sim_speedup": sim[FAST][1] / sim[REFERENCE][1],
+        })
+    return rows
+
+
+@pytest.fixture(scope="module")
+def report(measurements):
+    table_rows = [
+        (row["kernel"],
+         f"{row['vm_fast_mips']:.2f}", f"{row['vm_reference_mips']:.2f}",
+         f"{row['vm_speedup']:.1f}x",
+         f"{row['sim_fast_mips']:.2f}",
+         f"{row['sim_reference_mips']:.2f}",
+         f"{row['sim_speedup']:.1f}x")
+        for row in measurements
+    ]
+    table = format_table(
+        ["kernel", "VM fast", "VM ref", "VM gain",
+         "sim fast", "sim ref", "sim gain"],
+        table_rows,
+        title=f"Execution-core throughput, MIPS (n={N}, "
+              f"best of {REPEATS})")
+    register_report("interp_throughput", table, data={
+        "n": N,
+        "repeats": REPEATS,
+        "engines": list(ENGINES),
+        "kernels": measurements,
+    })
+    return table
+
+
+class TestThroughput:
+    def test_fast_vm_never_below_reference(self, measurements, report):
+        """The CI sanity floor: predecode must never lose to the
+        string ladder."""
+        for row in measurements:
+            assert row["vm_speedup"] >= 1.0, \
+                f"{row['kernel']}: fast VM slower than reference " \
+                f"({row['vm_speedup']:.2f}x)"
+
+    def test_fast_simulator_never_below_reference(self, measurements):
+        for row in measurements:
+            assert row["sim_speedup"] >= 1.0, \
+                f"{row['kernel']}: fast simulator slower than " \
+                f"reference ({row['sim_speedup']:.2f}x)"
+
+    @pytest.mark.skipif(SMOKE, reason="full-size runs only")
+    def test_saxpy_meets_speedup_targets(self, measurements):
+        """The tentpole targets on the anchor kernel — asserted with
+        headroom below the committed numbers to stay robust to slow
+        CI hosts."""
+        row = next(r for r in measurements if r["kernel"] == "saxpy_fp")
+        assert row["vm_speedup"] >= 3.0, \
+            f"VM speedup degraded to {row['vm_speedup']:.2f}x"
+        assert row["sim_speedup"] >= 2.0, \
+            f"simulator speedup degraded to {row['sim_speedup']:.2f}x"
+
+
+def test_bench_fast_vm_call(benchmark):
+    """Steady-state fast-engine VM latency on the anchor kernel."""
+    kernel = TABLE1["sum_u8" if SMOKE else "saxpy_fp"]
+    artifact = offline_compile(kernel.source)
+    memory = Memory(MEMORY_BYTES)
+    run = kernel.prepare(memory, N, SEED)
+    vm = VM(artifact.bytecode, memory=memory, verify=False, engine=FAST)
+    benchmark.pedantic(lambda: vm.call(kernel.entry, run.args),
+                       rounds=5, iterations=3)

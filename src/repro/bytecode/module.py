@@ -62,6 +62,34 @@ class BytecodeFunction:
             offset += slot.size
         return offsets
 
+    # -- predecode cache hook -------------------------------------------------
+    #
+    # The fast execution engine (repro.vm.threaded) translates ``code``
+    # into handler closures once and parks the result here, keyed by a
+    # cheap structural token so in-place edits (peephole rewrites,
+    # hand-mutation in tests) invalidate it by content.  The cache
+    # rides on the function object, so every VM over the same module —
+    # including ``strip_annotations`` copies, which share function
+    # objects — reuses one predecode.
+
+    def content_token(self) -> List:
+        """Structural identity of everything the predecode bakes in:
+        the code, plus the signature/frame/local layout it derives
+        defaults and offsets from.  Any in-place edit changes it."""
+        return [tuple(self.param_types), self.ret_type,
+                tuple(self.local_types),
+                [(s.name, s.size, s.align) for s in self.frame_slots],
+                [(i.op, i.ty, i.arg) for i in self.code]]
+
+    def cached_predecode(self, token):
+        cached = getattr(self, "_predecode_cache", None)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        return None
+
+    def store_predecode(self, token, payload) -> None:
+        self._predecode_cache = (token, payload)
+
 
 @dataclass
 class BytecodeModule:

@@ -1,0 +1,145 @@
+"""Execution-engine selection for the VM and the target simulators.
+
+Two engines execute everything in this reproduction:
+
+* ``fast`` (the default) — predecode + closure threading: a one-time
+  per-function pass translates the code into a tuple of specialized
+  handler closures (opcode, types and operand locations resolved at
+  decode time), fed by the type-specialized semantics kernels of
+  :mod:`repro.semantics.kernels`.
+* ``reference`` — the original string-ladder interpreters
+  (``VM._run`` / ``Simulator._call``), kept verbatim as the semantic
+  oracle.  The differential suite asserts byte-identical values,
+  traps and cycle/instruction counts between the two.
+
+The process-wide default comes from the ``PVI_ENGINE`` environment
+variable; ``VM(..., engine=...)`` and ``Simulator(..., engine=...)``
+override it per instance.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+FAST = "fast"
+REFERENCE = "reference"
+ENGINES = (FAST, REFERENCE)
+
+#: environment variable naming the process-wide default engine
+ENGINE_ENV = "PVI_ENGINE"
+
+#: environment gate for predecoding JIT output eagerly at compile time
+JIT_PREDECODE_ENV = "PVI_JIT_PREDECODE"
+
+
+def default_engine() -> str:
+    """The engine named by ``PVI_ENGINE`` (``fast`` when unset)."""
+    value = os.environ.get(ENGINE_ENV, "").strip().lower()
+    if not value:
+        return FAST
+    if value in ENGINES:
+        return value
+    raise ValueError(f"{ENGINE_ENV} must be one of {ENGINES}, "
+                     f"got {value!r}")
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Validate an explicit engine choice; ``None`` means the
+    process-wide default."""
+    if engine is None:
+        return default_engine()
+    if engine in ENGINES:
+        return engine
+    raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+
+
+def predecode_at_jit() -> bool:
+    """Should the JIT warm the machine-code predecode cache eagerly at
+    compile time?  Off by default: predecode is lazy and cached on the
+    function object, so the first simulation pays it exactly once per
+    image anyway — eager warming only moves that cost onto the cold
+    compile path (latency-sensitive deployments that want decode-free
+    first dispatch opt in, or call ``repro.targets.warm_module``)."""
+    value = os.environ.get(JIT_PREDECODE_ENV, "").strip().lower()
+    return value in ("1", "true", "yes", "on")
+
+
+class MeterTrip(Exception):
+    """Internal to the fast engines: a block-entry fuel debit crossed
+    the limit.  The dispatch loop catches it and re-executes the block
+    instruction-by-instruction (the *metered* path), so the fuel trap
+    lands on exactly the instruction the reference engine would have
+    trapped on — and an earlier non-fuel trap inside the block still
+    wins, as it would per-instruction."""
+
+    def __init__(self, pc: int):
+        super().__init__(pc)
+        self.pc = pc
+
+
+# ---------------------------------------------------------------------------
+# shared predecode machinery (used by repro.vm.threaded and
+# repro.targets.dispatch — one copy, so the fuel-block partitioning
+# and the debit/rollback pattern can never drift between the engines)
+# ---------------------------------------------------------------------------
+
+#: 64-bit address mask literal for generated code
+MASK64_LITERAL = "0xFFFFFFFFFFFFFFFF"
+
+
+def fuel_blocks(code) -> dict:
+    """leader pc -> block length over a flat instruction list.
+
+    Fuel blocks are maximal straight-line runs: they end at branches,
+    ``ret`` *and* ``call`` (inclusive), so a callee's fuel debits
+    interleave with the caller's exactly as per-instruction accounting
+    would.  Both instruction forms use ``op``/``arg`` identically for
+    the ops that matter here.
+    """
+    n = len(code)
+    leaders = {0}
+    for index, instr in enumerate(code):
+        op = instr.op
+        if op in ("br", "brif"):
+            target = instr.arg
+            if isinstance(target, int) and 0 <= target < n:
+                leaders.add(target)
+            leaders.add(index + 1)
+        elif op in ("ret", "call"):
+            leaders.add(index + 1)
+    ordered = sorted(leader for leader in leaders if leader < n)
+    lengths = {}
+    for position, leader in enumerate(ordered):
+        end = ordered[position + 1] if position + 1 < len(ordered) else n
+        lengths[leader] = end - leader
+    return lengths
+
+
+class CodegenEnv:
+    """Names codegen-time constants into an exec environment."""
+
+    def __init__(self, env: dict):
+        self.env = env
+
+    def bind(self, value, prefix: str = "g") -> str:
+        name = f"{prefix}{len(self.env)}"
+        self.env[name] = value
+        return name
+
+
+def normalize_branch_target(target, n: int):
+    """Clamp an out-of-range branch target to ``n`` (the tail handler,
+    which raises the fell-off-code-end trap).
+
+    Machine code has no verifier, so malformed targets must not slip
+    through the fast engine's ``pc >= 0`` dispatch check: a negative
+    target would silently end the call and a target past the tail
+    would IndexError.  Both reference ladders trap out-of-range pcs
+    with "fell off code end", so redirecting to the tail preserves
+    exact trap parity.  Non-int targets pass through untouched — they
+    fail at dispatch time in both engines.
+    """
+    if isinstance(target, int) and not 0 <= target <= n:
+        return n
+    return target

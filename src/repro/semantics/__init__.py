@@ -11,13 +11,18 @@ from repro.semantics.errors import TrapError
 from repro.semantics.scalar import (
     eval_binop, eval_unop, eval_cmp, eval_cast, round_float,
 )
-from repro.semantics.memory import Memory
+from repro.semantics.memory import Memory, scalar_struct, vector_struct
 from repro.semantics.vector import (
     vec_binop, vec_splat, vec_reduce, vec_cmp_lanes,
 )
+from repro.semantics.kernels import (
+    binop_kernel, cast_kernel, cmp_kernel, unop_kernel, vec_binop_kernel,
+)
 
 __all__ = [
-    "TrapError", "Memory",
+    "TrapError", "Memory", "scalar_struct", "vector_struct",
     "eval_binop", "eval_unop", "eval_cmp", "eval_cast", "round_float",
     "vec_binop", "vec_splat", "vec_reduce", "vec_cmp_lanes",
+    "binop_kernel", "cast_kernel", "cmp_kernel", "unop_kernel",
+    "vec_binop_kernel",
 ]

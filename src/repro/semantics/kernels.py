@@ -1,0 +1,456 @@
+"""Type-specialized semantics kernels.
+
+Precomputed ``(op, type) -> callable`` tables that replace the
+per-call ``isinstance`` ladders of :mod:`repro.semantics.scalar` on
+the hot execution paths.  Each kernel is a closure with the type's
+constants — bit width, wrap mask, sign bit, IEEE rounding — resolved
+at table-build time, so an executing engine pays one dict lookup per
+*decoded* instruction instead of an isinstance ladder per *executed*
+instruction.
+
+Parity with the reference ladder (``eval_binop`` / ``eval_unop`` /
+``eval_cmp`` / ``eval_cast``) is non-negotiable, including trap
+messages; ``tests/test_semantics_kernels.py`` sweeps every (op, type)
+pair against the reference to enforce it.  Lookups for combinations
+outside the precomputed tables (exotic types, undefined ops) fall back
+to closures over the reference functions, so behaviour never diverges.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Callable, Dict, Tuple
+
+from repro.lang import types as ty
+from repro.semantics.errors import TrapError
+from repro.semantics.scalar import (
+    _CMP_FUNCS, eval_binop, eval_cast, eval_cmp, eval_unop,
+)
+
+#: the scalar types the tables are built for
+SCALAR_TYPES = ty.INT_TYPES + ty.FLOAT_TYPES
+
+_F32 = struct.Struct("<f")
+_PACK32 = _F32.pack
+_UNPACK32 = _F32.unpack
+
+_NAN = math.nan
+_INF = math.inf
+_COPYSIGN = math.copysign
+
+
+def _round32(value: float) -> float:
+    return _UNPACK32(_PACK32(value))[0]
+
+
+# ---------------------------------------------------------------------------
+# integer kernels
+# ---------------------------------------------------------------------------
+
+def _int_binops(int_ty: ty.IntType) -> Dict[str, Callable]:
+    bits = int_ty.bits
+    mask = (1 << bits) - 1
+    sign = 1 << (bits - 1)
+    excess = 1 << bits
+    shift_mask = bits - 1
+
+    if int_ty.signed:
+        def wrap(r):
+            r &= mask
+            return r - excess if r >= sign else r
+    else:
+        def wrap(r):
+            return r & mask
+
+    def add(a, b):
+        r = (a + b) & mask
+        return r
+
+    def sub(a, b):
+        r = (a - b) & mask
+        return r
+
+    def mul(a, b):
+        r = (a * b) & mask
+        return r
+
+    if int_ty.signed:
+        def add(a, b):                                    # noqa: F811
+            r = (a + b) & mask
+            return r - excess if r >= sign else r
+
+        def sub(a, b):                                    # noqa: F811
+            r = (a - b) & mask
+            return r - excess if r >= sign else r
+
+        def mul(a, b):                                    # noqa: F811
+            r = (a * b) & mask
+            return r - excess if r >= sign else r
+
+    def div(a, b):
+        if b == 0:
+            raise TrapError("integer division by zero")
+        q = abs(a) // abs(b)
+        return wrap(q if (a >= 0) == (b >= 0) else -q)
+
+    def rem(a, b):
+        if b == 0:
+            raise TrapError("integer remainder by zero")
+        q = abs(a) // abs(b)
+        q = q if (a >= 0) == (b >= 0) else -q
+        return wrap(a - q * b)
+
+    def and_(a, b):
+        return wrap((a & mask) & (b & mask))
+
+    def or_(a, b):
+        return wrap((a & mask) | (b & mask))
+
+    def xor(a, b):
+        return wrap((a & mask) ^ (b & mask))
+
+    def shl(a, b):
+        return wrap(a << (b & shift_mask))
+
+    if int_ty.signed:
+        def shr(a, b):
+            return wrap(a >> (b & shift_mask))            # arithmetic
+    else:
+        def shr(a, b):
+            return wrap((a & mask) >> (b & shift_mask))
+
+    def min_(a, b):
+        return wrap(min(a, b))
+
+    def max_(a, b):
+        return wrap(max(a, b))
+
+    return {"add": add, "sub": sub, "mul": mul, "div": div, "rem": rem,
+            "and": and_, "or": or_, "xor": xor, "shl": shl, "shr": shr,
+            "min": min_, "max": max_}
+
+
+# ---------------------------------------------------------------------------
+# float kernels
+# ---------------------------------------------------------------------------
+
+def _float_binops(float_ty: ty.FloatType) -> Dict[str, Callable]:
+    single = float_ty.bits == 32
+
+    def _div_value(a, b):
+        if b == 0.0:
+            # IEEE semantics: inf/nan rather than a trap.
+            if a == 0.0 or a != a:
+                return _NAN
+            return _INF if (a > 0) == (not _COPYSIGN(1, b) < 0) else -_INF
+        return a / b
+
+    if single:
+        rnd = _round32
+
+        def add(a, b):
+            return rnd(a + b)
+
+        def sub(a, b):
+            return rnd(a - b)
+
+        def mul(a, b):
+            return rnd(a * b)
+
+        def div(a, b):
+            return rnd(_div_value(a, b))
+
+        def min_(a, b):
+            return rnd(min(a, b))
+
+        def max_(a, b):
+            return rnd(max(a, b))
+    else:
+        def add(a, b):
+            return a + b
+
+        def sub(a, b):
+            return a - b
+
+        def mul(a, b):
+            return a * b
+
+        div = _div_value
+
+        def min_(a, b):
+            return min(a, b)
+
+        def max_(a, b):
+            return max(a, b)
+
+    return {"add": add, "sub": sub, "mul": mul, "div": div,
+            "min": min_, "max": max_}
+
+
+# ---------------------------------------------------------------------------
+# comparisons
+# ---------------------------------------------------------------------------
+
+def _cmp_kernels(value_ty) -> Dict[str, Callable]:
+    out: Dict[str, Callable] = {}
+    if isinstance(value_ty, ty.IntType) and not value_ty.signed:
+        mask = (1 << value_ty.bits) - 1
+        for pred, fn in _CMP_FUNCS.items():
+            def k(a, b, _fn=fn, _mask=mask):
+                return 1 if _fn(a & _mask, b & _mask) else 0
+            out[pred] = k
+    elif isinstance(value_ty, ty.IntType):
+        for pred, fn in _CMP_FUNCS.items():
+            def k(a, b, _fn=fn):
+                return 1 if _fn(a, b) else 0
+            out[pred] = k
+    else:
+        for pred, fn in _CMP_FUNCS.items():
+            nan_result = 1 if pred == "ne" else 0
+            def k(a, b, _fn=fn, _nan=nan_result):
+                if a != a or b != b:        # unordered (NaN) operands
+                    return _nan
+                return 1 if _fn(a, b) else 0
+            out[pred] = k
+    return out
+
+
+# ---------------------------------------------------------------------------
+# unary ops and casts
+# ---------------------------------------------------------------------------
+
+def _unop_kernels(value_ty) -> Dict[str, Callable]:
+    if isinstance(value_ty, ty.FloatType):
+        if value_ty.bits == 32:
+            def neg(a):
+                return _round32(-a)
+        else:
+            def neg(a):
+                return -a
+        return {"neg": neg}
+    mask = (1 << value_ty.bits) - 1
+    sign = 1 << (value_ty.bits - 1)
+    excess = 1 << value_ty.bits
+    if value_ty.signed:
+        def _wrap(r):
+            r &= mask
+            return r - excess if r >= sign else r
+    else:
+        def _wrap(r):
+            return r & mask
+
+    def neg(a):                                           # noqa: F811
+        return _wrap(-a)
+
+    def not_(a):
+        return _wrap(~a)
+
+    return {"neg": neg, "not": not_}
+
+
+def identity_kernel(value):
+    """The no-op kernel: shared so engines can recognize (``is``) and
+    elide value-preserving casts at decode time."""
+    return value
+
+
+def _int_cast_is_identity(from_ty: ty.IntType, to_ty: ty.IntType) -> bool:
+    """Is int->int conversion value-preserving for every in-range
+    input?  (Widening within a signedness, or unsigned into a strictly
+    wider signed type.)"""
+    if from_ty.signed == to_ty.signed:
+        return from_ty.bits <= to_ty.bits
+    return not from_ty.signed and to_ty.signed \
+        and from_ty.bits < to_ty.bits
+
+
+def _cast_kernel_for(from_ty, to_ty) -> Callable:
+    if from_ty == to_ty:
+        return identity_kernel
+    if isinstance(from_ty, ty.IntType) and isinstance(to_ty, ty.IntType) \
+            and _int_cast_is_identity(from_ty, to_ty):
+        return identity_kernel
+    if isinstance(to_ty, ty.IntType):
+        mask = (1 << to_ty.bits) - 1
+        sign = 1 << (to_ty.bits - 1)
+        excess = 1 << to_ty.bits
+        signed = to_ty.signed
+        from_float = isinstance(from_ty, ty.FloatType)
+
+        def to_int(value):
+            if from_float:
+                if value != value or value == _INF or value == -_INF:
+                    return 0        # defined (C leaves it undefined)
+                value = int(value)
+            r = value & mask
+            if signed and r >= sign:
+                return r - excess
+            return r
+        return to_int
+    if to_ty.bits == 32:
+        def to_f32(value):
+            return _round32(float(value))
+        return to_f32
+
+    def to_f64(value):
+        return float(value)
+    return to_f64
+
+
+# ---------------------------------------------------------------------------
+# the tables and their lookup API
+# ---------------------------------------------------------------------------
+
+BINOP_KERNELS: Dict[Tuple[str, object], Callable] = {}
+CMP_KERNELS: Dict[Tuple[str, object], Callable] = {}
+UNOP_KERNELS: Dict[Tuple[str, object], Callable] = {}
+CAST_KERNELS: Dict[Tuple[object, object], Callable] = {}
+
+for _t in SCALAR_TYPES:
+    _ops = _int_binops(_t) if isinstance(_t, ty.IntType) \
+        else _float_binops(_t)
+    for _op, _k in _ops.items():
+        BINOP_KERNELS[(_op, _t)] = _k
+    for _pred, _k in _cmp_kernels(_t).items():
+        CMP_KERNELS[(_pred, _t)] = _k
+    for _op, _k in _unop_kernels(_t).items():
+        UNOP_KERNELS[(_op, _t)] = _k
+    for _to in SCALAR_TYPES:
+        CAST_KERNELS[(_t, _to)] = _cast_kernel_for(_t, _to)
+
+
+def binop_kernel(op: str, value_ty) -> Callable:
+    """``a op b`` evaluator specialized to ``value_ty``.  Unknown
+    combinations defer to :func:`eval_binop` so traps and messages
+    stay byte-identical with the reference ladder."""
+    kernel = BINOP_KERNELS.get((op, value_ty))
+    if kernel is None:
+        def kernel(a, b, _op=op, _ty=value_ty):
+            return eval_binop(_op, _ty, a, b)
+    return kernel
+
+
+def cmp_kernel(pred: str, value_ty) -> Callable:
+    kernel = CMP_KERNELS.get((pred, value_ty))
+    if kernel is None:
+        def kernel(a, b, _pred=pred, _ty=value_ty):
+            return eval_cmp(_pred, _ty, a, b)
+    return kernel
+
+
+def unop_kernel(op: str, value_ty) -> Callable:
+    kernel = UNOP_KERNELS.get((op, value_ty))
+    if kernel is None:
+        def kernel(a, _op=op, _ty=value_ty):
+            return eval_unop(_op, _ty, a)
+    return kernel
+
+
+def cast_kernel(from_ty, to_ty) -> Callable:
+    kernel = CAST_KERNELS.get((from_ty, to_ty))
+    if kernel is None:
+        def kernel(value, _f=from_ty, _t=to_ty):
+            return eval_cast(value, _f, _t)
+    return kernel
+
+
+def _generic_vec_kernel(op: str, elem_ty) -> Callable:
+    kernel = binop_kernel(op, elem_ty)
+
+    def vec_kernel(a, b, _k=kernel):
+        if len(a) != len(b):
+            raise TrapError("vector lane count mismatch")
+        return [_k(x, y) for x, y in zip(a, b)]
+    return vec_kernel
+
+
+def _f32_quad_vec_kernel(op: str) -> Callable:
+    """4-lane f32 binop: compute raw lane results, then round all four
+    through one ``<4f`` pack/unpack round trip (identical per-lane
+    rounding to the scalar kernel, two struct calls instead of eight)."""
+    quad = struct.Struct("<4f")
+    qpack, qunpack = quad.pack, quad.unpack
+    generic = _generic_vec_kernel(op, ty.F32)
+    fn = {"add": lambda x, y: x + y, "sub": lambda x, y: x - y,
+          "mul": lambda x, y: x * y, "min": min, "max": max}[op]
+
+    if op == "add":
+        def vec_kernel(a, b):
+            if len(a) != 4 or len(b) != 4:
+                return generic(a, b)
+            x0, x1, x2, x3 = a
+            y0, y1, y2, y3 = b
+            return list(qunpack(qpack(x0 + y0, x1 + y1,
+                                      x2 + y2, x3 + y3)))
+    elif op == "mul":
+        def vec_kernel(a, b):
+            if len(a) != 4 or len(b) != 4:
+                return generic(a, b)
+            x0, x1, x2, x3 = a
+            y0, y1, y2, y3 = b
+            return list(qunpack(qpack(x0 * y0, x1 * y1,
+                                      x2 * y2, x3 * y3)))
+    else:
+        def vec_kernel(a, b):
+            if len(a) != 4 or len(b) != 4:
+                return generic(a, b)
+            return list(qunpack(qpack(fn(a[0], b[0]), fn(a[1], b[1]),
+                                      fn(a[2], b[2]), fn(a[3], b[3]))))
+    return vec_kernel
+
+
+def _int_lane_vec_kernel(op: str, int_ty: ty.IntType) -> Callable:
+    """Lane-wise int binop with the wrap arithmetic inlined in the
+    comprehension — no per-lane kernel call."""
+    mask = (1 << int_ty.bits) - 1
+    sign = 1 << (int_ty.bits - 1)
+    excess = 1 << int_ty.bits
+    expr = {"add": lambda x, y: x + y, "sub": lambda x, y: x - y,
+            "mul": lambda x, y: x * y, "min": min, "max": max,
+            "and": lambda x, y: (x & mask) & (y & mask),
+            "or": lambda x, y: (x & mask) | (y & mask),
+            "xor": lambda x, y: (x & mask) ^ (y & mask)}[op]
+
+    if int_ty.signed:
+        def vec_kernel(a, b, _f=expr):
+            if len(a) != len(b):
+                raise TrapError("vector lane count mismatch")
+            return [r - excess if r >= sign else r
+                    for r in [_f(x, y) & mask for x, y in zip(a, b)]]
+    else:
+        def vec_kernel(a, b, _f=expr):
+            if len(a) != len(b):
+                raise TrapError("vector lane count mismatch")
+            return [_f(x, y) & mask for x, y in zip(a, b)]
+    return vec_kernel
+
+
+def _f64_vec_kernel(op: str) -> Callable:
+    fn = {"add": lambda x, y: x + y, "sub": lambda x, y: x - y,
+          "mul": lambda x, y: x * y, "min": min, "max": max}[op]
+
+    def vec_kernel(a, b, _f=fn):
+        if len(a) != len(b):
+            raise TrapError("vector lane count mismatch")
+        return [_f(x, y) for x, y in zip(a, b)]
+    return vec_kernel
+
+
+#: specialized lane-wise kernels for the hot (op, element) combos;
+#: everything else goes through the per-lane scalar kernel
+VEC_BINOP_KERNELS: Dict[Tuple[str, object], Callable] = {}
+for _op in ("add", "sub", "mul", "min", "max"):
+    VEC_BINOP_KERNELS[(_op, ty.F32)] = _f32_quad_vec_kernel(_op)
+    VEC_BINOP_KERNELS[(_op, ty.F64)] = _f64_vec_kernel(_op)
+for _t in ty.INT_TYPES:
+    for _op in ("add", "sub", "mul", "min", "max", "and", "or", "xor"):
+        VEC_BINOP_KERNELS[(_op, _t)] = _int_lane_vec_kernel(_op, _t)
+
+
+def vec_binop_kernel(op: str, elem_ty) -> Callable:
+    """Lane-wise binop over list vectors, built on the scalar kernel."""
+    kernel = VEC_BINOP_KERNELS.get((op, elem_ty))
+    if kernel is None:
+        kernel = _generic_vec_kernel(op, elem_ty)
+    return kernel

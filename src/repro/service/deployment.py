@@ -216,5 +216,11 @@ class DeploymentPool:
     @staticmethod
     def _compile(artifact: OfflineArtifact, target: TargetDesc,
                  flow: Flow) -> CompiledModule:
+        # No eager predecode here: the fast engine predecodes lazily
+        # and caches on the function object, so the first simulation
+        # of a memoized image pays decode exactly once — warming
+        # eagerly would tax the latency-sensitive cold-deploy path
+        # instead (callers that want decode-free first dispatch can
+        # `warm_module` the returned image, or set PVI_JIT_PREDECODE).
         return compile_for_target(select_bytecode(artifact, flow),
                                   target, flow)

@@ -10,17 +10,25 @@ machines (see DESIGN.md, substitution table).
 
 The three Table 1 targets plus two extras for the heterogeneous
 experiments are exported as ready-made descriptors.
+
+The simulator has two engines (see :mod:`repro.engine` and DESIGN.md
+§2): ``fast`` (default) executes predecoded, block-compiled handler
+closures over flat register files (:mod:`repro.targets.dispatch`);
+``reference`` is the original instruction ladder.  Cycle counts are
+identical by construction — engines change host speed, never modeled
+cost.
 """
 
 from repro.targets.machine import CostModel, TargetDesc
 from repro.targets.isa import MInst, Reg
 from repro.targets.simulator import SimulationResult, Simulator
+from repro.targets.dispatch import warm_module
 from repro.targets.catalog import (
     DSP, HOST, PPC, SPARC, X86, TARGETS, target_by_name,
 )
 
 __all__ = [
     "CostModel", "TargetDesc", "MInst", "Reg",
-    "Simulator", "SimulationResult",
+    "Simulator", "SimulationResult", "warm_module",
     "X86", "SPARC", "PPC", "DSP", "HOST", "TARGETS", "target_by_name",
 ]

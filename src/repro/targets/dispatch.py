@@ -1,0 +1,744 @@
+"""Predecoded, block-threaded execution core for the machine simulator.
+
+The reference simulator (``Simulator._call``) re-dispatches every
+:class:`~repro.targets.isa.MInst` through a string ladder, keeps
+register files as dict-of-dicts, creates a fresh ``read()`` closure
+per call and bumps five counters per executed instruction.  This
+module translates a :class:`~repro.targets.isa.CompiledFunction`
+**once** into handler closures over *flat-list* register files (an
+``_UNSET`` sentinel standing in for "never written"), with operand
+locations, semantics kernels and cycle costs resolved at decode time.
+
+Structure mirrors :mod:`repro.vm.threaded`: every *fuel block* (ending
+at a branch, ``ret`` or ``call``) compiles to one Python function that
+debits fuel **and all counters** (instructions, cycles, branches,
+spills, calls) on entry — blocks execute linearly to their terminator,
+so successful runs reproduce the reference engine's per-instruction
+totals exactly.  A debit crossing the fuel limit re-runs the block
+instruction-by-instruction via the raw closures
+(:class:`repro.engine.MeterTrip` -> ``Simulator._run_metered``), so
+the fuel trap lands on precisely the reference engine's instruction.
+Blocks whose code generation bails fall back to the raw closures with
+the same block-entry debit.
+
+The predecoded form is cached on the function object
+(``CompiledFunction.cached_predecode``) keyed by a structural content
+token, so the first simulation of an image pays decode exactly once no
+matter how many Simulators run it.  Latency-sensitive deployments can
+prepay it with :func:`warm_module` (or ``PVI_JIT_PREDECODE=1``, which
+makes the JIT warm every image it emits).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.engine import (
+    CodegenEnv, MASK64_LITERAL, MeterTrip, fuel_blocks,
+    normalize_branch_target,
+)
+from repro.lang import types as ty
+from repro.semantics.errors import TrapError
+from repro.semantics.kernels import (
+    binop_kernel, cast_kernel, cmp_kernel, identity_kernel, unop_kernel,
+    vec_binop_kernel,
+)
+from repro.semantics.memory import (
+    NULL_GUARD, PACK_COERCE_ERRORS, scalar_struct, vector_struct,
+)
+from repro.targets.isa import CompiledFunction, CompiledModule
+
+#: "register never written" sentinel for the flat register files
+UNSET = object()
+
+_REG_FILES = {"int": "ri", "flt": "rf", "vec": "rv"}
+_CLS_INDEX = {"int": 0, "flt": 1, "vec": 2}
+
+#: handler signature:
+#: (ri, rf, rv, slots, fb, mem, sim, res) -> pc   (-1 = returned)
+Handler = Callable
+
+
+class PredecodedMachine:
+    """One compiled function's decoded form."""
+
+    __slots__ = ("token", "handlers", "raw", "reg_counts", "param_locs",
+                 "frame_bytes")
+
+    def __init__(self, token, handlers, raw, reg_counts, param_locs,
+                 frame_bytes):
+        self.token = token
+        self.handlers = handlers
+        self.raw = raw
+        self.reg_counts = reg_counts          # (n_int, n_flt, n_vec)
+        self.param_locs = param_locs          # [(cls_index | -1, index)]
+        self.frame_bytes = frame_bytes
+
+
+def predecode_machine(func: CompiledFunction) -> PredecodedMachine:
+    """The (cached) predecoded form of ``func``."""
+    token = func.content_token()
+    cached = func.cached_predecode(token)
+    if cached is not None:
+        return cached
+    pre = _build(func, token)
+    func.store_predecode(token, pre)
+    return pre
+
+
+def warm_module(module: CompiledModule) -> CompiledModule:
+    """Predecode every function of an image (JIT/service warm hook)."""
+    for func in module.functions.values():
+        predecode_machine(func)
+    return module
+
+
+# ---------------------------------------------------------------------------
+# build
+# ---------------------------------------------------------------------------
+
+def _build(func: CompiledFunction, token) -> PredecodedMachine:
+    code = func.code
+    n = len(code)
+    name = func.name
+
+    def tail(ri, rf, rv, slots, fb, mem, sim, res):
+        raise TrapError(f"{name}: fell off code end")
+
+    raw: List[Handler] = [None] * (n + 1)
+    raw[n] = tail
+    for pc, instr in enumerate(code):
+        try:
+            raw[pc] = _make_raw_handler(name, pc, instr, n)
+        except Exception as exc:
+            def deferred(ri, rf, rv, slots, fb, mem, sim, res,
+                         _exc=exc):
+                raise _exc
+            raw[pc] = deferred
+
+    handlers = list(raw)
+    blocks = fuel_blocks(code)
+    env = {"TrapError": TrapError, "MeterTrip": MeterTrip,
+           "_PE": PACK_COERCE_ERRORS, "_UNSET": UNSET}
+    written_at_entry = _param_regs(func)
+    sources = []
+    compiled = {}
+    for leader, length in blocks.items():
+        try:
+            sources.append(_gen_block(name, code, leader, length, env,
+                                      written_at_entry))
+            compiled[leader] = f"_b{leader}"
+        except Exception:
+            handlers[leader] = _interp_block(code, raw, leader, length)
+    if sources:
+        try:
+            exec(compile("\n".join(sources), f"<pvi-sim:{name}>",
+                         "exec"), env)
+            for leader, block_name in compiled.items():
+                handlers[leader] = env[block_name]
+        except Exception:       # defensive: degrade, never break
+            for leader in compiled:
+                handlers[leader] = _interp_block(code, raw, leader,
+                                                 blocks[leader])
+
+    reg_counts = [0, 0, 0]
+    param_locs = []
+    for kind, index in func.param_locs:
+        if kind == "slot":
+            param_locs.append((-1, index))
+        else:
+            cls = _CLS_INDEX[kind]
+            param_locs.append((cls, index))
+            reg_counts[cls] = max(reg_counts[cls], index + 1)
+    for instr in code:
+        if instr.dst is not None and instr.dst[0] in _CLS_INDEX:
+            cls = _CLS_INDEX[instr.dst[0]]
+            reg_counts[cls] = max(reg_counts[cls], instr.dst[1] + 1)
+        for kind, value in instr.srcs:
+            if kind in _CLS_INDEX and isinstance(value, int):
+                cls = _CLS_INDEX[kind]
+                reg_counts[cls] = max(reg_counts[cls], value + 1)
+
+    return PredecodedMachine(token, handlers, raw, tuple(reg_counts),
+                             param_locs, func.frame_bytes)
+
+
+def _param_regs(func: CompiledFunction) -> set:
+    """(kind, index) registers guaranteed written at function entry."""
+    return {loc for loc in func.param_locs if loc[0] != "slot"}
+
+
+def _block_counters(code, leader: int, length: int) -> dict:
+    counters = {"cycles": 0, "branches": 0, "spill_loads": 0,
+                "spill_stores": 0, "calls": 0}
+    for instr in code[leader:leader + length]:
+        counters["cycles"] += instr.cost
+        if instr.op in ("br", "brif"):
+            counters["branches"] += 1
+        elif instr.op == "spill.ld":
+            counters["spill_loads"] += 1
+        elif instr.op == "spill.st":
+            counters["spill_stores"] += 1
+        elif instr.op == "call":
+            counters["calls"] += 1
+    return counters
+
+
+def _debit_lines(code, leader: int, length: int) -> List[str]:
+    counters = _block_counters(code, leader, length)
+    lines = [
+        f"executed = sim._executed + {length}",
+        "sim._executed = executed",
+        "if executed > sim.fuel:",
+        f"    sim._executed = executed - {length}",
+        f"    raise MeterTrip({leader})",
+        f"res.instructions += {length}",
+        f"res.cycles += {counters['cycles']}",
+    ]
+    for field in ("branches", "spill_loads", "spill_stores", "calls"):
+        if counters[field]:
+            lines.append(f"res.{field} += {counters[field]}")
+    return lines
+
+
+def _interp_block(code, raw, leader: int, length: int) -> Handler:
+    counters = _block_counters(code, leader, length)
+    cycles = counters["cycles"]
+    branches = counters["branches"]
+    spill_loads = counters["spill_loads"]
+    spill_stores = counters["spill_stores"]
+    calls = counters["calls"]
+
+    def block(ri, rf, rv, slots, fb, mem, sim, res):
+        executed = sim._executed + length
+        sim._executed = executed
+        if executed > sim.fuel:
+            sim._executed = executed - length
+            raise MeterTrip(leader)
+        res.instructions += length
+        res.cycles += cycles
+        if branches:
+            res.branches += branches
+        if spill_loads:
+            res.spill_loads += spill_loads
+        if spill_stores:
+            res.spill_stores += spill_stores
+        if calls:
+            res.calls += calls
+        pc = leader
+        step = length - 1
+        try:
+            for step in range(length):
+                pc = raw[pc](ri, rf, rv, slots, fb, mem, sim, res)
+        except Exception:
+            # roll the fuel debit back to the trapping instruction
+            # (res counters are unobservable after a trap)
+            sim._executed -= length - step - 1
+            raise
+        return pc
+    return block
+
+
+# ---------------------------------------------------------------------------
+# block code generation
+# ---------------------------------------------------------------------------
+
+def _gen_block(name: str, code, leader: int, length: int, env_dict,
+               written_at_entry: set) -> str:
+    env = CodegenEnv(env_dict)
+    lines: List[str] = []
+    written = set(written_at_entry)
+    counter = [0]
+
+    def newt() -> str:
+        counter[0] += 1
+        return f"t{counter[0]}"
+
+    def emit(text: str, indent: str = "") -> None:
+        lines.append(indent + text)
+
+    def read(operand, indent: str = "") -> str:
+        kind, value = operand
+        if kind == "imm":
+            if type(value) is int:
+                return f"({value!r})"
+            return env.bind(value, "c")
+        if kind == "slot":
+            raise ValueError("raw slot operand")      # -> fallback
+        reg_file = _REG_FILES[kind]
+        if (kind, value) in written:
+            return f"{reg_file}[{value}]"
+        t = newt()
+        emit(f"{t} = {reg_file}[{value}]", indent)
+        emit(f"if {t} is _UNSET:", indent)
+        message = env.bind(f"{name}: read of uninitialized register "
+                           f"{kind}{value}", "m")
+        emit(f"raise TrapError({message})", indent + "    ")
+        return t
+
+    def dst_of(instr) -> str:
+        kind, index = instr.dst
+        written.add((kind, index))
+        return f"{_REG_FILES[kind]}[{index}]"
+
+    def addr_of(instr, srcs, indent: str = "") -> str:
+        base = read(srcs[0], indent)
+        if len(srcs) > 1:
+            offset = read(srcs[1], indent)
+            t = newt()
+            emit(f"{t} = ({base}) + ({offset})", indent)
+            base = t
+        t = newt()
+        emit(f"{t} = ({base}) & {MASK64_LITERAL}", indent)
+        return t
+
+    def bounds(addr_var: str, size: int) -> None:
+        emit(f"if {addr_var} < {NULL_GUARD} or "
+             f"{addr_var} + {size} > mem.size:")
+        emit('raise TrapError(f"memory access out of bounds: '
+             'addr={' + addr_var + ':#x} size=' + str(size) + '")',
+             "    ")
+
+    exit_pc = leader + length
+
+    for pc in range(leader, exit_pc):
+        instr = code[pc]
+        op = instr.op
+        # Progress marker: if this instruction traps mid-block, the
+        # except clause rolls the block-entry fuel debit back to
+        # exactly the reference engine's per-instruction count.
+        marker_at = len(lines)
+
+        # NB: sources must be read (and uninitialized-register checked)
+        # *before* dst_of marks the destination written — a dst that
+        # aliases an unwritten source must still trap.
+        if op == "bin":
+            kernel = env.bind(binop_kernel(instr.arg, instr.ty), "k")
+            a = read(instr.srcs[0])
+            b = read(instr.srcs[1])
+            emit(f"{dst_of(instr)} = {kernel}({a}, {b})")
+        elif op == "mov":
+            source = read(instr.srcs[0])
+            emit(f"{dst_of(instr)} = {source}")
+        elif op == "cmp":
+            kernel = env.bind(cmp_kernel(instr.arg, instr.ty), "k")
+            a = read(instr.srcs[0])
+            b = read(instr.srcs[1])
+            emit(f"{dst_of(instr)} = {kernel}({a}, {b})")
+        elif op == "un":
+            kernel = env.bind(unop_kernel(instr.arg, instr.ty), "k")
+            source = read(instr.srcs[0])
+            emit(f"{dst_of(instr)} = {kernel}({source})")
+        elif op == "cast":
+            from_ty, to_ty = instr.arg
+            kernel = cast_kernel(from_ty, to_ty)
+            source = read(instr.srcs[0])
+            if kernel is identity_kernel:
+                emit(f"{dst_of(instr)} = {source}")
+            else:
+                emit(f"{dst_of(instr)} = "
+                     f"{env.bind(kernel, 'k')}({source})")
+        elif op == "select":
+            # Lazy like the reference: only the chosen operand is read
+            # (and only it gets the uninitialized-register check); the
+            # destination counts as written only after both branches
+            # are generated, so a dst-aliasing operand still checks.
+            cond = read(instr.srcs[0])
+            kind, index = instr.dst
+            dst = f"{_REG_FILES[kind]}[{index}]"
+            emit(f"if ({cond}) != 0:")
+            taken = read(instr.srcs[1], "    ")
+            emit(f"{dst} = {taken}", "    ")
+            emit("else:")
+            untaken = read(instr.srcs[2], "    ")
+            emit(f"{dst} = {untaken}", "    ")
+            written.add((kind, index))
+        elif op == "load":
+            packer = scalar_struct(instr.ty)
+            unpack = env.bind(packer.unpack_from, "u")
+            addr = addr_of(instr, instr.srcs)
+            bounds(addr, packer.size)
+            emit(f"{dst_of(instr)} = {unpack}(mem.data, {addr})[0]")
+        elif op == "store":
+            packer = scalar_struct(instr.ty)
+            pack = env.bind(packer.pack_into, "p")
+            if isinstance(instr.ty, ty.IntType):
+                coerce = env.bind(
+                    lambda v, _t=instr.ty: ty.wrap_int(int(v), _t), "w")
+            else:
+                coerce = "float"
+            addr = addr_of(instr, instr.srcs[:-1])
+            value = read(instr.srcs[-1])
+            bounds(addr, packer.size)
+            emit("try:")
+            emit(f"{pack}(mem.data, {addr}, {value})", "    ")
+            emit("except _PE:")
+            emit(f"{pack}(mem.data, {addr}, {coerce}({value}))", "    ")
+        elif op == "lea.frame":
+            emit(f"{dst_of(instr)} = fb + {instr.arg}")
+        elif op == "spill.ld":
+            message = env.bind(f"{name}: reload of empty spill slot "
+                               f"{instr.arg}", "m")
+            emit("try:")
+            emit(f"{dst_of(instr)} = slots[{instr.arg}]", "    ")
+            emit("except KeyError:")
+            emit(f"raise TrapError({message})", "    ")
+        elif op == "spill.st":
+            emit(f"slots[{instr.arg}] = {read(instr.srcs[0])}")
+        elif op == "br":
+            target = normalize_branch_target(instr.arg, len(code))
+            if not isinstance(target, int):
+                raise ValueError("non-integer branch target")  # -> raw
+            emit(f"return {target}")
+        elif op == "brif":
+            target = normalize_branch_target(instr.arg, len(code))
+            if not isinstance(target, int):
+                raise ValueError("non-integer branch target")  # -> raw
+            cond = read(instr.srcs[0])
+            emit(f"return {target} if ({cond}) != 0 else {exit_pc}")
+        elif op == "call":
+            callee = env.bind(instr.arg, "n")
+            values = []
+            for operand in instr.srcs:
+                if operand[0] == "slot":
+                    # KeyError propagates raw, exactly like the
+                    # reference's direct slots[...] access; read into
+                    # a temp so operand traps keep their source order
+                    t = newt()
+                    emit(f"{t} = slots[{operand[1]}]")
+                    values.append(t)
+                else:
+                    values.append(read(operand))
+            result = newt()
+            emit(f"{result} = sim._call_fast(sim.module.functions"
+                 f"[{callee}], [{', '.join(values)}], res)")
+            if instr.dst is not None:
+                emit(f"{dst_of(instr)} = {result}")
+            emit(f"return {exit_pc}")
+        elif op == "ret":
+            if instr.srcs:
+                emit(f"sim._ret = {read(instr.srcs[0])}")
+            else:
+                emit("sim._ret = None")
+            emit("return -1")
+        elif op == "vload":
+            packer = vector_struct(instr.ty.elem, instr.ty.lanes)
+            unpack = env.bind(packer.unpack_from, "u")
+            addr = addr_of(instr, instr.srcs)
+            bounds(addr, packer.size)
+            emit(f"{dst_of(instr)} = list({unpack}(mem.data, {addr}))")
+        elif op == "vstore":
+            lanes = instr.ty.lanes
+            packer = vector_struct(instr.ty.elem, lanes)
+            pack = env.bind(packer.pack_into, "p")
+            elem_name = env.bind(instr.ty.elem, "e")
+            addr = addr_of(instr, instr.srcs[:-1])
+            value = read(instr.srcs[-1])
+            emit(f"if len({value}) == {lanes} and "
+                 f"{addr} >= {NULL_GUARD} and "
+                 f"{addr} + {packer.size} <= mem.size:")
+            emit("try:", "    ")
+            emit(f"{pack}(mem.data, {addr}, *{value})", "        ")
+            emit("except _PE:", "    ")
+            emit(f"mem.store_vec({elem_name}, {addr}, {value})",
+                 "        ")
+            emit("else:")
+            emit(f"mem.store_vec({elem_name}, {addr}, {value})", "    ")
+        elif op == "vbin":
+            kernel = env.bind(
+                vec_binop_kernel(instr.arg, instr.ty.elem), "v")
+            a = read(instr.srcs[0])
+            b = read(instr.srcs[1])
+            emit(f"{dst_of(instr)} = {kernel}({a}, {b})")
+        elif op == "vsplat":
+            source = read(instr.srcs[0])
+            emit(f"{dst_of(instr)} = [{source}] * {instr.ty.lanes}")
+        elif op == "vreduce":
+            reduce_op, acc_ty = instr.arg
+            if reduce_op not in ("add", "max", "min"):
+                raise ValueError("undefined reduce op")   # -> fallback
+            widen = env.bind(cast_kernel(instr.ty.elem, acc_ty), "k")
+            fold = env.bind(binop_kernel(reduce_op, acc_ty), "k")
+            vec = read(instr.srcs[0])
+            acc, lane = newt(), newt()
+            emit(f"if not {vec}:")
+            emit("raise TrapError('reduce of empty vector')", "    ")
+            emit(f"{acc} = {widen}({vec}[0])")
+            emit(f"for {lane} in {vec}[1:]:")
+            emit(f"{acc} = {fold}({acc}, {widen}({lane}))", "    ")
+            emit(f"{dst_of(instr)} = {acc}")
+        else:
+            raise ValueError(f"bad machine opcode {op!r}")  # fallback
+
+        if len(lines) > marker_at:       # instruction emits real code
+            lines.insert(marker_at, f"_i = {pc - leader}")
+
+    if not lines or not lines[-1].lstrip().startswith("return"):
+        emit(f"return {exit_pc}")
+
+    debit = "\n".join("    " + line
+                      for line in _debit_lines(code, leader, length))
+    body = "\n".join("        " + line for line in lines)
+    return (f"def _b{leader}(ri, rf, rv, slots, fb, mem, sim, res):\n"
+            f"{debit}\n"
+            f"    _i = {length - 1}\n"
+            f"    try:\n"
+            f"{body}\n"
+            f"    except Exception:\n"
+            f"        # roll the fuel debit back to the trapping\n"
+            f"        # instruction (res counters are unobservable\n"
+            f"        # after a trap)\n"
+            f"        sim._executed -= {length} - _i - 1\n"
+            f"        raise\n")
+
+
+# ---------------------------------------------------------------------------
+# raw per-instruction handlers (metered path + codegen fallback)
+# ---------------------------------------------------------------------------
+
+def _reader(operand, name: str) -> Callable:
+    """A closure reading one operand from the flat register files."""
+    kind, value = operand
+    if kind == "imm":
+        def r(ri, rf, rv, _v=value):
+            return _v
+        return r
+    if kind == "slot":
+        def r(ri, rf, rv):
+            raise TrapError("raw slot operand outside spill op")
+        return r
+    if kind not in _CLS_INDEX:
+        # The reference's regs[kind] KeyError funnels into its
+        # uninitialized-register trap; match that.
+        def r(ri, rf, rv):
+            raise TrapError(f"{name}: read of uninitialized register "
+                            f"{kind}{value}")
+        return r
+    cls = _CLS_INDEX[kind]
+
+    def r(ri, rf, rv, _c=cls, _i=value):
+        v = (ri, rf, rv)[_c][_i]
+        if v is UNSET:
+            raise TrapError(f"{name}: read of uninitialized register "
+                            f"{kind}{value}")
+        return v
+    return r
+
+
+def _make_raw_handler(name: str, pc: int, instr,
+                      n: int) -> Handler:
+    op = instr.op
+    nxt = pc + 1
+    dst = instr.dst
+    if dst is not None and dst[0] in _CLS_INDEX:
+        dst_cls = _CLS_INDEX[dst[0]]
+        dst_index = dst[1]
+    else:
+        dst_cls = dst_index = None
+
+    def write(ri, rf, rv, value):
+        (ri, rf, rv)[dst_cls][dst_index] = value
+
+    if op == "bin":
+        kernel = binop_kernel(instr.arg, instr.ty)
+        ra = _reader(instr.srcs[0], name)
+        rb = _reader(instr.srcs[1], name)
+
+        def handler(ri, rf, rv, slots, fb, mem, sim, res):
+            write(ri, rf, rv, kernel(ra(ri, rf, rv), rb(ri, rf, rv)))
+            return nxt
+    elif op == "mov":
+        ra = _reader(instr.srcs[0], name)
+
+        def handler(ri, rf, rv, slots, fb, mem, sim, res):
+            write(ri, rf, rv, ra(ri, rf, rv))
+            return nxt
+    elif op == "cmp":
+        kernel = cmp_kernel(instr.arg, instr.ty)
+        ra = _reader(instr.srcs[0], name)
+        rb = _reader(instr.srcs[1], name)
+
+        def handler(ri, rf, rv, slots, fb, mem, sim, res):
+            write(ri, rf, rv, kernel(ra(ri, rf, rv), rb(ri, rf, rv)))
+            return nxt
+    elif op == "un":
+        kernel = unop_kernel(instr.arg, instr.ty)
+        ra = _reader(instr.srcs[0], name)
+
+        def handler(ri, rf, rv, slots, fb, mem, sim, res):
+            write(ri, rf, rv, kernel(ra(ri, rf, rv)))
+            return nxt
+    elif op == "cast":
+        from_ty, to_ty = instr.arg
+        kernel = cast_kernel(from_ty, to_ty)
+        ra = _reader(instr.srcs[0], name)
+
+        def handler(ri, rf, rv, slots, fb, mem, sim, res):
+            write(ri, rf, rv, kernel(ra(ri, rf, rv)))
+            return nxt
+    elif op == "select":
+        rc = _reader(instr.srcs[0], name)
+        ra = _reader(instr.srcs[1], name)
+        rb = _reader(instr.srcs[2], name)
+
+        def handler(ri, rf, rv, slots, fb, mem, sim, res):
+            value = ra(ri, rf, rv) if rc(ri, rf, rv) != 0 \
+                else rb(ri, rf, rv)
+            write(ri, rf, rv, value)
+            return nxt
+    elif op == "load":
+        value_ty = instr.ty
+        ra = _reader(instr.srcs[0], name)
+        rb = _reader(instr.srcs[1], name) if len(instr.srcs) > 1 \
+            else None
+
+        def handler(ri, rf, rv, slots, fb, mem, sim, res):
+            addr = ra(ri, rf, rv)
+            if rb is not None:
+                addr += rb(ri, rf, rv)
+            write(ri, rf, rv, mem.load(value_ty, addr))
+            return nxt
+    elif op == "store":
+        value_ty = instr.ty
+        ra = _reader(instr.srcs[0], name)
+        rb = _reader(instr.srcs[1], name) if len(instr.srcs) > 2 \
+            else None
+        rs = _reader(instr.srcs[-1], name)
+
+        def handler(ri, rf, rv, slots, fb, mem, sim, res):
+            addr = ra(ri, rf, rv)
+            if rb is not None:
+                addr += rb(ri, rf, rv)
+            mem.store(value_ty, addr, rs(ri, rf, rv))
+            return nxt
+    elif op == "lea.frame":
+        offset = instr.arg
+
+        def handler(ri, rf, rv, slots, fb, mem, sim, res):
+            write(ri, rf, rv, fb + offset)
+            return nxt
+    elif op == "spill.ld":
+        slot = instr.arg
+
+        def handler(ri, rf, rv, slots, fb, mem, sim, res):
+            try:
+                value = slots[slot]
+            except KeyError:
+                raise TrapError(f"{name}: reload of empty spill "
+                                f"slot {slot}")
+            write(ri, rf, rv, value)
+            return nxt
+    elif op == "spill.st":
+        slot = instr.arg
+        ra = _reader(instr.srcs[0], name)
+
+        def handler(ri, rf, rv, slots, fb, mem, sim, res):
+            slots[slot] = ra(ri, rf, rv)
+            return nxt
+    elif op == "br":
+        target = normalize_branch_target(instr.arg, n)
+
+        def handler(ri, rf, rv, slots, fb, mem, sim, res):
+            return target
+    elif op == "brif":
+        target = normalize_branch_target(instr.arg, n)
+        rc = _reader(instr.srcs[0], name)
+
+        def handler(ri, rf, rv, slots, fb, mem, sim, res):
+            return target if rc(ri, rf, rv) != 0 else nxt
+    elif op == "call":
+        callee_name = instr.arg
+        getters = []
+        for operand in instr.srcs:
+            if operand[0] == "slot":
+                def getter(ri, rf, rv, slots, _index=operand[1]):
+                    return slots[_index]
+            else:
+                def getter(ri, rf, rv, slots,
+                           _r=_reader(operand, name)):
+                    return _r(ri, rf, rv)
+            getters.append(getter)
+
+        def handler(ri, rf, rv, slots, fb, mem, sim, res):
+            values = [g(ri, rf, rv, slots) for g in getters]
+            callee = sim.module.functions[callee_name]
+            result = sim._call_fast(callee, values, res)
+            if dst_cls is not None:
+                write(ri, rf, rv, result)
+            return nxt
+    elif op == "ret":
+        if instr.srcs:
+            ra = _reader(instr.srcs[0], name)
+
+            def handler(ri, rf, rv, slots, fb, mem, sim, res):
+                sim._ret = ra(ri, rf, rv)
+                return -1
+        else:
+            def handler(ri, rf, rv, slots, fb, mem, sim, res):
+                sim._ret = None
+                return -1
+    elif op == "vload":
+        elem = instr.ty.elem
+        lanes = instr.ty.lanes
+        ra = _reader(instr.srcs[0], name)
+        rb = _reader(instr.srcs[1], name) if len(instr.srcs) > 1 \
+            else None
+
+        def handler(ri, rf, rv, slots, fb, mem, sim, res):
+            addr = ra(ri, rf, rv)
+            if rb is not None:
+                addr += rb(ri, rf, rv)
+            write(ri, rf, rv, mem.load_vec(elem, lanes, addr))
+            return nxt
+    elif op == "vstore":
+        elem = instr.ty.elem
+        ra = _reader(instr.srcs[0], name)
+        rb = _reader(instr.srcs[1], name) if len(instr.srcs) > 2 \
+            else None
+        rs = _reader(instr.srcs[-1], name)
+
+        def handler(ri, rf, rv, slots, fb, mem, sim, res):
+            addr = ra(ri, rf, rv)
+            if rb is not None:
+                addr += rb(ri, rf, rv)
+            mem.store_vec(elem, addr, rs(ri, rf, rv))
+            return nxt
+    elif op == "vbin":
+        kernel = vec_binop_kernel(instr.arg, instr.ty.elem)
+        ra = _reader(instr.srcs[0], name)
+        rb = _reader(instr.srcs[1], name)
+
+        def handler(ri, rf, rv, slots, fb, mem, sim, res):
+            write(ri, rf, rv, kernel(ra(ri, rf, rv), rb(ri, rf, rv)))
+            return nxt
+    elif op == "vsplat":
+        lanes = instr.ty.lanes
+        ra = _reader(instr.srcs[0], name)
+
+        def handler(ri, rf, rv, slots, fb, mem, sim, res):
+            write(ri, rf, rv, [ra(ri, rf, rv)] * lanes)
+            return nxt
+    elif op == "vreduce":
+        reduce_op, acc_ty = instr.arg
+        widen = cast_kernel(instr.ty.elem, acc_ty)
+        ra = _reader(instr.srcs[0], name)
+        if reduce_op in ("add", "max", "min"):
+            fold = binop_kernel(reduce_op, acc_ty)
+
+            def handler(ri, rf, rv, slots, fb, mem, sim, res):
+                vec = ra(ri, rf, rv)
+                if not vec:
+                    raise TrapError("reduce of empty vector")
+                acc = widen(vec[0])
+                for lane in vec[1:]:
+                    acc = fold(acc, widen(lane))
+                write(ri, rf, rv, acc)
+                return nxt
+        else:
+            def handler(ri, rf, rv, slots, fb, mem, sim, res):
+                raise TrapError(f"reduce op {reduce_op!r} undefined")
+    else:
+        def handler(ri, rf, rv, slots, fb, mem, sim, res):
+            raise TrapError(f"bad machine opcode {op!r}")
+
+    return handler

@@ -96,6 +96,31 @@ class CompiledFunction:
     #: analysis work by pass name, when the flow ran online analyses
     jit_pass_work: dict = field(default_factory=dict)
 
+    # -- predecode cache hook -------------------------------------------------
+    #
+    # Same contract as ``BytecodeFunction``: the fast simulator
+    # (repro.targets.dispatch) parks its handler closures here, keyed
+    # by a structural token of ``code`` so in-place edits invalidate
+    # by content.  The JIT warms this at compile time, so images
+    # served from the deployment memo dispatch with no decode cost.
+
+    def content_token(self) -> List:
+        """Structural identity of everything the predecode bakes in:
+        the code plus the parameter homes and frame size it sizes the
+        register files and stack frame from."""
+        return [tuple(self.param_locs), self.frame_bytes, self.ret_void,
+                [(i.op, i.ty, i.dst, tuple(i.srcs), i.arg, i.cost)
+                 for i in self.code]]
+
+    def cached_predecode(self, token):
+        cached = getattr(self, "_predecode_cache", None)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        return None
+
+    def store_predecode(self, token, payload) -> None:
+        self._predecode_cache = (token, payload)
+
 
 @dataclass
 class CompiledModule:

@@ -5,6 +5,14 @@ flat :class:`~repro.semantics.Memory` the VM uses, accumulating the
 per-instruction cycle costs assigned at code generation.  Simulated
 cycles are this reproduction's stand-in for the paper's measured run
 times (the substitution is documented in DESIGN.md).
+
+Two engines share this class (see :mod:`repro.engine`): the default
+``fast`` engine dispatches through predecoded handler closures over
+flat-list register files (:mod:`repro.targets.dispatch`); the
+``reference`` engine is the original ladder in :meth:`Simulator._call`,
+kept verbatim as the oracle the differential suite compares against.
+Cycle counts, instruction counts and traps are identical by
+construction — the engines differ only in host speed.
 """
 
 from __future__ import annotations
@@ -12,11 +20,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.engine import REFERENCE, resolve_engine
 from repro.lang import types as ty
 from repro.semantics import (
     Memory, TrapError, eval_binop, eval_cast, eval_cmp, eval_unop,
     vec_binop, vec_reduce, vec_splat,
 )
+from repro.targets import dispatch
+from repro.targets.dispatch import UNSET
 from repro.targets.isa import CompiledFunction, CompiledModule, MInst
 
 DEFAULT_FUEL = 200_000_000
@@ -46,11 +57,16 @@ class Simulator:
 
     def __init__(self, module: CompiledModule,
                  memory: Optional[Memory] = None,
-                 fuel: int = DEFAULT_FUEL):
+                 fuel: int = DEFAULT_FUEL,
+                 engine: Optional[str] = None):
         self.module = module
         self.memory = memory if memory is not None else Memory()
         self.fuel = fuel
         self._executed = 0
+        self.engine = resolve_engine(engine)
+        #: per-simulator memo of validated predecodes, by function name
+        self._predecoded: Dict[str, dispatch.PredecodedMachine] = {}
+        self._ret = None
 
     def run(self, name: str, args: List) -> SimulationResult:
         """Call function ``name``; returns result + counters."""
@@ -58,10 +74,78 @@ class Simulator:
         if len(args) != len(func.param_locs):
             raise TrapError(f"{name} expects {len(func.param_locs)} args")
         result = SimulationResult()
-        result.value = self._call(func, list(args), result)
+        if self.engine == REFERENCE:
+            result.value = self._call(func, list(args), result)
+        else:
+            # Revalidate against the content token at every public run
+            # (in-place edits between runs are picked up on a reused
+            # simulator; callees stay on the O(1) name memo).
+            self._predecoded[func.name] = dispatch.predecode_machine(func)
+            result.value = self._call_fast(func, list(args), result)
         return result
 
-    # -- internals -------------------------------------------------------------
+    # -- fast engine: predecoded closure threading -----------------------------
+
+    def _predecode(self, func: CompiledFunction):
+        pre = self._predecoded.get(func.name)
+        if pre is None:
+            pre = dispatch.predecode_machine(func)
+            self._predecoded[func.name] = pre
+        return pre
+
+    def _call_fast(self, func: CompiledFunction, args: List,
+                   counters: SimulationResult):
+        pre = self._predecode(func)
+        n_int, n_flt, n_vec = pre.reg_counts
+        ri: List = [UNSET] * n_int
+        rf: List = [UNSET] * n_flt
+        rv: List = [UNSET] * n_vec
+        slots: Dict[int, object] = {}
+        for (cls, index), value in zip(pre.param_locs, args):
+            if cls < 0:
+                slots[index] = value
+            else:
+                (ri, rf, rv)[cls][index] = value
+        memory = self.memory
+        frame_base = memory.push_frame(pre.frame_bytes) \
+            if pre.frame_bytes else 0
+        handlers = pre.handlers
+        pc = 0
+        try:
+            while pc >= 0:
+                try:
+                    pc = handlers[pc](ri, rf, rv, slots, frame_base,
+                                      memory, self, counters)
+                except dispatch.MeterTrip as trip:
+                    pc = self._run_metered(trip.pc, pre.raw, ri, rf, rv,
+                                           slots, frame_base, counters)
+        finally:
+            if pre.frame_bytes:
+                memory.pop_frame(frame_base, pre.frame_bytes)
+        return self._ret
+
+    def _run_metered(self, pc: int, raw, ri, rf, rv, slots, frame_base,
+                     counters) -> int:
+        """Per-instruction execution with exact fuel accounting — the
+        fallback once a block-entry debit crosses the limit.  In
+        practice it always ends in a trap within the current block, so
+        the (then unobservable) per-instruction counters are skipped."""
+        memory = self.memory
+        end = len(raw) - 1
+        while pc >= 0:
+            if pc >= end:
+                # falling off the code end is not a counted instruction
+                raw[end](ri, rf, rv, slots, frame_base, memory, self,
+                         counters)
+            executed = self._executed + 1
+            self._executed = executed
+            if executed > self.fuel:
+                raise TrapError("simulation fuel exhausted")
+            pc = raw[pc](ri, rf, rv, slots, frame_base, memory, self,
+                         counters)
+        return pc
+
+    # -- reference engine ------------------------------------------------------
 
     def _call(self, func: CompiledFunction, args: List,
               counters: SimulationResult):
@@ -103,7 +187,7 @@ class Simulator:
 
         try:
             while True:
-                if pc >= len(code):
+                if pc >= len(code) or pc < 0:
                     raise TrapError(f"{func.name}: fell off code end")
                 instr = code[pc]
                 self._executed += 1

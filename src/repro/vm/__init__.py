@@ -5,6 +5,13 @@ functional portability without target-specific performance.  The JIT
 compilers in :mod:`repro.jit` share its memory model and semantics, so
 interpreted and jitted executions are bit-identical (and the test suite
 checks exactly that).
+
+Two engines execute the bytecode (see :mod:`repro.engine` and
+DESIGN.md §2): the default ``fast`` engine runs predecoded,
+block-compiled handler closures (:mod:`repro.vm.threaded`); the
+``reference`` engine is the original instruction ladder, kept as the
+semantic oracle.  Select per VM with ``VM(..., engine=...)`` or
+process-wide with ``PVI_ENGINE``.
 """
 
 from repro.vm.interpreter import VM

@@ -1,4 +1,11 @@
-"""Stack-machine interpreter for PVI bytecode."""
+"""Stack-machine interpreter for PVI bytecode.
+
+Two engines share this class (see :mod:`repro.engine`): the default
+``fast`` engine dispatches through per-function predecoded handler
+closures (:mod:`repro.vm.threaded`); the ``reference`` engine is the
+original if/elif ladder in :meth:`VM._run`, kept verbatim as the
+semantic oracle the differential suite compares against.
+"""
 
 from __future__ import annotations
 
@@ -9,11 +16,13 @@ from repro.bytecode.module import (
 )
 from repro.bytecode.opcodes import BIN_OPS, UN_OPS, type_of
 from repro.bytecode.verifier import verify_module
+from repro.engine import REFERENCE, resolve_engine
 from repro.semantics import (
     Memory, TrapError, eval_binop, eval_cast, eval_cmp, eval_unop,
     round_float, vec_binop, vec_reduce, vec_splat,
 )
 from repro.lang import types as ty
+from repro.vm import threaded
 
 DEFAULT_FUEL = 50_000_000
 
@@ -24,13 +33,17 @@ class VM:
     def __init__(self, module: BytecodeModule,
                  memory: Optional[Memory] = None,
                  verify: bool = True,
-                 fuel: int = DEFAULT_FUEL):
+                 fuel: int = DEFAULT_FUEL,
+                 engine: Optional[str] = None):
         if verify:
             verify_module(module)
         self.module = module
         self.memory = memory if memory is not None else Memory()
         self.fuel = fuel
         self.instructions_executed = 0
+        self.engine = resolve_engine(engine)
+        #: per-VM memo of validated predecodes, keyed by function name
+        self._predecoded: Dict[str, threaded.PredecodedFunction] = {}
 
     def call(self, name: str, args: List):
         func = self.module.functions.get(name)
@@ -41,9 +54,70 @@ class VM:
                             f"got {len(args)}")
         coerced = [_coerce(tag, value)
                    for tag, value in zip(func.param_types, args)]
-        return self._run(func, coerced)
+        if self.engine == REFERENCE:
+            return self._run(func, coerced)
+        # Revalidate the entry function's predecode against its content
+        # token at every public call, so in-place edits between calls
+        # are picked up even on a reused VM (callees revalidate at
+        # their own public calls or on a fresh VM — the name memo keeps
+        # recursive dispatch O(1)).
+        self._predecoded[func.name] = threaded.predecode(func)
+        return self._run_fast(func, coerced)
 
-    # -- execution ------------------------------------------------------------
+    # -- fast engine: predecoded closure threading ----------------------------
+
+    def _predecode(self, func: BytecodeFunction):
+        pre = self._predecoded.get(func.name)
+        if pre is None:
+            pre = threaded.predecode(func)
+            self._predecoded[func.name] = pre
+        return pre
+
+    def _run_fast(self, func: BytecodeFunction, args: List):
+        pre = self._predecode(func)
+        locals_: List = list(pre.scalar_defaults)
+        for index, lanes in pre.vector_locals:
+            locals_[index] = [0] * lanes
+        stack: List = []
+        memory = self.memory
+        frame_size = pre.frame_size
+        frame_base = memory.push_frame(frame_size) if frame_size else 0
+        handlers = pre.handlers
+        pc = 0
+        try:
+            while pc >= 0:
+                try:
+                    pc = handlers[pc](stack, locals_, args, frame_base,
+                                      memory, self)
+                except threaded.MeterTrip as trip:
+                    pc = self._run_metered(trip.pc, pre.raw, stack,
+                                           locals_, args, frame_base)
+        finally:
+            if frame_size:
+                memory.pop_frame(frame_base, frame_size)
+        if pre.has_ret:
+            return stack.pop()
+        return None
+
+    def _run_metered(self, pc: int, raw, stack, locals_, args,
+                     frame_base) -> int:
+        """Per-instruction execution with exact fuel accounting — the
+        fallback once a block-entry debit crosses the limit.  In
+        practice it always ends in a trap within the current block."""
+        memory = self.memory
+        end = len(raw) - 1
+        while pc >= 0:
+            if pc >= end:
+                # falling off the code end is not a counted instruction
+                raw[end](stack, locals_, args, frame_base, memory, self)
+            executed = self.instructions_executed + 1
+            self.instructions_executed = executed
+            if executed > self.fuel:
+                raise TrapError("VM fuel exhausted")
+            pc = raw[pc](stack, locals_, args, frame_base, memory, self)
+        return pc
+
+    # -- reference engine ------------------------------------------------------
 
     def _run(self, func: BytecodeFunction, args: List):
         code = func.code
@@ -57,7 +131,7 @@ class VM:
 
         try:
             while True:
-                if pc >= len(code):
+                if pc >= len(code) or pc < 0:
                     raise TrapError(f"{func.name}: fell off code end")
                 self.instructions_executed += 1
                 if self.instructions_executed > self.fuel:

@@ -1,0 +1,590 @@
+"""Predecoded, block-threaded execution core for the PVI VM.
+
+The reference interpreter (``VM._run``) re-decodes every instruction
+through a string if/elif ladder and re-dispatches every ALU op through
+``isinstance`` checks.  This module translates a
+:class:`~repro.bytecode.module.BytecodeFunction` **once** into a tuple
+of specialized handler closures, resolving opcodes, operand types (as
+:mod:`repro.semantics.kernels` kernels), immediates and frame offsets
+at decode time.  Execution is a tight trampoline::
+
+    while pc >= 0:
+        pc = handlers[pc](stack, locals_, args, frame_base, memory, vm)
+
+Two handler tiers exist:
+
+* **Compiled blocks** — every *fuel block* (a maximal straight-line
+  run ending at a branch, ``ret`` or ``call``) is compiled to one
+  Python function: stack traffic inside the block collapses onto
+  Python locals, and only kernel/memory operations remain as calls.
+  Control transfers only ever land on block leaders, so the whole
+  block executes (or traps) exactly as the reference would.
+* **Raw per-instruction closures** — one per pc.  They back the
+  *metered* fuel path and any block whose code generation bails
+  (malformed instructions defer their error to execution time, like
+  the reference engine).
+
+Fuel is debited per block on entry.  Blocks execute linearly to their
+terminator and calls end blocks, so successful runs produce exactly
+the reference engine's per-instruction totals.  When a debit crosses
+the limit the block re-runs instruction-by-instruction
+(:class:`repro.engine.MeterTrip` -> ``VM._run_metered``), so the fuel
+trap lands on precisely the instruction the reference engine traps on
+— and an earlier non-fuel trap inside the block still wins.
+
+The predecoded form is cached on the function object
+(``BytecodeFunction.cached_predecode``) keyed by a structural content
+token: VM construction stays cheap, and in-place code edits
+invalidate by content.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.bytecode.module import (
+    BytecodeFunction, is_vector_local, vector_elem_tag,
+)
+from repro.bytecode.opcodes import BIN_OPS, UN_OPS, type_of
+from repro.engine import (
+    CodegenEnv, MASK64_LITERAL, MeterTrip, fuel_blocks,
+    normalize_branch_target,
+)
+from repro.lang import types as ty
+from repro.semantics.errors import TrapError
+from repro.semantics.kernels import (
+    binop_kernel, cast_kernel, cmp_kernel, identity_kernel, unop_kernel,
+    vec_binop_kernel,
+)
+from repro.semantics.memory import (
+    NULL_GUARD, PACK_COERCE_ERRORS, scalar_struct, vector_struct,
+)
+
+#: handler-returned pc meaning "the function returned"
+RETURN = -1
+
+Handler = Callable
+
+
+class PredecodedFunction:
+    """One function's decoded form: block-compiled handlers at fuel
+    block leaders, raw per-instruction handlers (the metered path),
+    and the per-call initialization data."""
+
+    __slots__ = ("token", "handlers", "raw", "frame_size",
+                 "scalar_defaults", "vector_locals", "has_ret")
+
+    def __init__(self, token, handlers, raw, frame_size,
+                 scalar_defaults, vector_locals, has_ret):
+        self.token = token
+        self.handlers = handlers
+        self.raw = raw
+        self.frame_size = frame_size
+        self.scalar_defaults = scalar_defaults
+        self.vector_locals = vector_locals
+        self.has_ret = has_ret
+
+
+def predecode(func: BytecodeFunction) -> PredecodedFunction:
+    """The (cached) predecoded form of ``func``."""
+    token = func.content_token()
+    cached = func.cached_predecode(token)
+    if cached is not None:
+        return cached
+    pre = _build(func, token)
+    func.store_predecode(token, pre)
+    return pre
+
+
+# ---------------------------------------------------------------------------
+# build
+# ---------------------------------------------------------------------------
+
+def _build(func: BytecodeFunction, token) -> PredecodedFunction:
+    code = func.code
+    n = len(code)
+    name = func.name
+    frame_offsets = func.frame_offsets()
+
+    def tail(s, lo, ar, fb, mem, vm):
+        raise TrapError(f"{name}: fell off code end")
+
+    raw: List[Handler] = [None] * (n + 1)
+    raw[n] = tail
+    for pc, instr in enumerate(code):
+        try:
+            raw[pc] = _make_raw_handler(pc, instr, frame_offsets, n)
+        except Exception as exc:        # malformed instruction: the
+            # reference engine only fails when it *executes* it, so
+            # defer the error to execution time
+            def deferred(s, lo, ar, fb, mem, vm, _exc=exc):
+                raise _exc
+            raw[pc] = deferred
+
+    handlers = list(raw)
+    blocks = fuel_blocks(code)
+    env = {"TrapError": TrapError, "MeterTrip": MeterTrip,
+           "_PE": PACK_COERCE_ERRORS}
+    sources = []
+    compiled = {}
+    for leader, length in blocks.items():
+        try:
+            sources.append(
+                _gen_block(code, leader, length, frame_offsets, env))
+            compiled[leader] = f"_b{leader}"
+        except Exception:
+            handlers[leader] = _interp_block(raw, leader, length)
+    if sources:
+        try:
+            exec(compile("\n".join(sources), f"<pvi:{name}>", "exec"),
+                 env)
+            for leader, block_name in compiled.items():
+                handlers[leader] = env[block_name]
+        except Exception:       # defensive: a codegen bug must degrade
+            # to the interpreted blocks, never break execution
+            for leader in compiled:
+                handlers[leader] = _interp_block(raw, leader,
+                                                 blocks[leader])
+
+    scalar_defaults: List = []
+    vector_locals: List = []
+    for index, tag in enumerate(func.local_types):
+        if is_vector_local(tag):
+            scalar_defaults.append(None)
+            elem = type_of(vector_elem_tag(tag))
+            vector_locals.append((index, 16 // ty.sizeof(elem)))
+        elif tag in ("f32", "f64"):
+            scalar_defaults.append(0.0)
+        else:
+            scalar_defaults.append(0)
+
+    return PredecodedFunction(
+        token, handlers, raw, func.frame_size(), scalar_defaults,
+        vector_locals, func.ret_type is not None)
+
+
+def _interp_block(raw, leader: int, length: int) -> Handler:
+    """Fallback block handler: fuel debit + the raw closures, for
+    blocks whose code generation bailed."""
+    def block(s, lo, ar, fb, mem, vm):
+        executed = vm.instructions_executed + length
+        vm.instructions_executed = executed
+        if executed > vm.fuel:
+            vm.instructions_executed = executed - length
+            raise MeterTrip(leader)
+        pc = leader
+        step = length - 1
+        try:
+            for step in range(length):
+                pc = raw[pc](s, lo, ar, fb, mem, vm)
+        except Exception:
+            # roll the debit back to the trapping instruction
+            vm.instructions_executed -= length - step - 1
+            raise
+        return pc
+    return block
+
+
+# ---------------------------------------------------------------------------
+# block code generation
+# ---------------------------------------------------------------------------
+
+def _gen_block(code, leader: int, length: int, frame_offsets,
+               env_dict) -> str:
+    env = CodegenEnv(env_dict)
+    lines: List[str] = []
+    vstack: List[str] = []          # expressions for virtual stack slots
+    counter = [0]
+
+    def newt() -> str:
+        counter[0] += 1
+        return f"t{counter[0]}"
+
+    def emit(text: str, indent: str = "") -> None:
+        lines.append(indent + text)
+
+    def push(expr: str) -> None:
+        """Materialize ``expr`` now (order/side-effect preserving)."""
+        t = newt()
+        emit(f"{t} = {expr}")
+        vstack.append(t)
+
+    def push_atom(atom: str) -> None:
+        """Defer a *pure* expression (const, frame address)."""
+        vstack.append(atom)
+
+    def pop() -> str:
+        if vstack:
+            return vstack.pop()
+        t = newt()
+        emit(f"{t} = s.pop()")
+        return t
+
+    def flush() -> None:
+        for atom in vstack:
+            emit(f"s.append({atom})")
+        del vstack[:]
+
+    def mask_addr(expr: str) -> str:
+        t = newt()
+        emit(f"{t} = ({expr}) & {MASK64_LITERAL}")
+        return t
+
+    def bounds(addr_var: str, size: int) -> None:
+        emit(f"if {addr_var} < {NULL_GUARD} or "
+             f"{addr_var} + {size} > mem.size:")
+        emit('raise TrapError(f"memory access out of bounds: '
+             'addr={' + addr_var + ':#x} size=' + str(size) + '")',
+             "    ")
+
+    exit_pc = leader + length
+
+    for pc in range(leader, exit_pc):
+        instr = code[pc]
+        op = instr.op
+        # Progress marker: if this instruction traps mid-block, the
+        # except clause rolls the block-entry fuel debit back to
+        # exactly the reference engine's per-instruction count.
+        marker_at = len(lines)
+
+        if op == "ldloc":
+            push(f"lo[{instr.arg}]")
+        elif op == "ldarg":
+            push(f"ar[{instr.arg}]")
+        elif op == "stloc":
+            emit(f"lo[{instr.arg}] = {pop()}")
+        elif op == "const":
+            value = instr.arg
+            if type(value) is int:
+                push_atom(f"({value!r})")
+            else:
+                push_atom(env.bind(value, "c"))
+        elif op in BIN_OPS:
+            kernel = env.bind(binop_kernel(op, type_of(instr.ty)), "k")
+            b = pop()
+            a = pop()
+            push(f"{kernel}({a}, {b})")
+        elif op == "cmp":
+            kernel = env.bind(cmp_kernel(instr.arg, type_of(instr.ty)),
+                              "k")
+            b = pop()
+            a = pop()
+            push(f"{kernel}({a}, {b})")
+        elif op in UN_OPS:
+            kernel = env.bind(unop_kernel(op, type_of(instr.ty)), "k")
+            push(f"{kernel}({pop()})")
+        elif op == "cast":
+            kernel = cast_kernel(type_of(instr.arg), type_of(instr.ty))
+            if kernel is not identity_kernel:    # elide no-op widenings
+                push(f"{env.bind(kernel, 'k')}({pop()})")
+        elif op == "select":
+            b = pop()
+            a = pop()
+            cond = pop()
+            push(f"({a}) if ({cond}) != 0 else ({b})")
+        elif op == "load":
+            packer = scalar_struct(type_of(instr.ty))
+            unpack = env.bind(packer.unpack_from, "u")
+            addr = mask_addr(pop())
+            bounds(addr, packer.size)
+            push(f"{unpack}(mem.data, {addr})[0]")
+        elif op == "store":
+            value_ty = type_of(instr.ty)
+            packer = scalar_struct(value_ty)
+            pack = env.bind(packer.pack_into, "p")
+            if isinstance(value_ty, ty.IntType):
+                coerce = env.bind(
+                    lambda v, _t=value_ty: ty.wrap_int(int(v), _t), "w")
+            else:
+                coerce = "float"
+            value = pop()
+            addr = mask_addr(pop())
+            bounds(addr, packer.size)
+            emit("try:")
+            emit(f"{pack}(mem.data, {addr}, {value})", "    ")
+            emit("except _PE:")
+            emit(f"{pack}(mem.data, {addr}, {coerce}({value}))", "    ")
+        elif op == "frame":
+            push_atom(f"(fb + {frame_offsets[instr.arg]})")
+        elif op == "br":
+            target = normalize_branch_target(instr.arg, len(code))
+            if not isinstance(target, int):
+                raise ValueError("non-integer branch target")  # -> raw
+            flush()
+            emit(f"return {target}")
+        elif op == "brif":
+            target = normalize_branch_target(instr.arg, len(code))
+            if not isinstance(target, int):
+                raise ValueError("non-integer branch target")  # -> raw
+            cond = pop()
+            flush()
+            emit(f"return {target} if ({cond}) != 0 else {exit_pc}")
+        elif op == "call":
+            flush()
+            callee = env.bind(instr.arg, "n")
+            f, c, a, r = newt(), newt(), newt(), newt()
+            emit(f"{f} = vm.module.functions[{callee}]")
+            emit(f"{c} = len({f}.param_types)")
+            emit(f"if {c}:")
+            emit(f"{a} = s[-{c}:]", "    ")
+            emit(f"del s[-{c}:]", "    ")
+            emit("else:")
+            emit(f"{a} = []", "    ")
+            emit(f"{r} = vm._run_fast({f}, {a})")
+            emit(f"if {f}.ret_type is not None:")
+            emit(f"s.append({r})", "    ")
+            emit(f"return {exit_pc}")
+        elif op == "ret":
+            flush()
+            emit("return -1")
+        elif op == "pop":
+            if vstack:
+                vstack.pop()
+            else:
+                emit("s.pop()")
+        elif op == "vec.load":
+            elem = type_of(instr.ty)
+            lanes = 16 // ty.sizeof(elem)
+            packer = vector_struct(elem, lanes)
+            unpack = env.bind(packer.unpack_from, "u")
+            addr = mask_addr(pop())
+            bounds(addr, packer.size)
+            push(f"list({unpack}(mem.data, {addr}))")
+        elif op == "vec.store":
+            elem = type_of(instr.ty)
+            lanes = 16 // ty.sizeof(elem)
+            packer = vector_struct(elem, lanes)
+            pack = env.bind(packer.pack_into, "p")
+            elem_name = env.bind(elem, "e")
+            value = pop()
+            addr = mask_addr(pop())
+            emit(f"if len({value}) == {lanes} and {addr} >= {NULL_GUARD} "
+                 f"and {addr} + {packer.size} <= mem.size:")
+            emit("try:", "    ")
+            emit(f"{pack}(mem.data, {addr}, *{value})", "        ")
+            emit("except _PE:", "    ")
+            emit(f"mem.store_vec({elem_name}, {addr}, {value})",
+                 "        ")
+            emit("else:")
+            emit(f"mem.store_vec({elem_name}, {addr}, {value})", "    ")
+        elif op.startswith("vec.") and op[4:] in BIN_OPS:
+            kernel = env.bind(vec_binop_kernel(op[4:], type_of(instr.ty)),
+                              "v")
+            b = pop()
+            a = pop()
+            push(f"{kernel}({a}, {b})")
+        elif op == "vec.splat":
+            elem = type_of(instr.ty)
+            lanes = 16 // ty.sizeof(elem)
+            push(f"[{pop()}] * {lanes}")
+        elif op == "vec.reduce":
+            reduce_op, acc_tag = instr.arg
+            if reduce_op not in ("add", "max", "min"):
+                raise ValueError("undefined reduce op")   # -> fallback
+            elem = type_of(instr.ty)
+            acc_ty = type_of(acc_tag)
+            widen = env.bind(cast_kernel(elem, acc_ty), "k")
+            fold = env.bind(binop_kernel(reduce_op, acc_ty), "k")
+            vec = pop()
+            acc, lane = newt(), newt()
+            emit(f"if not {vec}:")
+            emit("raise TrapError('reduce of empty vector')", "    ")
+            emit(f"{acc} = {widen}({vec}[0])")
+            emit(f"for {lane} in {vec}[1:]:")
+            emit(f"{acc} = {fold}({acc}, {widen}({lane}))", "    ")
+            push_atom(acc)
+        else:
+            raise ValueError(f"unknown opcode {op!r}")    # -> fallback
+
+        if len(lines) > marker_at:       # instruction emits real code
+            lines.insert(marker_at, f"_i = {pc - leader}")
+
+    if not lines or not lines[-1].lstrip().startswith("return"):
+        flush()
+        emit(f"return {exit_pc}")
+
+    body = "\n".join("        " + line for line in lines)
+    return (f"def _b{leader}(s, lo, ar, fb, mem, vm):\n"
+            f"    executed = vm.instructions_executed + {length}\n"
+            f"    vm.instructions_executed = executed\n"
+            f"    if executed > vm.fuel:\n"
+            f"        vm.instructions_executed = executed - {length}\n"
+            f"        raise MeterTrip({leader})\n"
+            f"    _i = {length - 1}\n"
+            f"    try:\n"
+            f"{body}\n"
+            f"    except Exception:\n"
+            f"        # roll the debit back to the trapping instruction\n"
+            f"        vm.instructions_executed -= {length} - _i - 1\n"
+            f"        raise\n")
+
+
+# ---------------------------------------------------------------------------
+# raw per-instruction handlers (metered path + codegen fallback)
+# ---------------------------------------------------------------------------
+
+def _make_raw_handler(pc: int, instr, frame_offsets,
+                      n: int) -> Handler:
+    op = instr.op
+    nxt = pc + 1
+
+    if op == "ldloc":
+        index = instr.arg
+
+        def handler(s, lo, ar, fb, mem, vm):
+            s.append(lo[index])
+            return nxt
+    elif op == "ldarg":
+        index = instr.arg
+
+        def handler(s, lo, ar, fb, mem, vm):
+            s.append(ar[index])
+            return nxt
+    elif op == "stloc":
+        index = instr.arg
+
+        def handler(s, lo, ar, fb, mem, vm):
+            lo[index] = s.pop()
+            return nxt
+    elif op == "const":
+        value = instr.arg
+
+        def handler(s, lo, ar, fb, mem, vm):
+            s.append(value)
+            return nxt
+    elif op in BIN_OPS:
+        kernel = binop_kernel(op, type_of(instr.ty))
+
+        def handler(s, lo, ar, fb, mem, vm):
+            b = s.pop()
+            s[-1] = kernel(s[-1], b)
+            return nxt
+    elif op == "cmp":
+        kernel = cmp_kernel(instr.arg, type_of(instr.ty))
+
+        def handler(s, lo, ar, fb, mem, vm):
+            b = s.pop()
+            s[-1] = kernel(s[-1], b)
+            return nxt
+    elif op in UN_OPS:
+        kernel = unop_kernel(op, type_of(instr.ty))
+
+        def handler(s, lo, ar, fb, mem, vm):
+            s[-1] = kernel(s[-1])
+            return nxt
+    elif op == "cast":
+        kernel = cast_kernel(type_of(instr.arg), type_of(instr.ty))
+
+        def handler(s, lo, ar, fb, mem, vm):
+            s[-1] = kernel(s[-1])
+            return nxt
+    elif op == "select":
+        def handler(s, lo, ar, fb, mem, vm):
+            b = s.pop()
+            a = s.pop()
+            s[-1] = a if s[-1] != 0 else b
+            return nxt
+    elif op == "load":
+        value_ty = type_of(instr.ty)
+
+        def handler(s, lo, ar, fb, mem, vm):
+            s[-1] = mem.load(value_ty, s[-1])
+            return nxt
+    elif op == "store":
+        value_ty = type_of(instr.ty)
+
+        def handler(s, lo, ar, fb, mem, vm):
+            value = s.pop()
+            mem.store(value_ty, s.pop(), value)
+            return nxt
+    elif op == "frame":
+        offset = frame_offsets[instr.arg]
+
+        def handler(s, lo, ar, fb, mem, vm):
+            s.append(fb + offset)
+            return nxt
+    elif op == "br":
+        target = normalize_branch_target(instr.arg, n)
+
+        def handler(s, lo, ar, fb, mem, vm):
+            return target
+    elif op == "brif":
+        target = normalize_branch_target(instr.arg, n)
+
+        def handler(s, lo, ar, fb, mem, vm):
+            return target if s.pop() != 0 else nxt
+    elif op == "call":
+        callee_name = instr.arg
+
+        def handler(s, lo, ar, fb, mem, vm):
+            callee = vm.module.functions[callee_name]
+            count = len(callee.param_types)
+            if count:
+                call_args = s[-count:]
+                del s[-count:]
+            else:
+                call_args = []
+            result = vm._run_fast(callee, call_args)
+            if callee.ret_type is not None:
+                s.append(result)
+            return nxt
+    elif op == "ret":
+        def handler(s, lo, ar, fb, mem, vm):
+            return RETURN
+    elif op == "pop":
+        def handler(s, lo, ar, fb, mem, vm):
+            s.pop()
+            return nxt
+    elif op == "vec.load":
+        elem = type_of(instr.ty)
+        lanes = 16 // ty.sizeof(elem)
+
+        def handler(s, lo, ar, fb, mem, vm):
+            s[-1] = mem.load_vec(elem, lanes, s[-1])
+            return nxt
+    elif op == "vec.store":
+        elem = type_of(instr.ty)
+
+        def handler(s, lo, ar, fb, mem, vm):
+            value = s.pop()
+            mem.store_vec(elem, s.pop(), value)
+            return nxt
+    elif op.startswith("vec.") and op[4:] in BIN_OPS:
+        kernel = vec_binop_kernel(op[4:], type_of(instr.ty))
+
+        def handler(s, lo, ar, fb, mem, vm):
+            b = s.pop()
+            s[-1] = kernel(s[-1], b)
+            return nxt
+    elif op == "vec.splat":
+        elem = type_of(instr.ty)
+        lanes = 16 // ty.sizeof(elem)
+
+        def handler(s, lo, ar, fb, mem, vm):
+            s[-1] = [s[-1]] * lanes
+            return nxt
+    elif op == "vec.reduce":
+        reduce_op, acc_tag = instr.arg
+        elem = type_of(instr.ty)
+        acc_ty = type_of(acc_tag)
+        widen = cast_kernel(elem, acc_ty)
+        if reduce_op in ("add", "max", "min"):
+            fold = binop_kernel(reduce_op, acc_ty)
+
+            def handler(s, lo, ar, fb, mem, vm):
+                vec = s[-1]
+                if not vec:
+                    raise TrapError("reduce of empty vector")
+                acc = widen(vec[0])
+                for lane in vec[1:]:
+                    acc = fold(acc, widen(lane))
+                s[-1] = acc
+                return nxt
+        else:
+            def handler(s, lo, ar, fb, mem, vm):
+                raise TrapError(f"reduce op {reduce_op!r} undefined")
+    else:
+        def handler(s, lo, ar, fb, mem, vm):
+            raise TrapError(f"unknown opcode {op!r}")
+
+    return handler

@@ -1,0 +1,566 @@
+"""Dual-engine differential testing: fast vs reference.
+
+The fast engines (predecoded closure threading, ``repro.vm.threaded``
+and ``repro.targets.dispatch``) must be observationally identical to
+the reference ladder interpreters: same values, same output arrays,
+same instruction and cycle counts, and the same trap at the same
+instruction with the same message — across every kernel x flow x
+target combination, under fuel exhaustion at arbitrary block offsets,
+and over randomized programs from the property-test generator.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bytecode import emit_module
+from repro.core import deploy, offline_compile
+from repro.core.online import select_bytecode
+from repro.engine import ENGINE_ENV, FAST, REFERENCE, resolve_engine
+from repro.flows import flow_names
+from repro.semantics import Memory, TrapError
+from repro.service import CompilationService
+from repro.targets import Simulator, X86
+from repro.targets.catalog import TARGETS
+from repro.targets.isa import CompiledFunction, CompiledModule, MInst
+from repro.vm import VM
+from repro.workloads import ALL_KERNELS
+from tests.support import lower_checked
+from tests.test_property_programs import int_expr, statement_list
+
+N = 32
+SEED = 5
+MEMORY_BYTES = 1 << 21
+ENGINES = (FAST, REFERENCE)
+
+
+@pytest.fixture(scope="module")
+def service():
+    svc = CompilationService()
+    yield svc
+    svc.shutdown()
+
+
+def _vm_observation(bytecode, kernel, engine):
+    memory = Memory(MEMORY_BYTES)
+    run = kernel.prepare(memory, N, SEED)
+    vm = VM(bytecode, memory=memory, engine=engine)
+    value = vm.call(kernel.entry, run.args)
+    outputs = [memory.read_array(elem_ty, addr, count)
+               for elem_ty, addr, count in run.outputs]
+    return (repr(value), tuple(repr(o) for o in outputs),
+            vm.instructions_executed)
+
+
+def _sim_observation(compiled, kernel, engine):
+    memory = Memory(MEMORY_BYTES)
+    run = kernel.prepare(memory, N, SEED)
+    result = Simulator(compiled, memory, engine=engine).run(
+        kernel.entry, run.args)
+    outputs = [memory.read_array(elem_ty, addr, count)
+               for elem_ty, addr, count in run.outputs]
+    return (repr(result.value), tuple(repr(o) for o in outputs),
+            result.instructions, result.cycles, result.branches,
+            result.spill_loads, result.spill_stores, result.calls)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+def test_engines_agree_on_every_kernel_flow_target(name, service):
+    """kernels x flows x targets: the fast engines must reproduce the
+    reference engines' values, outputs, instruction counts, cycle
+    counts and counters exactly."""
+    kernel = ALL_KERNELS[name]
+    artifact = service.artifact(kernel.source, name)
+    for flow in flow_names():
+        bytecode = select_bytecode(artifact, flow)
+        assert _vm_observation(bytecode, kernel, FAST) == \
+            _vm_observation(bytecode, kernel, REFERENCE), \
+            f"{name}: VM engines diverge on flow {flow}"
+        for target in TARGETS.values():
+            compiled = service.deploy(artifact, target, flow)
+            assert _sim_observation(compiled, kernel, FAST) == \
+                _sim_observation(compiled, kernel, REFERENCE), \
+                f"{name}: simulator engines diverge on " \
+                f"({target.name}, {flow})"
+
+
+# ---------------------------------------------------------------------------
+# trap parity
+# ---------------------------------------------------------------------------
+
+def _vm_trap(source, entry, args, engine, fuel=None):
+    module = lower_checked(source)
+    bytecode, _ = emit_module(module)
+    kwargs = {} if fuel is None else {"fuel": fuel}
+    vm = VM(bytecode, engine=engine, **kwargs)
+    try:
+        value = vm.call(entry, args)
+        return ("ok", repr(value), vm.instructions_executed)
+    except TrapError as exc:
+        return ("trap", str(exc), vm.instructions_executed)
+
+
+class TestVMTrapParity:
+    def test_division_by_zero_message(self):
+        source = "int f(int a) { return 10 / a; }"
+        fast = _vm_trap(source, "f", [0], FAST)
+        reference = _vm_trap(source, "f", [0], REFERENCE)
+        assert fast[:2] == reference[:2]
+        assert fast[0] == "trap"
+        assert "integer division by zero" in fast[1]
+
+    def test_remainder_by_zero_message(self):
+        source = "int f(int a) { return 10 % a; }"
+        fast = _vm_trap(source, "f", [0], FAST)
+        assert fast[:2] == _vm_trap(source, "f", [0], REFERENCE)[:2]
+        assert "integer remainder by zero" in fast[1]
+
+    def test_out_of_bounds_access_message(self):
+        source = "int f(int *p) { return *p; }"
+        for addr in (0, 1, (1 << 22)):       # null page / beyond end
+            fast = _vm_trap(source, "f", [addr], FAST)
+            reference = _vm_trap(source, "f", [addr], REFERENCE)
+            assert fast[:2] == reference[:2], addr
+            assert fast[0] == "trap"
+            assert "memory access out of bounds" in fast[1]
+
+    def test_out_of_bounds_store_message(self):
+        source = "void f(int *p) { *p = 7; }"
+        fast = _vm_trap(source, "f", [3], FAST)
+        assert fast[:2] == _vm_trap(source, "f", [3], REFERENCE)[:2]
+        assert "memory access out of bounds" in fast[1]
+
+    @pytest.mark.parametrize("fuel", [0, 1, 2, 3, 5, 17, 100, 101,
+                                      102, 103, 1001])
+    def test_fuel_exhaustion_exact_instruction(self, fuel):
+        """Sweeping the fuel limit across block boundaries: both
+        engines must trap with the same message after executing
+        exactly the same number of instructions (the block-entry
+        debit plus the metered path reproduce per-instruction
+        accounting precisely)."""
+        source = """
+            int f(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++) s += i * i - (s >> 3);
+                return s;
+            }"""
+        fast = _vm_trap(source, "f", [10_000], FAST, fuel=fuel)
+        reference = _vm_trap(source, "f", [10_000], REFERENCE,
+                             fuel=fuel)
+        assert fast == reference
+        assert fast[0] == "trap" and fast[1] == "VM fuel exhausted"
+        assert fast[2] == fuel + 1       # counted like the reference
+
+    @pytest.mark.parametrize("fuel", [5, 9, 10, 11, 12, 35, 36, 37, 60])
+    def test_fuel_exhaustion_across_calls(self, fuel):
+        """Fuel blocks end at calls, so caller/callee debits interleave
+        exactly like per-instruction accounting."""
+        source = """
+            int helper(int x) { return x * x + 1; }
+            int f(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++) s += helper(i);
+                return s;
+            }"""
+        fast = _vm_trap(source, "f", [50], FAST, fuel=fuel)
+        reference = _vm_trap(source, "f", [50], REFERENCE, fuel=fuel)
+        assert fast == reference
+
+    def test_mid_block_trap_rolls_back_block_debit(self):
+        """A non-fuel trap mid-block must leave instructions_executed
+        exactly where the reference engine leaves it — the block-entry
+        debit is rolled back to the trapping instruction, so a reused
+        VM has identical remaining fuel on both engines."""
+        source = """
+            int f(int a, int b) {
+                int x = a * 3 + b;
+                int y = x / b;
+                return y - a + x;
+            }"""
+        fast = _vm_trap(source, "f", [7, 0], FAST)
+        reference = _vm_trap(source, "f", [7, 0], REFERENCE)
+        assert fast == reference
+        assert fast[0] == "trap"
+
+    def test_reuse_after_trap_keeps_fuel_parity(self):
+        """Catch a trap, then keep calling on the same engine
+        instance: fuel exhaustion must land identically afterwards."""
+        source = "int f(int a, int b) { int s = 0;"  \
+                 " for (int i = 0; i < a; i++) s += i / b;"  \
+                 " return s; }"
+        module = lower_checked(source)
+        bytecode, _ = emit_module(module)
+        outcomes = {}
+        for engine in ENGINES:
+            vm = VM(bytecode, engine=engine, fuel=120)
+            trail = []
+            with pytest.raises(TrapError):
+                vm.call("f", [10, 0])          # div-by-zero mid-loop
+            trail.append(vm.instructions_executed)
+            try:
+                trail.append(("ok", vm.call("f", [50, 1])))
+            except TrapError as exc:
+                trail.append(("trap", str(exc)))
+            trail.append(vm.instructions_executed)
+            outcomes[engine] = trail
+        assert outcomes[FAST] == outcomes[REFERENCE]
+
+    def test_successful_run_instruction_counts_match(self):
+        source = """
+            int fib(int n) { if (n < 2) return n;
+                             return fib(n-1) + fib(n-2); }"""
+        fast = _vm_trap(source, "fib", [12], FAST)
+        reference = _vm_trap(source, "fib", [12], REFERENCE)
+        assert fast == reference
+        assert fast[0] == "ok"
+
+
+class TestSimulatorTrapParity:
+    def _module(self, code, frame_bytes=0, ret=True):
+        func = CompiledFunction(name="f", target_name="x86", code=code,
+                                frame_bytes=frame_bytes, param_locs=[],
+                                ret_void=not ret)
+        module = CompiledModule("x86")
+        module.add(func)
+        return module
+
+    def _run(self, module, engine, fuel=None):
+        kwargs = {} if fuel is None else {"fuel": fuel}
+        simulator = Simulator(module, **kwargs, engine=engine)
+        try:
+            result = simulator.run("f", [])
+            return ("ok", repr(result.value))
+        except TrapError as exc:
+            return ("trap", str(exc))
+
+    def test_uninitialized_register_message(self):
+        module = self._module(
+            [MInst("ret", None, None, [("int", 9)], None)])
+        outcomes = {engine: self._run(module, engine)
+                    for engine in ENGINES}
+        assert outcomes[FAST] == outcomes[REFERENCE]
+        assert outcomes[FAST] == \
+            ("trap", "f: read of uninitialized register int9")
+
+    def test_uninitialized_register_in_alu_op(self):
+        import repro.lang.types as ty
+        module = self._module([
+            MInst("mov", None, ("int", 0), [("imm", 3)], None),
+            MInst("bin", ty.I32, ("int", 1),
+                  [("int", 0), ("flt", 2)], "add"),
+            MInst("ret", None, None, [("int", 1)], None),
+        ])
+        outcomes = {engine: self._run(module, engine)
+                    for engine in ENGINES}
+        assert outcomes[FAST] == outcomes[REFERENCE]
+        assert outcomes[FAST] == \
+            ("trap", "f: read of uninitialized register flt2")
+
+    def test_uninitialized_read_when_dst_aliases_source(self):
+        """dst == src must still trap on the unwritten source — the
+        compiled-block writer must not count the destination as
+        written before the source reads are generated."""
+        import repro.lang.types as lang_ty
+        from repro.ir.values import VecType
+        cases = [
+            [MInst("mov", None, ("int", 0), [("int", 0)], None)],
+            [MInst("un", lang_ty.I32, ("int", 0), [("int", 0)], "neg")],
+            [MInst("bin", lang_ty.I32, ("int", 0),
+                   [("int", 0), ("imm", 1)], "add")],
+            [MInst("vsplat", VecType(lang_ty.I32, 4), ("vec", 0),
+                   [("vec", 0)], None)],
+            # select: dst aliases the *taken* operand
+            [MInst("mov", None, ("int", 1), [("imm", 1)], None),
+             MInst("select", None, ("int", 0),
+                   [("int", 1), ("int", 0), ("imm", 5)], None)],
+        ]
+        for code in cases:
+            code = code + [MInst("ret", None, None, [("imm", 0)], None)]
+            module = self._module(code)
+            outcomes = {engine: self._run(module, engine)
+                        for engine in ENGINES}
+            assert outcomes[FAST] == outcomes[REFERENCE], code
+            assert outcomes[FAST][0] == "trap", code
+            assert "uninitialized register" in outcomes[FAST][1], code
+
+    def test_select_untaken_uninitialized_operand_does_not_trap(self):
+        """The reference reads only the chosen operand; an unwritten
+        untaken operand must not trap in either engine."""
+        module = self._module([
+            MInst("mov", None, ("int", 1), [("imm", 1)], None),
+            MInst("mov", None, ("int", 2), [("imm", 42)], None),
+            MInst("select", None, ("int", 0),
+                  [("int", 1), ("int", 2), ("int", 9)], None),
+            MInst("ret", None, None, [("int", 0)], None),
+        ])
+        outcomes = {engine: self._run(module, engine)
+                    for engine in ENGINES}
+        assert outcomes[FAST] == outcomes[REFERENCE] == ("ok", "42")
+
+    def test_empty_spill_slot_message(self):
+        module = self._module([
+            MInst("spill.ld", None, ("int", 0), [], 8),
+            MInst("ret", None, None, [("int", 0)], None),
+        ], frame_bytes=16)
+        outcomes = {engine: self._run(module, engine)
+                    for engine in ENGINES}
+        assert outcomes[FAST] == outcomes[REFERENCE]
+        assert outcomes[FAST] == \
+            ("trap", "f: reload of empty spill slot 8")
+
+    @pytest.mark.parametrize("fuel", [0, 1, 2, 3, 7, 99, 100])
+    def test_fuel_exhaustion_message(self, fuel):
+        module = self._module([MInst("br", None, None, [], 0)],
+                              ret=False)
+        outcomes = {engine: self._run(module, engine, fuel=fuel)
+                    for engine in ENGINES}
+        assert outcomes[FAST] == outcomes[REFERENCE]
+        assert outcomes[FAST] == ("trap", "simulation fuel exhausted")
+
+    def test_fell_off_code_end(self):
+        module = self._module(
+            [MInst("mov", None, ("int", 0), [("imm", 1)], None)])
+        outcomes = {engine: self._run(module, engine)
+                    for engine in ENGINES}
+        assert outcomes[FAST] == outcomes[REFERENCE]
+        assert outcomes[FAST] == ("trap", "f: fell off code end")
+
+    @pytest.mark.parametrize("target", [-3, -1, 7, 1000])
+    def test_out_of_range_branch_target_traps(self, target):
+        """Machine code has no verifier: a wild branch target must
+        trap as fell-off-code-end in both engines, never end the call
+        silently or escape as an IndexError."""
+        module = self._module([
+            MInst("mov", None, ("int", 0), [("imm", 1)], None),
+            MInst("brif", None, None, [("int", 0)], target),
+            MInst("ret", None, None, [("imm", 0)], None),
+        ])
+        outcomes = {engine: self._run(module, engine)
+                    for engine in ENGINES}
+        assert outcomes[FAST] == outcomes[REFERENCE]
+        assert outcomes[FAST] == ("trap", "f: fell off code end")
+
+    def test_division_by_zero_in_simulator(self):
+        source = "int f(int a, int b) { return a / b; }"
+        artifact = offline_compile(source)
+        compiled = deploy(artifact, X86, "split")
+        outcomes = {}
+        for engine in ENGINES:
+            try:
+                value = Simulator(compiled, Memory(),
+                                  engine=engine).run("f", [7, 0]).value
+                outcomes[engine] = ("ok", repr(value))
+            except TrapError as exc:
+                outcomes[engine] = ("trap", str(exc))
+        assert outcomes[FAST] == outcomes[REFERENCE]
+        assert outcomes[FAST] == ("trap", "integer division by zero")
+
+
+# ---------------------------------------------------------------------------
+# engine selection and predecode-cache behaviour
+# ---------------------------------------------------------------------------
+
+class TestEngineSelection:
+    SOURCE = "int f(int a) { return a * 3; }"
+
+    def _bytecode(self):
+        bytecode, _ = emit_module(lower_checked(self.SOURCE))
+        return bytecode
+
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        assert VM(self._bytecode()).engine == FAST
+        assert resolve_engine() == FAST
+
+    def test_env_selects_reference(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "reference")
+        assert VM(self._bytecode()).engine == REFERENCE
+
+    def test_constructor_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "reference")
+        assert VM(self._bytecode(), engine=FAST).engine == FAST
+
+    def test_invalid_engine_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            VM(self._bytecode(), engine="turbo")
+        monkeypatch.setenv(ENGINE_ENV, "warp")
+        with pytest.raises(ValueError):
+            resolve_engine()
+
+    def test_simulator_engine_parameter(self):
+        artifact = offline_compile(self.SOURCE)
+        compiled = deploy(artifact, X86, "split")
+        assert Simulator(compiled, engine=REFERENCE).engine == REFERENCE
+
+
+class TestPredecodeCache:
+    def test_predecode_shared_across_vms(self):
+        bytecode, _ = emit_module(lower_checked(
+            "int f(int a) { return a + 5; }"))
+        vm1 = VM(bytecode, engine=FAST)
+        assert vm1.call("f", [1]) == 6
+        cached = bytecode.functions["f"]._predecode_cache
+        vm2 = VM(bytecode, engine=FAST)
+        assert vm2.call("f", [2]) == 7
+        assert bytecode.functions["f"]._predecode_cache is cached
+
+    def test_in_place_code_edit_invalidates_by_content(self):
+        bytecode, _ = emit_module(lower_checked(
+            "int f(int a) { return a + 5; }"))
+        assert VM(bytecode, engine=FAST).call("f", [1]) == 6
+        func = bytecode.functions["f"]
+        const = next(i for i in func.code if i.op == "const")
+        const.arg = 9
+        assert VM(bytecode, verify=False,
+                  engine=FAST).call("f", [1]) == 10
+
+    def test_machine_predecode_is_lazy_by_default(self, monkeypatch):
+        from repro.engine import JIT_PREDECODE_ENV
+        monkeypatch.delenv(JIT_PREDECODE_ENV, raising=False)
+        artifact = offline_compile("int f(int a) { return a - 1; }")
+        compiled = deploy(artifact, X86, "split")
+        func = compiled.functions["f"]
+        assert getattr(func, "_predecode_cache", None) is None
+        Simulator(compiled, engine=FAST).run("f", [4])
+        cached = func._predecode_cache
+        assert cached is not None
+        # a second simulator reuses the function-object cache
+        Simulator(compiled, engine=FAST).run("f", [5])
+        assert func._predecode_cache is cached
+
+    def test_jit_warms_machine_predecode_when_opted_in(self,
+                                                       monkeypatch):
+        from repro.engine import JIT_PREDECODE_ENV
+        monkeypatch.setenv(JIT_PREDECODE_ENV, "1")
+        artifact = offline_compile("int f(int a) { return a - 2; }")
+        compiled = deploy(artifact, X86, "split")
+        func = compiled.functions["f"]
+        assert getattr(func, "_predecode_cache", None) is not None
+
+    def test_in_place_edit_picked_up_by_reused_vm(self):
+        """The reviewer-grade case: the *same* VM instance must see an
+        in-place code edit at its next public call (the call boundary
+        revalidates against the content token)."""
+        bytecode, _ = emit_module(lower_checked(
+            "int f(int a) { return a + 5; }"))
+        vm = VM(bytecode, verify=False, engine=FAST)
+        assert vm.call("f", [1]) == 6
+        func = bytecode.functions["f"]
+        const = next(i for i in func.code if i.op == "const")
+        const.arg = 9
+        assert vm.call("f", [1]) == 10
+
+    def test_layout_edit_invalidates_bytecode_predecode(self):
+        """The token covers more than code: editing the local layout
+        in place must invalidate too (the predecode bakes defaults and
+        frame offsets from it)."""
+        bytecode, _ = emit_module(lower_checked(
+            "int f(int a) { int x = 2; return a + x; }"))
+        assert VM(bytecode, engine=FAST).call("f", [1]) == 3
+        func = bytecode.functions["f"]
+        token_before = func.content_token()
+        func.local_types = list(func.local_types) + ["i32"]
+        assert func.content_token() != token_before
+        assert func.cached_predecode(func.content_token()) is None
+
+    def test_param_locs_edit_invalidates_machine_predecode(self):
+        """Same for machine code: moving a parameter home must not
+        reuse a predecode that sized/placed the old register files."""
+        from repro.targets.dispatch import predecode_machine
+        artifact = offline_compile("int f(int a) { return a; }")
+        compiled = deploy(artifact, X86, "split")
+        func = compiled.functions["f"]
+        pre = predecode_machine(func)
+        assert predecode_machine(func) is pre          # cache hit
+        func.param_locs = [("flt", 0)]
+        assert predecode_machine(func) is not pre      # invalidated
+
+    def test_warm_module_predecodes_every_function(self):
+        from repro.targets import warm_module
+        artifact = offline_compile(
+            "int g(int a) { return a * 2; }"
+            "int f(int a) { return g(a) + 1; }")
+        compiled = deploy(artifact, X86, "split")
+        warm_module(compiled)
+        for func in compiled.functions.values():
+            assert getattr(func, "_predecode_cache", None) is not None
+
+
+# ---------------------------------------------------------------------------
+# randomized differential sweep (property-test program generator)
+# ---------------------------------------------------------------------------
+
+def _four_way(source, entry, args):
+    """(VM fast, VM reference, sim fast, sim reference) observations."""
+    bytecode, _ = emit_module(lower_checked(source))
+    observations = []
+    for engine in ENGINES:
+        vm = VM(bytecode, engine=engine)
+        observations.append((repr(vm.call(entry, args)),
+                             vm.instructions_executed))
+    artifact = offline_compile(source)
+    compiled = deploy(artifact, X86, "split")
+    for engine in ENGINES:
+        result = Simulator(compiled, Memory(), engine=engine).run(
+            entry, args)
+        observations.append((repr(result.value), result.instructions,
+                             result.cycles))
+    return observations
+
+
+class TestRandomizedSweep:
+    @settings(max_examples=25, deadline=None)
+    @given(expr=int_expr(), a=st.integers(-1000, 1000),
+           b=st.integers(-1000, 1000), c=st.integers(-1000, 1000))
+    def test_random_expressions(self, expr, a, b, c):
+        source = f"int f(int a, int b, int c) {{ return {expr}; }}"
+        vm_fast, vm_ref, sim_fast, sim_ref = _four_way(
+            source, "f", [a, b, c])
+        assert vm_fast == vm_ref
+        assert sim_fast == sim_ref
+        assert vm_fast[0] == sim_fast[0]      # VM vs simulator value
+
+    @settings(max_examples=15, deadline=None)
+    @given(body=statement_list(), a=st.integers(-100, 100),
+           b=st.integers(-100, 100), c=st.integers(-100, 100))
+    def test_random_statements(self, body, a, b, c):
+        source = f"""
+        int f(int a, int b, int c) {{
+            {body}
+            return a ^ b ^ c;
+        }}"""
+        vm_fast, vm_ref, sim_fast, sim_ref = _four_way(
+            source, "f", [a, b, c])
+        assert vm_fast == vm_ref
+        assert sim_fast == sim_ref
+        assert vm_fast[0] == sim_fast[0]
+
+    @settings(max_examples=10, deadline=None)
+    @given(expr=int_expr(), n=st.integers(0, 12),
+           seed=st.integers(0, 99), fuel=st.integers(1, 400))
+    def test_random_loops_under_fuel_pressure(self, expr, n, seed,
+                                              fuel):
+        """Random programs with random fuel limits: the engines must
+        agree on outcome — value or trap — and on the count of
+        executed instructions either way."""
+        source = f"""
+        int f(int a, int n) {{
+            int b = {seed} - 7;
+            int c = a ^ n;
+            int s = 0;
+            for (int i = 0; i < n; i++) {{ s += {expr}; a = a + 1; }}
+            return s;
+        }}"""
+        bytecode, _ = emit_module(lower_checked(source))
+        outcomes = []
+        for engine in ENGINES:
+            vm = VM(bytecode, engine=engine, fuel=fuel)
+            try:
+                outcomes.append(("ok", repr(vm.call("f", [seed, n])),
+                                 vm.instructions_executed))
+            except TrapError as exc:
+                outcomes.append(("trap", str(exc),
+                                 vm.instructions_executed))
+        assert outcomes[0] == outcomes[1]

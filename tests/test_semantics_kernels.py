@@ -1,0 +1,172 @@
+"""Kernel-table parity: every specialized kernel must behave exactly
+like the reference ladder in ``repro.semantics.scalar`` — values,
+traps and trap messages — across all (op, type) pairs and a value grid
+covering wrap-around, signedness and IEEE edge cases."""
+
+import math
+
+import pytest
+
+from repro.bytecode.opcodes import BIN_OPS, CMP_PREDS, UN_OPS
+from repro.lang import types as ty
+from repro.semantics import (
+    TrapError, eval_binop, eval_cast, eval_cmp, eval_unop, vec_binop,
+)
+from repro.semantics.kernels import (
+    SCALAR_TYPES, binop_kernel, cast_kernel, cmp_kernel, identity_kernel,
+    unop_kernel, vec_binop_kernel,
+)
+
+
+def _int_values(int_ty):
+    lo, hi = ty.int_min(int_ty), ty.int_max(int_ty)
+    return [lo, lo + 1, -7, -1, 0, 1, 2, 3, 7, hi - 1, hi]
+
+
+_FLOAT_VALUES = [0.0, -0.0, 1.0, -1.5, 3.25, -1e3, 1e3,
+                 math.inf, -math.inf, math.nan]
+
+
+def _values_for(value_ty):
+    if isinstance(value_ty, ty.IntType):
+        return [v for v in _int_values(value_ty)
+                if ty.int_min(value_ty) <= v <= ty.int_max(value_ty)]
+    return _FLOAT_VALUES
+
+
+def _outcome(fn, *args):
+    try:
+        return ("ok", repr(fn(*args)))
+    except TrapError as exc:
+        return ("trap", str(exc))
+    except OverflowError as exc:        # f32 pack of huge values —
+        return ("overflow", str(exc))   # raised by both implementations
+
+
+class TestBinopParity:
+    @pytest.mark.parametrize("value_ty", SCALAR_TYPES, ids=str)
+    @pytest.mark.parametrize("op", BIN_OPS)
+    def test_kernel_matches_reference(self, op, value_ty):
+        if isinstance(value_ty, ty.FloatType) and \
+                op not in ("add", "sub", "mul", "div", "min", "max"):
+            return                      # undefined either way; below
+        kernel = binop_kernel(op, value_ty)
+        for a in _values_for(value_ty):
+            for b in _values_for(value_ty):
+                assert _outcome(kernel, a, b) == \
+                    _outcome(eval_binop, op, value_ty, a, b), \
+                    (op, value_ty, a, b)
+
+    def test_undefined_op_falls_back_to_reference_trap(self):
+        kernel = binop_kernel("frobnicate", ty.I32)
+        with pytest.raises(TrapError, match="frobnicate"):
+            kernel(1, 2)
+        kernel = binop_kernel("rem", ty.F32)    # no float rem
+        with pytest.raises(TrapError):
+            kernel(1.0, 2.0)
+
+    def test_division_trap_messages(self):
+        for value_ty in (ty.I8, ty.U32, ty.I64):
+            with pytest.raises(TrapError,
+                               match="integer division by zero"):
+                binop_kernel("div", value_ty)(5, 0)
+            with pytest.raises(TrapError,
+                               match="integer remainder by zero"):
+                binop_kernel("rem", value_ty)(5, 0)
+
+
+class TestCmpParity:
+    @pytest.mark.parametrize("value_ty", SCALAR_TYPES, ids=str)
+    @pytest.mark.parametrize("pred", CMP_PREDS)
+    def test_kernel_matches_reference(self, pred, value_ty):
+        kernel = cmp_kernel(pred, value_ty)
+        for a in _values_for(value_ty):
+            for b in _values_for(value_ty):
+                assert kernel(a, b) == eval_cmp(pred, value_ty, a, b), \
+                    (pred, value_ty, a, b)
+
+    def test_nan_unordered_semantics(self):
+        assert cmp_kernel("ne", ty.F32)(math.nan, 1.0) == 1
+        assert cmp_kernel("eq", ty.F64)(math.nan, math.nan) == 0
+        assert cmp_kernel("le", ty.F32)(math.nan, math.nan) == 0
+
+    def test_unsigned_compares_on_bit_patterns(self):
+        # -1 as u32 is 0xFFFFFFFF, the largest value
+        assert cmp_kernel("gt", ty.U32)(-1, 1) == 1
+        assert eval_cmp("gt", ty.U32, -1, 1) == 1
+
+
+class TestUnopParity:
+    @pytest.mark.parametrize("value_ty", SCALAR_TYPES, ids=str)
+    @pytest.mark.parametrize("op", UN_OPS)
+    def test_kernel_matches_reference(self, op, value_ty):
+        if op == "not" and isinstance(value_ty, ty.FloatType):
+            return                       # reference asserts IntType
+        kernel = unop_kernel(op, value_ty)
+        for a in _values_for(value_ty):
+            assert _outcome(kernel, a) == \
+                _outcome(eval_unop, op, value_ty, a), (op, value_ty, a)
+
+
+class TestCastParity:
+    @pytest.mark.parametrize("to_ty", SCALAR_TYPES, ids=str)
+    @pytest.mark.parametrize("from_ty", SCALAR_TYPES, ids=str)
+    def test_kernel_matches_reference(self, from_ty, to_ty):
+        kernel = cast_kernel(from_ty, to_ty)
+        for value in _values_for(from_ty):
+            assert _outcome(kernel, value) == \
+                _outcome(eval_cast, value, from_ty, to_ty), \
+                (from_ty, to_ty, value)
+
+    def test_widening_casts_are_the_shared_identity(self):
+        # the engines elide these at decode time, so the contract that
+        # they are value-preserving is identity *by object*
+        assert cast_kernel(ty.I32, ty.I64) is identity_kernel
+        assert cast_kernel(ty.U8, ty.I32) is identity_kernel
+        assert cast_kernel(ty.U16, ty.U64) is identity_kernel
+        # narrowing / signedness flips must not be elided
+        assert cast_kernel(ty.I64, ty.I32) is not identity_kernel
+        assert cast_kernel(ty.I32, ty.U32) is not identity_kernel
+        assert cast_kernel(ty.I8, ty.U64) is not identity_kernel
+
+    def test_float_special_values_to_int(self):
+        kernel = cast_kernel(ty.F64, ty.I32)
+        assert kernel(math.nan) == 0
+        assert kernel(math.inf) == 0
+        assert kernel(-math.inf) == 0
+        assert kernel(-2.75) == -2
+
+
+class TestVectorKernelParity:
+    LANE_CASES = {
+        ty.U8: ([250, 1, 17, 255], [10, 2, 300 % 256, 1]),
+        ty.I16: ([32767, -32768, -5, 9], [1, -1, 5, 9]),
+        ty.I32: ([2**31 - 1, -2**31, 0, 42], [1, -1, 7, -42]),
+        ty.F32: ([1.5, -2.25, 1e30, 0.1], [2.5, 0.5, 1e30, 0.2]),
+        ty.F64: ([1.5, -2.25], [2.5, 0.5]),
+    }
+
+    @pytest.mark.parametrize("op", BIN_OPS)
+    def test_lane_kernels_match_reference(self, op):
+        for elem_ty, (a, b) in self.LANE_CASES.items():
+            if isinstance(elem_ty, ty.FloatType) and \
+                    op not in ("add", "sub", "mul", "div", "min", "max"):
+                continue
+            kernel = vec_binop_kernel(op, elem_ty)
+            assert _outcome(kernel, a, b) == \
+                _outcome(vec_binop, op, elem_ty, a, b), (op, elem_ty)
+
+    def test_lane_count_mismatch_traps(self):
+        for elem_ty in (ty.U8, ty.F32):
+            kernel = vec_binop_kernel("add", elem_ty)
+            with pytest.raises(TrapError, match="lane count mismatch"):
+                kernel([1, 2, 3], [1, 2])
+
+    def test_f32_quad_rounding_matches_scalar(self):
+        # the 4-lane f32 fast path rounds through one <4f> round trip;
+        # results must equal the per-lane scalar kernel bit for bit
+        kernel = vec_binop_kernel("mul", ty.F32)
+        scalar = binop_kernel("mul", ty.F32)
+        a = [1.1, -2.2, 3.3, 1e18]
+        b = [7.7, 0.3, -9.9, 1e18]
+        assert kernel(a, b) == [scalar(x, y) for x, y in zip(a, b)]
