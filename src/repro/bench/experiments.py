@@ -14,13 +14,15 @@ from repro.core import (
 from repro.lang import types as ty
 from repro.service import default_service
 from repro.semantics import Memory
-from repro.targets import DSP, HOST, PPC, SPARC, X86
 from repro.targets.machine import TargetDesc
-from repro.targets.simulator import SimulationResult, Simulator
+from repro.targets.registry import Targetish, as_target, executor_for
+from repro.targets.simulator import SimulationResult
 from repro.workloads import REGALLOC_CORPUS, TABLE1, ALL_KERNELS
 from repro.workloads.kernels import Kernel
 
-TABLE1_TARGETS = (X86, SPARC, PPC)
+#: Table 1's three machines, as registered names — resolved through
+#: the target registry at use, never imported from the catalog.
+TABLE1_TARGETS = ("x86", "sparc", "ppc")
 
 
 # ---------------------------------------------------------------------------
@@ -47,14 +49,15 @@ def _simulate_kernel(kernel: Kernel, compiled, n: int,
                      seed: int) -> SimulationResult:
     memory = Memory(1 << 21)
     run = kernel.prepare(memory, n, seed)
-    return Simulator(compiled, memory).run(kernel.entry, run.args)
+    return executor_for(compiled, memory).run(kernel.entry, run.args)
 
 
 def run_table1(n: int = 512, seed: int = 7,
-               targets: Sequence[TargetDesc] = TABLE1_TARGETS,
+               targets: Sequence[Targetish] = TABLE1_TARGETS,
                kernels: Optional[Sequence[str]] = None) -> List[Table1Row]:
     """Scalar vs split-vectorized cycles for every kernel × target."""
     service = default_service()
+    targets = [as_target(t) for t in targets]
     rows: List[Table1Row] = []
     names = kernels if kernels is not None else list(TABLE1)
     for name in names:
@@ -81,7 +84,7 @@ def run_table1(n: int = 512, seed: int = 7,
 # ---------------------------------------------------------------------------
 
 def run_split_flow(kernel_name: str = "saxpy_fp",
-                   target: TargetDesc = X86,
+                   target: Targetish = "x86",
                    n: int = 512, seed: int = 7,
                    flows: Optional[Sequence] = None) -> List:
     """The deployment flows of Figure 1 on one kernel.
@@ -101,7 +104,7 @@ def run_split_flow(kernel_name: str = "saxpy_fp",
                          flows=flows, service=service)
 
 
-def run_jit_budget(target: TargetDesc = X86, n: int = 256,
+def run_jit_budget(target: Targetish = "x86", n: int = 256,
                    seed: int = 7) -> List[Tuple[str, int, int, int, float]]:
     """Aggregate online compile cost per flow over all Table 1 kernels.
 
@@ -205,7 +208,8 @@ def run_split_regalloc(k_values: Sequence[int] = (6, 8, 10, 12, 16),
     for name, source in REGALLOC_CORPUS.items():
         artifact = default_service().artifact(source, do_vectorize=False)
         for k in k_values:
-            target = replace(X86, name=f"x86k{k}", int_regs=k)
+            target = replace(as_target("x86"), name=f"x86k{k}",
+                             int_regs=k)
             spills = {}
             static = {}
             values = {}
@@ -214,7 +218,7 @@ def run_split_regalloc(k_values: Sequence[int] = (6, 8, 10, 12, 16),
                     artifact.bytecode)
                 memory = Memory(1 << 20)
                 args = _regalloc_inputs(name, memory, n, seed)
-                sim = Simulator(compiled, memory).run(name, args)
+                sim = executor_for(compiled, memory).run(name, args)
                 spills[mode] = sim.spill_loads + sim.spill_stores
                 static[mode] = sum(f.spill_slot_count
                                    for f in compiled.functions.values())
@@ -241,9 +245,10 @@ class CodeSizeRow:
     native: Dict[str, int] = field(default_factory=dict)
 
 
-def run_code_size(targets: Sequence[TargetDesc] = TABLE1_TARGETS) \
+def run_code_size(targets: Sequence[Targetish] = TABLE1_TARGETS) \
         -> List[CodeSizeRow]:
     service = default_service()
+    targets = [as_target(t) for t in targets]
     rows: List[CodeSizeRow] = []
     for name, kernel in ALL_KERNELS.items():
         artifact = service.artifact(kernel.source, do_vectorize=False)
@@ -276,10 +281,11 @@ class IterativeRow:
 
 
 def run_iterative(kernel_names: Optional[Sequence[str]] = None,
-                  target: TargetDesc = X86, budget: int = 16,
+                  target: Targetish = "x86", budget: int = 16,
                   n: int = 192) -> List[IterativeRow]:
     from repro.iterative import hill_climb
 
+    target = as_target(target)
     names = kernel_names if kernel_names is not None else \
         ["saxpy_fp", "sum_u8", "sdot", "prefix_sum", "fir"]
     rows = []
@@ -311,7 +317,20 @@ class KPNRow:
         return self.host_only / self.heterogeneous
 
 
-def run_kpn(blocks: int = 64) -> List[KPNRow]:
+def default_kpn_platforms() -> List[Platform]:
+    """The three S4c platforms — compositions of registered target
+    names (the registry resolves them at Core construction)."""
+    return [
+        Platform("host x4", [Core("host", 4)]),
+        Platform("host + dsp", [Core("host", 2), Core("dsp", 1)]),
+        Platform("host + dsp + big", [Core("host", 2), Core("dsp", 1),
+                                      Core("x86", 1)]),
+    ]
+
+
+def run_kpn(blocks: int = 64,
+            platforms: Optional[Sequence[Platform]] = None) \
+        -> List[KPNRow]:
     from repro.kpn import (
         deploy_actor_images, estimate_costs, greedy_map, host_only_map,
         simulate_makespan,
@@ -321,12 +340,8 @@ def run_kpn(blocks: int = 64) -> List[KPNRow]:
     service = default_service()
     artifact = service.artifact(PIPELINE_SOURCE)
     network = build_pipeline()
-    platforms = [
-        Platform("host x4", [Core(HOST, 4)]),
-        Platform("host + dsp", [Core(HOST, 2), Core(DSP, 1)]),
-        Platform("host + dsp + big", [Core(HOST, 2), Core(DSP, 1),
-                                      Core(X86, 1)]),
-    ]
+    if platforms is None:
+        platforms = default_kpn_platforms()
     rows: List[KPNRow] = []
     for platform in platforms:
         # The three platforms overlap in core kinds; the service memo

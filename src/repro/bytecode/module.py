@@ -71,6 +71,12 @@ class BytecodeFunction:
     # rides on the function object, so every VM over the same module —
     # including ``strip_annotations`` copies, which share function
     # objects — reuses one predecode.
+    #
+    # A *frozen* module's predecode additionally binds call targets
+    # (the callee function objects) directly into the handlers, so the
+    # entry also records which module it was resolved against; a VM
+    # over a different module misses and rebuilds instead of running
+    # another module's callees.
 
     def content_token(self) -> List:
         """Structural identity of everything the predecode bakes in:
@@ -81,14 +87,15 @@ class BytecodeFunction:
                 [(s.name, s.size, s.align) for s in self.frame_slots],
                 [(i.op, i.ty, i.arg) for i in self.code]]
 
-    def cached_predecode(self, token):
+    def cached_predecode(self, token, module=None):
         cached = getattr(self, "_predecode_cache", None)
-        if cached is not None and cached[0] == token:
-            return cached[1]
+        if cached is not None and cached[0] == token and \
+                cached[1] is module:
+            return cached[2]
         return None
 
-    def store_predecode(self, token, payload) -> None:
-        self._predecode_cache = (token, payload)
+    def store_predecode(self, token, payload, module=None) -> None:
+        self._predecode_cache = (token, module, payload)
 
 
 @dataclass
@@ -97,7 +104,25 @@ class BytecodeModule:
     functions: Dict[str, BytecodeFunction] = field(default_factory=dict)
     annotations: List = field(default_factory=list)
 
+    #: frozen = the function table and code will not change in place;
+    #: the fast engine may resolve call targets once at predecode time
+    #: (per-call inline caching) instead of per executed call.
+    _frozen: bool = field(default=False, repr=False, compare=False)
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> "BytecodeModule":
+        """Declare the module immutable from here on.  The offline
+        compiler freezes its outputs; anything that still wants to
+        edit code in place (tests, tools) just never freezes."""
+        self._frozen = True
+        return self
+
     def add(self, func: BytecodeFunction) -> BytecodeFunction:
+        if self._frozen:
+            raise ValueError(f"module {self.name!r} is frozen")
         if func.name in self.functions:
             raise ValueError(f"duplicate function {func.name!r}")
         self.functions[func.name] = func
@@ -116,5 +141,11 @@ class BytecodeModule:
         return found
 
     def strip_annotations(self) -> "BytecodeModule":
-        """A copy without annotations (the 'plain deferred' deployment)."""
-        return BytecodeModule(self.name, dict(self.functions), [])
+        """A copy without annotations (the 'plain deferred' deployment).
+
+        The copy shares function objects, so it inherits the frozen
+        promise (nobody may edit those functions in place either way).
+        """
+        out = BytecodeModule(self.name, dict(self.functions), [])
+        out._frozen = self._frozen
+        return out

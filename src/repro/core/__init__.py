@@ -22,6 +22,10 @@ from repro.flows import (
     Flow, FlowRegistry, PipelineSpec, UnknownFlowError, flow_names,
     get_flow, register_flow,
 )
+from repro.targets.registry import (
+    Backend, TargetRegistry, UnknownTargetError, get_target,
+    register_target, target_names,
+)
 
 __all__ = [
     "OfflineArtifact", "offline_compile",
@@ -30,4 +34,6 @@ __all__ = [
     "Core", "Platform", "DeploymentManager",
     "Flow", "FlowRegistry", "PipelineSpec", "UnknownFlowError",
     "register_flow", "get_flow", "flow_names",
+    "Backend", "TargetRegistry", "UnknownTargetError",
+    "register_target", "get_target", "target_names",
 ]

@@ -17,8 +17,7 @@ from repro.core.offline import OfflineArtifact, offline_compile
 from repro.core.online import deploy
 from repro.flows import Flow, as_flow, flow_names
 from repro.semantics import Memory
-from repro.targets.machine import TargetDesc
-from repro.targets.simulator import Simulator
+from repro.targets.registry import Targetish, as_target, backend_for
 
 
 @dataclass
@@ -65,20 +64,26 @@ def artifact_for_flow(artifact: OfflineArtifact, flow: Flow,
                            hotness=artifact.hotness)
 
 
-def compare_flows(artifact: OfflineArtifact, target: TargetDesc,
+def compare_flows(artifact: OfflineArtifact, target: Targetish,
                   entry: str, make_args: Callable[[Memory], List],
                   flows: Optional[Sequence[Union[str, Flow]]] = None,
                   service=None) -> List[FlowReport]:
     """Deploy + run ``entry`` under each flow on ``target``.
 
-    ``flows`` defaults to *every registered flow*, in registration
-    order — a freshly registered custom flow shows up here with no
-    further plumbing.  ``make_args`` receives a fresh :class:`Memory`
-    per flow and returns the argument list (allocating any arrays it
-    needs); per-flow memories keep the runs independent.  A compilation
+    ``target`` is a descriptor or a registered name; compilation and
+    execution go through its registered backend, so a runtime-
+    registered custom target (or the ``wasm32`` stack machine)
+    compares exactly like the built-in native ones.  ``flows``
+    defaults to *every registered flow*, in registration order — a
+    freshly registered custom flow shows up here with no further
+    plumbing.  ``make_args`` receives a fresh :class:`Memory` per flow
+    and returns the argument list (allocating any arrays it needs);
+    per-flow memories keep the runs independent.  A compilation
     ``service`` makes repeated comparisons reuse their compiled images
     (the work counters come from the first, identical compilation).
     """
+    target = as_target(target)
+    backend = backend_for(target)
     if flows is None:
         flows = flow_names()
     reports: List[FlowReport] = []
@@ -88,7 +93,7 @@ def compare_flows(artifact: OfflineArtifact, target: TargetDesc,
         compiled = deploy(flow_artifact, target, flow, service=service)
         memory = Memory()
         args = make_args(memory)
-        result = Simulator(compiled, memory).run(entry, args)
+        result = backend.executor(compiled, memory).run(entry, args)
         charged = flow.charges_offline
         reports.append(FlowReport(
             flow=flow.name,

@@ -182,6 +182,11 @@ def offline_compile(source: str, name: str = "module", *,
         verify_module(bytecode)
         verify_module(scalar_bc)
 
+    # Offline output is immutable from here on; freezing lets the fast
+    # VM bind call targets at predecode time (per-call inline caching).
+    bytecode.freeze()
+    scalar_bc.freeze()
+
     return OfflineArtifact(
         name=name,
         bytecode=bytecode,

@@ -1,9 +1,9 @@
 """Deployment: the µproc-specific online step of Figure 1.
 
-Flows are resolved through :mod:`repro.flows` — every function here
-accepts either a registered flow name or a :class:`~repro.flows.Flow`
-object, so a flow registered by user code deploys exactly like the
-built-in ones.
+Flows are resolved through :mod:`repro.flows` and targets through
+:mod:`repro.targets.registry` — every function here accepts either
+registered names or the objects themselves, so a flow or target
+registered by user code deploys exactly like the built-in ones.
 """
 
 from __future__ import annotations
@@ -14,8 +14,7 @@ from repro.bytecode.module import BytecodeModule
 from repro.core.offline import OfflineArtifact
 from repro.flows import Flow, as_flow
 from repro.jit import compile_for_target
-from repro.targets.isa import CompiledModule
-from repro.targets.machine import TargetDesc
+from repro.targets.registry import Targetish, as_target
 
 #: the three deployment flows of the paper (the registry may hold
 #: more; see ``repro.flows.flow_names()`` for the authoritative list)
@@ -38,16 +37,19 @@ def select_bytecode(artifact: OfflineArtifact,
 
 
 def deploy(source: Union[OfflineArtifact, BytecodeModule],
-           target: TargetDesc, flow: Union[str, Flow] = "split",
-           service=None) -> CompiledModule:
+           target: Targetish, flow: Union[str, Flow] = "split",
+           service=None):
     """Compile the right bytecode flavour for ``target`` under ``flow``.
 
-    With a :class:`~repro.service.CompilationService` passed as
-    ``service``, artifact deployments are memoized per
+    ``target`` is a descriptor or a registered name; the compilation
+    runs on the target's registered backend (the native JIT by
+    default).  With a :class:`~repro.service.CompilationService`
+    passed as ``service``, artifact deployments are memoized per
     ``(artifact, target, flow)`` — repeated flows hit the service's
     image cache instead of re-running the JIT.
     """
     flow = as_flow(flow)
+    target = as_target(target)
     if isinstance(source, OfflineArtifact):
         if service is not None:
             return service.deploy(source, target, flow)

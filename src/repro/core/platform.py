@@ -19,15 +19,24 @@ from repro.bytecode.module import BytecodeModule
 from repro.core.offline import OfflineArtifact
 from repro.core.online import deploy, select_bytecode
 from repro.flows import Flow, as_flow
-from repro.targets.isa import CompiledModule
 from repro.targets.machine import TargetDesc
+from repro.targets.registry import Targetish, as_target
 
 
 @dataclass
 class Core:
-    """A group of identical cores."""
-    target: TargetDesc
+    """A group of identical cores.
+
+    ``target`` is a descriptor or a registered target name — a
+    platform is a composition of registered targets, so
+    ``Core("dsp", 2)`` works and an unknown name raises the unified
+    ``UnknownTargetError`` at construction, not mid-deployment.
+    """
+    target: Targetish
     count: int = 1
+
+    def __post_init__(self):
+        self.target = as_target(self.target)
 
     @property
     def name(self) -> str:
@@ -69,11 +78,11 @@ class DeploymentManager:
         self.platform = platform
         self.flow = as_flow(flow)
         self.service = service
-        self.installed: Dict[str, CompiledModule] = {}
+        self.installed: Dict[str, object] = {}
         self._bytecode: Optional[BytecodeModule] = None
 
     def install(self, source: Union[OfflineArtifact, BytecodeModule]) \
-            -> Dict[str, CompiledModule]:
+            -> Dict[str, object]:
         """JIT the module once per core kind; returns the images."""
         self.installed = {}
         if self.service is not None and isinstance(source, OfflineArtifact):
@@ -90,7 +99,8 @@ class DeploymentManager:
             self._bytecode = source
         return self.installed
 
-    def image_for(self, target: TargetDesc) -> CompiledModule:
+    def image_for(self, target: Targetish):
+        target = as_target(target)
         return self.installed[target.name]
 
     def preferred_core(self, function: str) -> Optional[TargetDesc]:

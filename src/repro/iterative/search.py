@@ -37,8 +37,7 @@ from repro.flows import (
 from repro.frontend import lower_source
 from repro.jit import compile_for_target
 from repro.semantics import Memory
-from repro.targets.machine import TargetDesc
-from repro.targets.simulator import Simulator
+from repro.targets.registry import Targetish, as_target, backend_for
 from repro.workloads.kernels import Kernel
 
 UNROLL_CHOICES = (1, 2, 4, 8)
@@ -139,23 +138,26 @@ def label_of(candidate: Candidate) -> str:
 
 
 def compile_with(kernel: Kernel, candidate: Candidate,
-                 target: TargetDesc):
-    """Offline-compile ``kernel`` under ``candidate`` for ``target``."""
+                 target: Targetish):
+    """Offline-compile ``kernel`` under ``candidate`` for ``target``
+    (a descriptor or a registered name, on any backend)."""
     spec = pipeline_of(candidate)
     module = lower_source(kernel.source)
     for func in module:
         run_pipeline(func, spec)
     bytecode, _ = emit_module(module)
-    return compile_for_target(bytecode, target, "split")
+    return compile_for_target(bytecode, as_target(target), "split")
 
 
-def evaluate(kernel: Kernel, candidate: Candidate, target: TargetDesc,
+def evaluate(kernel: Kernel, candidate: Candidate, target: Targetish,
              n: int = 256, seed: int = 13) -> int:
     """Cycles for one run of ``kernel`` under ``candidate``."""
+    target = as_target(target)
     compiled = compile_with(kernel, candidate, target)
     memory = Memory(1 << 21)
     run = kernel.prepare(memory, n, seed)
-    result = Simulator(compiled, memory).run(kernel.entry, run.args)
+    result = backend_for(target).executor(compiled, memory).run(
+        kernel.entry, run.args)
     return result.cycles
 
 
@@ -177,7 +179,7 @@ class SearchResult:
         return label_of(self.best)
 
 
-def _search(kernel: Kernel, target: TargetDesc,
+def _search(kernel: Kernel, target: Targetish,
             candidates: List[Candidate], n: int,
             seed: int) -> SearchResult:
     default_cycles = evaluate(kernel, default_configuration(), target,
@@ -196,12 +198,12 @@ def _search(kernel: Kernel, target: TargetDesc,
                         history=history)
 
 
-def exhaustive_search(kernel: Kernel, target: TargetDesc,
+def exhaustive_search(kernel: Kernel, target: Targetish,
                       n: int = 256, seed: int = 13) -> SearchResult:
     return _search(kernel, target, search_space(), n, seed)
 
 
-def random_search(kernel: Kernel, target: TargetDesc, budget: int = 24,
+def random_search(kernel: Kernel, target: Targetish, budget: int = 24,
                   n: int = 256, seed: int = 13) -> SearchResult:
     rng = random.Random(seed)
     space = search_space()
@@ -209,7 +211,7 @@ def random_search(kernel: Kernel, target: TargetDesc, budget: int = 24,
     return _search(kernel, target, candidates, n, seed)
 
 
-def hill_climb(kernel: Kernel, target: TargetDesc, budget: int = 24,
+def hill_climb(kernel: Kernel, target: Targetish, budget: int = 24,
                n: int = 256, seed: int = 13) -> SearchResult:
     """Greedy neighbourhood descent from the default configuration."""
     current = default_configuration()

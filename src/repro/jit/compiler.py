@@ -74,6 +74,15 @@ class JITCompiler:
         compiled = CompiledModule(self.target.name)
         for func in module:
             compiled.add(self.compile_function(module, func.name))
+        # JIT output is never edited in place; freezing lets the fast
+        # engine bind call targets directly at predecode time.
+        compiled.freeze()
+        # Optionally (PVI_JIT_PREDECODE) warm the fast engine's
+        # predecode cache outside the modeled compile time, trading
+        # cold-compile latency for decode-free first dispatch.
+        if predecode_at_jit():
+            from repro.targets.dispatch import warm_module
+            warm_module(compiled)
         return compiled
 
     def compile_function(self, module: BytecodeModule,
@@ -135,12 +144,6 @@ class JITCompiler:
         compiled.jit_analysis_work = analysis_work
         compiled.jit_pass_work = pass_work
         compiled.jit_time = time.perf_counter() - start
-        # Optionally (PVI_JIT_PREDECODE) warm the fast engine's
-        # predecode cache outside the modeled compile time, trading
-        # cold-compile latency for decode-free first dispatch.
-        if predecode_at_jit():
-            from repro.targets.dispatch import predecode_machine
-            predecode_machine(compiled)
         return compiled
 
     def _wants_online_analysis(self, module: BytecodeModule,
@@ -176,9 +179,19 @@ class JITCompiler:
         return priorities
 
 
-def compile_for_target(module: BytecodeModule, target: TargetDesc,
-                       flow="split") -> CompiledModule:
-    """One-call deployment: compile ``module`` for ``target`` under a
-    flow (a registered name or a :class:`repro.flows.Flow`)."""
+def compile_for_target(module: BytecodeModule, target,
+                       flow="split"):
+    """One-call deployment: compile ``module`` for ``target`` (a
+    descriptor or a registered name) under a flow (a registered name
+    or a :class:`repro.flows.Flow`).
+
+    Dispatches through the target's registered
+    :class:`~repro.targets.registry.Backend`, so a non-native target
+    (e.g. the ``wasm32`` stack machine) compiles with its own codegen
+    — the native register-machine JIT above is just the default
+    backend's implementation.
+    """
     from repro.flows import as_flow
-    return JITCompiler(target, as_flow(flow).jit).compile_module(module)
+    from repro.targets.registry import as_target, backend_for
+    target = as_target(target)
+    return backend_for(target).compile(module, target, as_flow(flow))

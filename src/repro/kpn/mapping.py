@@ -27,7 +27,7 @@ from repro.flows import as_flow
 from repro.kpn.graph import ProcessNetwork
 from repro.lang import types as ty
 from repro.semantics import Memory
-from repro.targets.simulator import Simulator
+from repro.targets.registry import backend_for
 
 #: cost table: (actor name, core kind name) -> cycles per firing
 CostTable = Dict[Tuple[str, str], float]
@@ -46,8 +46,10 @@ def estimate_costs(network: ProcessNetwork, images: Dict[str, object],
                    platform: Platform, seed: int = 11) -> CostTable:
     """Measure cycles per firing for every (actor, core kind).
 
-    Simulated cycles are divided by the core's clock scale so the
-    table is in common time units.
+    Each kind's image runs on its target's registered backend
+    executor — a stack-machine or custom-backend core is measured
+    exactly like a native one.  Simulated cycles are divided by the
+    core's clock scale so the table is in common time units.
     """
     import random
     rng = random.Random(seed)
@@ -55,6 +57,7 @@ def estimate_costs(network: ProcessNetwork, images: Dict[str, object],
     table: CostTable = {}
     for target in platform.kinds():
         compiled = images[target.name]
+        backend = backend_for(target)
         for actor in network.actors.values():
             memory = Memory(1 << 18)
             in_addrs = [memory.alloc_array(
@@ -62,7 +65,7 @@ def estimate_costs(network: ProcessNetwork, images: Dict[str, object],
                 for _ in actor.inputs]
             out_addrs = [memory.alloc_array(ty.F32, [0.0] * size)
                         for _ in actor.outputs]
-            result = Simulator(compiled, memory).run(
+            result = backend.executor(compiled, memory).run(
                 actor.function, in_addrs + out_addrs + [size])
             table[(actor.name, target.name)] = \
                 result.cycles / target.clock_scale
@@ -76,8 +79,9 @@ def deploy_actor_images(network: ProcessNetwork, artifact,
     compilation service.  ``flow`` is a registered flow name or a
     :class:`repro.flows.Flow`.
 
-    Returns actor name -> :class:`CompiledModule` for the core kind
-    the mapping placed it on.  The service compiles each *kind* at
+    Returns actor name -> compiled image (the backend's image type)
+    for the core kind the mapping placed it on.  The service compiles
+    each *kind* at
     most once (concurrently, memoized), however many actors share it —
     the once-compile/many-deploy shape of the paper's Figure 1 applied
     to a process network.

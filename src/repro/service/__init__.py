@@ -37,8 +37,7 @@ from repro.service.requests import (
     CompileOutcome, CompileRequest, DeployResult, ServiceStats,
     TargetDeployment,
 )
-from repro.targets.isa import CompiledModule
-from repro.targets.machine import TargetDesc
+from repro.targets.registry import Targetish
 
 __all__ = [
     "ArtifactCache", "CacheStats", "SCHEMA_VERSION",
@@ -105,9 +104,10 @@ class CompilationService:
 
     # -- online half --------------------------------------------------------
 
-    def deploy(self, artifact: OfflineArtifact, target: TargetDesc,
-               flow="split") -> CompiledModule:
-        """Compile (or reuse) one image for one target."""
+    def deploy(self, artifact: OfflineArtifact, target: Targetish,
+               flow="split"):
+        """Compile (or reuse) one image for one target (descriptor or
+        registered name); the compile runs on the target's backend."""
         start = time.perf_counter()
         image = self.pool.deploy_one(artifact, target, flow)
         with self._counter_lock:
@@ -115,9 +115,10 @@ class CompilationService:
         return image
 
     def deploy_many(self, artifact: OfflineArtifact,
-                    targets: Sequence[TargetDesc], flow="split",
-                    concurrent: bool = True) -> Dict[str, CompiledModule]:
-        """Fan one artifact out over a target catalog."""
+                    targets: Sequence[Targetish], flow="split",
+                    concurrent: bool = True) -> Dict[str, object]:
+        """Fan one artifact out over a target catalog (descriptors or
+        registered names, mixed freely)."""
         start = time.perf_counter()
         images = self.pool.deploy_many(artifact, targets, flow,
                                        concurrent=concurrent)

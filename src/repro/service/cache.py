@@ -172,8 +172,10 @@ def deserialize_artifact(raw: bytes) -> OfflineArtifact:
     pipeline = meta.get("pipeline")
     return OfflineArtifact(
         name=meta["name"],
-        bytecode=decode_module(bytecode_raw),
-        scalar_bytecode=decode_module(scalar_raw),
+        # disk-revived modules are as immutable as freshly compiled
+        # ones: freeze so the VM's call inline caching applies
+        bytecode=decode_module(bytecode_raw).freeze(),
+        scalar_bytecode=decode_module(scalar_raw).freeze(),
         offline_work=int(meta["offline_work"]),
         offline_time=float(meta["offline_time"]),
         vectorized_functions=list(meta["vectorized_functions"]),

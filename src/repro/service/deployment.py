@@ -26,17 +26,19 @@ from repro.core.offline import OfflineArtifact
 from repro.core.online import select_bytecode
 from repro.flows import Flow, as_flow
 from repro.jit import compile_for_target
-from repro.service.cache import artifact_fingerprint
-from repro.targets.isa import CompiledModule
+from repro.service.cache import SCHEMA_VERSION, artifact_fingerprint
 from repro.targets.machine import TargetDesc
+from repro.targets.registry import Targetish, as_target
 
-#: memoization key of one compiled image: (artifact hash, target
-#: descriptor, flow cache key).  The target component is the full
-#: dataclass repr, not just the name — two targets sharing a name but
-#: differing in registers or cost model must not alias to one image.
-#: The flow component is ``Flow.cache_key()`` (name + config digest),
-#: so a custom flow — or a re-registered name with different knobs —
-#: is cached under its own identity.
+#: memoization key of one compiled image: (artifact hash, schema +
+#: target cache key, flow cache key).  The target component is
+#: ``TargetDesc.cache_key()`` (name + config digest) with the service
+#: schema version alongside — two targets sharing a name but differing
+#: in registers, cost model or backend must not alias to one image,
+#: and a schema bump invalidates every image identity at once.  The
+#: flow component is ``Flow.cache_key()`` (name + config digest), so a
+#: custom flow — or a re-registered name with different knobs — is
+#: cached under its own identity.
 DeployKey = Tuple[str, str, str]
 
 Flowish = Union[str, Flow]
@@ -97,18 +99,19 @@ class DeploymentPool:
 
     # -- public API ---------------------------------------------------------
 
-    def deploy_one(self, artifact: OfflineArtifact, target: TargetDesc,
-                   flow: Flowish = "split") -> CompiledModule:
-        return self._image_future(artifact, target,
+    def deploy_one(self, artifact: OfflineArtifact, target: Targetish,
+                   flow: Flowish = "split"):
+        return self._image_future(artifact, as_target(target),
                                   as_flow(flow))[0].result()
 
     def deploy_many(self, artifact: OfflineArtifact,
-                    targets: Sequence[TargetDesc],
+                    targets: Sequence[Targetish],
                     flow: Flowish = "split",
-                    concurrent: bool = True) -> Dict[str, CompiledModule]:
+                    concurrent: bool = True) -> Dict[str, object]:
         """Compile ``artifact`` for every target; returns name -> image.
 
-        Duplicate targets in the catalog collapse onto one compilation.
+        Targets are descriptors or registered names.  Duplicate
+        targets in the catalog collapse onto one compilation.
         ``concurrent=False`` degrades to a serial loop (the benchmark
         baseline and a debugging aid).
         """
@@ -117,10 +120,10 @@ class DeploymentPool:
         return {name: image for name, (image, _) in info.items()}
 
     def deploy_many_info(self, artifact: OfflineArtifact,
-                         targets: Sequence[TargetDesc],
+                         targets: Sequence[Targetish],
                          flow: Flowish = "split",
                          concurrent: bool = True) \
-            -> Dict[str, Tuple[CompiledModule, bool]]:
+            -> Dict[str, Tuple[object, bool]]:
         """Like :meth:`deploy_many`, returning name -> (image, reused).
 
         ``reused`` is True when this call did not trigger the
@@ -128,6 +131,8 @@ class DeploymentPool:
         another thread's behalf.
         """
         flow = as_flow(flow)      # raises UnknownFlowError on a typo
+        # ... and UnknownTargetError on a target typo, before any JIT
+        targets = [as_target(target) for target in targets]
         if not concurrent:
             out = {}
             for target in targets:
@@ -144,11 +149,11 @@ class DeploymentPool:
         return {name: (future.result(), reused)
                 for name, (future, reused) in futures.items()}
 
-    def cached_image(self, artifact: OfflineArtifact, target: TargetDesc,
-                     flow: Flowish = "split") -> Optional[CompiledModule]:
+    def cached_image(self, artifact: OfflineArtifact, target: Targetish,
+                     flow: Flowish = "split") -> Optional[object]:
         """The memoized image if it is already built, else ``None``
         (never triggers a compilation, never raises)."""
-        key = self._key(artifact, target, as_flow(flow))
+        key = self._key(artifact, as_target(target), as_flow(flow))
         with self._lock:
             future = self._images.get(key)
         if future is None or not future.done() or \
@@ -173,7 +178,8 @@ class DeploymentPool:
     @staticmethod
     def _key(artifact: OfflineArtifact, target: TargetDesc,
              flow: Flow) -> DeployKey:
-        return (artifact_fingerprint(artifact), repr(target),
+        return (artifact_fingerprint(artifact),
+                f"{SCHEMA_VERSION}:{target.cache_key()}",
                 flow.cache_key())
 
     def _image_future(self, artifact: OfflineArtifact, target: TargetDesc,
@@ -215,12 +221,13 @@ class DeploymentPool:
 
     @staticmethod
     def _compile(artifact: OfflineArtifact, target: TargetDesc,
-                 flow: Flow) -> CompiledModule:
-        # No eager predecode here: the fast engine predecodes lazily
+                 flow: Flow):
+        # Dispatches through the target's registered backend.  No
+        # eager predecode here: the fast engine predecodes lazily
         # and caches on the function object, so the first simulation
         # of a memoized image pays decode exactly once — warming
         # eagerly would tax the latency-sensitive cold-deploy path
         # instead (callers that want decode-free first dispatch can
-        # `warm_module` the returned image, or set PVI_JIT_PREDECODE).
+        # use the backend's `warm` hook, or set PVI_JIT_PREDECODE).
         return compile_for_target(select_bytecode(artifact, flow),
                                   target, flow)

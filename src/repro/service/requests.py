@@ -14,21 +14,24 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.offline import OfflineArtifact
 from repro.flows import Flow
-from repro.targets.isa import CompiledModule
-from repro.targets.machine import TargetDesc
+from repro.targets.registry import Targetish
 
 
 @dataclass
 class CompileRequest:
     """One program headed for one or more targets under one flow.
 
-    ``flow`` is a registered flow name or a :class:`~repro.flows.Flow`
-    object; its offline pipeline spec feeds the artifact cache key, so
-    two flows with different pipelines never share an artifact entry.
+    ``targets`` are descriptors or registered target names (mixed
+    freely) and ``flow`` is a registered flow name or a
+    :class:`~repro.flows.Flow` object; the flow's offline pipeline
+    spec feeds the artifact cache key, so two flows with different
+    pipelines never share an artifact entry.  Unknown target or flow
+    names fail the request up front with the unified
+    ``UnknownTargetError`` / ``UnknownFlowError``.
     """
     source: str
     name: str = "module"
-    targets: Sequence[TargetDesc] = ()
+    targets: Sequence[Targetish] = ()
     flow: Union[str, Flow] = "split"
     #: offline_compile keyword options (see DEFAULT_OFFLINE_OPTIONS);
     #: a 'pipeline' entry here overrides the flow's own pipeline spec
@@ -48,7 +51,7 @@ class CompileOutcome:
 class TargetDeployment:
     """One target's share of a deployment fan-out."""
     target: str
-    compiled: CompiledModule
+    compiled: object            # the backend's image type
     memo_hit: bool              # image reused from the deployment memo
     latency: float
 
@@ -68,7 +71,7 @@ class DeployResult:
     #: per-pass instrumentation of the flow's offline pipeline
     offline_pass_work: Dict[str, int] = field(default_factory=dict)
 
-    def image_for(self, target_name: str) -> CompiledModule:
+    def image_for(self, target_name: str):
         return self.deployments[target_name].compiled
 
     @property

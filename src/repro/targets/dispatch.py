@@ -27,6 +27,14 @@ token, so the first simulation of an image pays decode exactly once no
 matter how many Simulators run it.  Latency-sensitive deployments can
 prepay it with :func:`warm_module` (or ``PVI_JIT_PREDECODE=1``, which
 makes the JIT warm every image it emits).
+
+When the module is *frozen* (``CompiledModule.freeze()`` — the JIT
+freezes every image it emits), ``call`` targets resolve once at
+predecode time: the callee :class:`CompiledFunction` is bound
+directly into the handlers (per-call inline caching) instead of being
+looked up in ``sim.module.functions`` per executed call; the cache
+records the binding module and content-token invalidation works
+unchanged.
 """
 
 from __future__ import annotations
@@ -75,29 +83,50 @@ class PredecodedMachine:
         self.frame_bytes = frame_bytes
 
 
-def predecode_machine(func: CompiledFunction) -> PredecodedMachine:
-    """The (cached) predecoded form of ``func``."""
+def predecode_machine(func: CompiledFunction,
+                      module=None) -> PredecodedMachine:
+    """The (cached) predecoded form of ``func``.
+
+    With a *frozen* ``module`` supplied (the JIT freezes every image
+    it emits), ``call`` targets are resolved once here — the callee
+    :class:`CompiledFunction` is bound directly into the handlers
+    (per-call inline caching).  The cache records the binding module;
+    in-place code edits invalidate via the existing content token.
+    """
+    binding = module if module is not None and \
+        getattr(module, "frozen", False) else None
     token = func.content_token()
-    cached = func.cached_predecode(token)
+    cached = func.cached_predecode(token, binding)
     if cached is not None:
         return cached
-    pre = _build(func, token)
-    func.store_predecode(token, pre)
+    pre = _build(func, token, binding)
+    func.store_predecode(token, pre, binding)
     return pre
 
 
 def warm_module(module: CompiledModule) -> CompiledModule:
     """Predecode every function of an image (JIT/service warm hook)."""
     for func in module.functions.values():
-        predecode_machine(func)
+        predecode_machine(func, module)
     return module
+
+
+def _resolved_callee(binding, name):
+    """The callee bound at predecode time, or ``None`` to fall back to
+    the dynamic per-call lookup (no frozen module, or a call to a
+    missing function — which must keep failing at execution time,
+    exactly like the reference engine)."""
+    if binding is None:
+        return None
+    return binding.functions.get(name)
 
 
 # ---------------------------------------------------------------------------
 # build
 # ---------------------------------------------------------------------------
 
-def _build(func: CompiledFunction, token) -> PredecodedMachine:
+def _build(func: CompiledFunction, token,
+           binding=None) -> PredecodedMachine:
     code = func.code
     n = len(code)
     name = func.name
@@ -109,7 +138,7 @@ def _build(func: CompiledFunction, token) -> PredecodedMachine:
     raw[n] = tail
     for pc, instr in enumerate(code):
         try:
-            raw[pc] = _make_raw_handler(name, pc, instr, n)
+            raw[pc] = _make_raw_handler(name, pc, instr, n, binding)
         except Exception as exc:
             def deferred(ri, rf, rv, slots, fb, mem, sim, res,
                          _exc=exc):
@@ -126,7 +155,7 @@ def _build(func: CompiledFunction, token) -> PredecodedMachine:
     for leader, length in blocks.items():
         try:
             sources.append(_gen_block(name, code, leader, length, env,
-                                      written_at_entry))
+                                      written_at_entry, binding))
             compiled[leader] = f"_b{leader}"
         except Exception:
             handlers[leader] = _interp_block(code, raw, leader, length)
@@ -244,7 +273,7 @@ def _interp_block(code, raw, leader: int, length: int) -> Handler:
 # ---------------------------------------------------------------------------
 
 def _gen_block(name: str, code, leader: int, length: int, env_dict,
-               written_at_entry: set) -> str:
+               written_at_entry: set, binding=None) -> str:
     env = CodegenEnv(env_dict)
     lines: List[str] = []
     written = set(written_at_entry)
@@ -397,7 +426,7 @@ def _gen_block(name: str, code, leader: int, length: int, env_dict,
             cond = read(instr.srcs[0])
             emit(f"return {target} if ({cond}) != 0 else {exit_pc}")
         elif op == "call":
-            callee = env.bind(instr.arg, "n")
+            resolved = _resolved_callee(binding, instr.arg)
             values = []
             for operand in instr.srcs:
                 if operand[0] == "slot":
@@ -410,8 +439,15 @@ def _gen_block(name: str, code, leader: int, length: int, env_dict,
                 else:
                     values.append(read(operand))
             result = newt()
-            emit(f"{result} = sim._call_fast(sim.module.functions"
-                 f"[{callee}], [{', '.join(values)}], res)")
+            if resolved is not None:
+                # Inline cache: the frozen module pins the callee.
+                emit(f"{result} = sim._call_fast("
+                     f"{env.bind(resolved, 'f')}, "
+                     f"[{', '.join(values)}], res)")
+            else:
+                callee = env.bind(instr.arg, "n")
+                emit(f"{result} = sim._call_fast(sim.module.functions"
+                     f"[{callee}], [{', '.join(values)}], res)")
             if instr.dst is not None:
                 emit(f"{dst_of(instr)} = {result}")
             emit(f"return {exit_pc}")
@@ -526,7 +562,7 @@ def _reader(operand, name: str) -> Callable:
 
 
 def _make_raw_handler(name: str, pc: int, instr,
-                      n: int) -> Handler:
+                      n: int, binding=None) -> Handler:
     op = instr.op
     nxt = pc + 1
     dst = instr.dst
@@ -648,6 +684,7 @@ def _make_raw_handler(name: str, pc: int, instr,
             return target if rc(ri, rf, rv) != 0 else nxt
     elif op == "call":
         callee_name = instr.arg
+        resolved = _resolved_callee(binding, callee_name)
         getters = []
         for operand in instr.srcs:
             if operand[0] == "slot":
@@ -659,13 +696,22 @@ def _make_raw_handler(name: str, pc: int, instr,
                     return _r(ri, rf, rv)
             getters.append(getter)
 
-        def handler(ri, rf, rv, slots, fb, mem, sim, res):
-            values = [g(ri, rf, rv, slots) for g in getters]
-            callee = sim.module.functions[callee_name]
-            result = sim._call_fast(callee, values, res)
-            if dst_cls is not None:
-                write(ri, rf, rv, result)
-            return nxt
+        if resolved is not None:
+            def handler(ri, rf, rv, slots, fb, mem, sim, res,
+                        _callee=resolved):
+                values = [g(ri, rf, rv, slots) for g in getters]
+                result = sim._call_fast(_callee, values, res)
+                if dst_cls is not None:
+                    write(ri, rf, rv, result)
+                return nxt
+        else:
+            def handler(ri, rf, rv, slots, fb, mem, sim, res):
+                values = [g(ri, rf, rv, slots) for g in getters]
+                callee = sim.module.functions[callee_name]
+                result = sim._call_fast(callee, values, res)
+                if dst_cls is not None:
+                    write(ri, rf, rv, result)
+                return nxt
     elif op == "ret":
         if instr.srcs:
             ra = _reader(instr.srcs[0], name)

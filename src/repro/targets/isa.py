@@ -112,14 +112,15 @@ class CompiledFunction:
                 [(i.op, i.ty, i.dst, tuple(i.srcs), i.arg, i.cost)
                  for i in self.code]]
 
-    def cached_predecode(self, token):
+    def cached_predecode(self, token, module=None):
         cached = getattr(self, "_predecode_cache", None)
-        if cached is not None and cached[0] == token:
-            return cached[1]
+        if cached is not None and cached[0] == token and \
+                cached[1] is module:
+            return cached[2]
         return None
 
-    def store_predecode(self, token, payload) -> None:
-        self._predecode_cache = (token, payload)
+    def store_predecode(self, token, payload, module=None) -> None:
+        self._predecode_cache = (token, module, payload)
 
 
 @dataclass
@@ -127,7 +128,23 @@ class CompiledModule:
     target_name: str
     functions: dict = field(default_factory=dict)
 
+    #: frozen = the function table and code will not change in place;
+    #: the fast simulator may bind call targets at predecode time.
+    #: The JIT freezes every module it emits.
+    _frozen: bool = field(default=False, repr=False, compare=False)
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> "CompiledModule":
+        self._frozen = True
+        return self
+
     def add(self, func: CompiledFunction) -> CompiledFunction:
+        if self._frozen:
+            raise ValueError(
+                f"compiled module for {self.target_name!r} is frozen")
         self.functions[func.name] = func
         return func
 

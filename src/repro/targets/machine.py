@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Dict
 
 from repro.lang import types as ty
@@ -94,7 +96,16 @@ class SizeModel:
 
 @dataclass(frozen=True)
 class TargetDesc:
-    """A simulated processor the JIT can compile for."""
+    """A simulated processor the JIT can compile for.
+
+    Frozen and built from plain values, so descriptors are hashable,
+    picklable (they cross the ``ProcessPoolExecutor`` seam with the
+    deployment pool) and JSON-describable (the service memo keys on
+    :meth:`cache_key`).  ``backend`` names the registered
+    :class:`~repro.targets.registry.Backend` that compiles and executes
+    code for this target — a *name*, not an object, so descriptors stay
+    picklable; the default is the native register-machine JIT.
+    """
     name: str
     description: str
     has_simd: bool
@@ -106,7 +117,30 @@ class TargetDesc:
     #: relative clock of this core in a heterogeneous SoC (1.0 = host);
     #: cycles are divided by this when comparing across cores.
     clock_scale: float = 1.0
+    #: registered backend name (see :mod:`repro.targets.registry`)
+    backend: str = "native"
 
     def regs_of_class(self, reg_class: str) -> int:
         return {"int": self.int_regs, "flt": self.flt_regs,
                 "vec": self.vec_regs}[reg_class]
+
+    def to_dict(self) -> Dict[str, object]:
+        """The full configuration as plain JSON-able data."""
+        return asdict(self)
+
+    def cache_key(self) -> str:
+        """Stable identity for service memo keys: the name plus a
+        digest of the full configuration (register files, cost and
+        size models, clock, backend), so two targets sharing a name
+        but differing anywhere else can never alias a cached image.
+
+        Memoized on the (frozen, therefore immutable) descriptor —
+        the deployment memo computes it on every lookup, including
+        pure hits, and the digest walk is not free."""
+        cached = self.__dict__.get("_cache_key")
+        if cached is None:
+            payload = json.dumps(self.to_dict(), sort_keys=True)
+            digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            cached = f"{self.name}#{digest[:12]}"
+            object.__setattr__(self, "_cache_key", cached)
+        return cached

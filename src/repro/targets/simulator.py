@@ -80,7 +80,8 @@ class Simulator:
             # Revalidate against the content token at every public run
             # (in-place edits between runs are picked up on a reused
             # simulator; callees stay on the O(1) name memo).
-            self._predecoded[func.name] = dispatch.predecode_machine(func)
+            self._predecoded[func.name] = dispatch.predecode_machine(
+                func, self.module)
             result.value = self._call_fast(func, list(args), result)
         return result
 
@@ -89,7 +90,7 @@ class Simulator:
     def _predecode(self, func: CompiledFunction):
         pre = self._predecoded.get(func.name)
         if pre is None:
-            pre = dispatch.predecode_machine(func)
+            pre = dispatch.predecode_machine(func, self.module)
             self._predecoded[func.name] = pre
         return pre
 

@@ -61,7 +61,8 @@ class VM:
         # are picked up even on a reused VM (callees revalidate at
         # their own public calls or on a fresh VM — the name memo keeps
         # recursive dispatch O(1)).
-        self._predecoded[func.name] = threaded.predecode(func)
+        self._predecoded[func.name] = threaded.predecode(func,
+                                                         self.module)
         return self._run_fast(func, coerced)
 
     # -- fast engine: predecoded closure threading ----------------------------
@@ -69,7 +70,7 @@ class VM:
     def _predecode(self, func: BytecodeFunction):
         pre = self._predecoded.get(func.name)
         if pre is None:
-            pre = threaded.predecode(func)
+            pre = threaded.predecode(func, self.module)
             self._predecoded[func.name] = pre
         return pre
 

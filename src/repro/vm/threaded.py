@@ -36,6 +36,15 @@ The predecoded form is cached on the function object
 (``BytecodeFunction.cached_predecode``) keyed by a structural content
 token: VM construction stays cheap, and in-place code edits
 invalidate by content.
+
+When the module is *frozen* (``BytecodeModule.freeze()`` — the
+offline compiler freezes everything it emits), ``call`` targets are
+resolved once at predecode time: the callee function object, its
+arity and return shape are bound directly into the handlers (per-call
+inline caching), removing the per-call name lookup.  The cache
+records the binding module, so a VM over a different module sharing
+the same function object rebuilds instead of calling into the wrong
+table, and content-token invalidation works unchanged.
 """
 
 from __future__ import annotations
@@ -85,14 +94,25 @@ class PredecodedFunction:
         self.has_ret = has_ret
 
 
-def predecode(func: BytecodeFunction) -> PredecodedFunction:
-    """The (cached) predecoded form of ``func``."""
+def predecode(func: BytecodeFunction,
+              module=None) -> PredecodedFunction:
+    """The (cached) predecoded form of ``func``.
+
+    With a *frozen* ``module`` supplied, ``call`` targets are resolved
+    once here — the callee function object, its arity and whether it
+    returns a value are bound directly into the handlers (per-call
+    inline caching) instead of being looked up per executed call.
+    The cache records the binding module, and in-place code edits
+    still invalidate via the existing content token.
+    """
+    binding = module if module is not None and \
+        getattr(module, "frozen", False) else None
     token = func.content_token()
-    cached = func.cached_predecode(token)
+    cached = func.cached_predecode(token, binding)
     if cached is not None:
         return cached
-    pre = _build(func, token)
-    func.store_predecode(token, pre)
+    pre = _build(func, token, binding)
+    func.store_predecode(token, pre, binding)
     return pre
 
 
@@ -100,7 +120,8 @@ def predecode(func: BytecodeFunction) -> PredecodedFunction:
 # build
 # ---------------------------------------------------------------------------
 
-def _build(func: BytecodeFunction, token) -> PredecodedFunction:
+def _build(func: BytecodeFunction, token,
+           binding=None) -> PredecodedFunction:
     code = func.code
     n = len(code)
     name = func.name
@@ -113,7 +134,8 @@ def _build(func: BytecodeFunction, token) -> PredecodedFunction:
     raw[n] = tail
     for pc, instr in enumerate(code):
         try:
-            raw[pc] = _make_raw_handler(pc, instr, frame_offsets, n)
+            raw[pc] = _make_raw_handler(pc, instr, frame_offsets, n,
+                                        binding)
         except Exception as exc:        # malformed instruction: the
             # reference engine only fails when it *executes* it, so
             # defer the error to execution time
@@ -130,7 +152,8 @@ def _build(func: BytecodeFunction, token) -> PredecodedFunction:
     for leader, length in blocks.items():
         try:
             sources.append(
-                _gen_block(code, leader, length, frame_offsets, env))
+                _gen_block(code, leader, length, frame_offsets, env,
+                           binding))
             compiled[leader] = f"_b{leader}"
         except Exception:
             handlers[leader] = _interp_block(raw, leader, length)
@@ -189,8 +212,18 @@ def _interp_block(raw, leader: int, length: int) -> Handler:
 # block code generation
 # ---------------------------------------------------------------------------
 
+def _resolved_callee(binding, name):
+    """The callee bound at predecode time, or ``None`` to fall back to
+    the dynamic per-call lookup (no frozen module, or a call to a
+    missing function — which must keep failing at execution time,
+    exactly like the reference engine)."""
+    if binding is None:
+        return None
+    return binding.functions.get(name)
+
+
 def _gen_block(code, leader: int, length: int, frame_offsets,
-               env_dict) -> str:
+               env_dict, binding=None) -> str:
     env = CodegenEnv(env_dict)
     lines: List[str] = []
     vstack: List[str] = []          # expressions for virtual stack slots
@@ -321,19 +354,36 @@ def _gen_block(code, leader: int, length: int, frame_offsets,
             emit(f"return {target} if ({cond}) != 0 else {exit_pc}")
         elif op == "call":
             flush()
-            callee = env.bind(instr.arg, "n")
-            f, c, a, r = newt(), newt(), newt(), newt()
-            emit(f"{f} = vm.module.functions[{callee}]")
-            emit(f"{c} = len({f}.param_types)")
-            emit(f"if {c}:")
-            emit(f"{a} = s[-{c}:]", "    ")
-            emit(f"del s[-{c}:]", "    ")
-            emit("else:")
-            emit(f"{a} = []", "    ")
-            emit(f"{r} = vm._run_fast({f}, {a})")
-            emit(f"if {f}.ret_type is not None:")
-            emit(f"s.append({r})", "    ")
-            emit(f"return {exit_pc}")
+            resolved = _resolved_callee(binding, instr.arg)
+            if resolved is not None:
+                # Inline cache: the frozen module pins the callee, so
+                # its identity, arity and return shape are constants.
+                f = env.bind(resolved, "f")
+                count = len(resolved.param_types)
+                a, r = newt(), newt()
+                if count:
+                    emit(f"{a} = s[-{count}:]")
+                    emit(f"del s[-{count}:]")
+                else:
+                    emit(f"{a} = []")
+                emit(f"{r} = vm._run_fast({f}, {a})")
+                if resolved.ret_type is not None:
+                    emit(f"s.append({r})")
+                emit(f"return {exit_pc}")
+            else:
+                callee = env.bind(instr.arg, "n")
+                f, c, a, r = newt(), newt(), newt(), newt()
+                emit(f"{f} = vm.module.functions[{callee}]")
+                emit(f"{c} = len({f}.param_types)")
+                emit(f"if {c}:")
+                emit(f"{a} = s[-{c}:]", "    ")
+                emit(f"del s[-{c}:]", "    ")
+                emit("else:")
+                emit(f"{a} = []", "    ")
+                emit(f"{r} = vm._run_fast({f}, {a})")
+                emit(f"if {f}.ret_type is not None:")
+                emit(f"s.append({r})", "    ")
+                emit(f"return {exit_pc}")
         elif op == "ret":
             flush()
             emit("return -1")
@@ -424,7 +474,7 @@ def _gen_block(code, leader: int, length: int, frame_offsets,
 # ---------------------------------------------------------------------------
 
 def _make_raw_handler(pc: int, instr, frame_offsets,
-                      n: int) -> Handler:
+                      n: int, binding=None) -> Handler:
     op = instr.op
     nxt = pc + 1
 
@@ -515,19 +565,35 @@ def _make_raw_handler(pc: int, instr, frame_offsets,
             return target if s.pop() != 0 else nxt
     elif op == "call":
         callee_name = instr.arg
+        resolved = _resolved_callee(binding, callee_name)
+        if resolved is not None:
+            count = len(resolved.param_types)
+            has_ret = resolved.ret_type is not None
 
-        def handler(s, lo, ar, fb, mem, vm):
-            callee = vm.module.functions[callee_name]
-            count = len(callee.param_types)
-            if count:
-                call_args = s[-count:]
-                del s[-count:]
-            else:
-                call_args = []
-            result = vm._run_fast(callee, call_args)
-            if callee.ret_type is not None:
-                s.append(result)
-            return nxt
+            def handler(s, lo, ar, fb, mem, vm, _callee=resolved,
+                        _count=count, _has_ret=has_ret):
+                if _count:
+                    call_args = s[-_count:]
+                    del s[-_count:]
+                else:
+                    call_args = []
+                result = vm._run_fast(_callee, call_args)
+                if _has_ret:
+                    s.append(result)
+                return nxt
+        else:
+            def handler(s, lo, ar, fb, mem, vm):
+                callee = vm.module.functions[callee_name]
+                count = len(callee.param_types)
+                if count:
+                    call_args = s[-count:]
+                    del s[-count:]
+                else:
+                    call_args = []
+                result = vm._run_fast(callee, call_args)
+                if callee.ret_type is not None:
+                    s.append(result)
+                return nxt
     elif op == "ret":
         def handler(s, lo, ar, fb, mem, vm):
             return RETURN

@@ -488,6 +488,139 @@ class TestPredecodeCache:
             assert getattr(func, "_predecode_cache", None) is not None
 
 
+CALL_HEAVY = (
+    "int h(int a) { return a + 3; }"
+    "int g(int a) { int i = 0; int s = 0;"
+    "  while (i < a) { s = s + h(i); i = i + 1; } return s; }"
+    "int f(int a) { return g(a) + g(a + 1) + h(a); }"
+)
+
+
+class TestFrozenCallInlineCache:
+    """Per-call inline caching: frozen modules resolve call targets
+    once per predecode; unfrozen modules keep the dynamic lookup."""
+
+    def test_offline_outputs_and_deployed_images_are_frozen(self):
+        artifact = offline_compile(CALL_HEAVY)
+        assert artifact.bytecode.frozen
+        assert artifact.scalar_bytecode.frozen
+        assert deploy(artifact, X86, "split").frozen
+
+    def test_frozen_add_rejected(self):
+        artifact = offline_compile("int f(int a) { return a; }")
+        with pytest.raises(ValueError, match="frozen"):
+            artifact.bytecode.add(artifact.bytecode.functions["f"])
+
+    def test_engines_agree_on_call_heavy_frozen_module(self):
+        artifact = offline_compile(CALL_HEAVY)
+        fast = VM(artifact.bytecode, engine=FAST)
+        reference = VM(artifact.bytecode, engine=REFERENCE)
+        assert fast.call("f", [9]) == reference.call("f", [9])
+        assert fast.instructions_executed == \
+            reference.instructions_executed
+        compiled = deploy(artifact, X86, "split")
+        obs = [Simulator(compiled, Memory(), engine=engine).run("f", [9])
+               for engine in ENGINES]
+        assert obs[0].value == obs[1].value
+        assert obs[0].cycles == obs[1].cycles
+        assert obs[0].calls == obs[1].calls
+
+    def test_frozen_vm_binding_pins_the_callee(self):
+        """The contract freezing buys: the callee is resolved once at
+        predecode, so a (forbidden) post-freeze table swap is not
+        observed — where an unfrozen module's dynamic lookup sees it."""
+        def build():
+            bytecode, _ = emit_module(lower_checked(
+                "int g(int a) { return a * 2; }"
+                "int f(int a) { return g(a) + 1; }"))
+            other, _ = emit_module(lower_checked(
+                "int g(int a) { return a * 10; }"))
+            return bytecode, other.functions["g"]
+
+        unfrozen, replacement = build()
+        assert VM(unfrozen, engine=FAST).call("f", [3]) == 7
+        unfrozen.functions["g"] = replacement
+        # dynamic lookup: a fresh VM sees the new table
+        assert VM(unfrozen, verify=False,
+                  engine=FAST).call("f", [3]) == 31
+
+        frozen, replacement = build()
+        frozen.freeze()
+        assert VM(frozen, verify=False, engine=FAST).call("f", [3]) == 7
+        frozen.functions["g"] = replacement
+        # binding pinned at predecode, even on a fresh VM
+        assert VM(frozen, verify=False,
+                  engine=FAST).call("f", [3]) == 7
+
+    def test_frozen_binding_does_not_leak_across_modules(self):
+        """Two frozen modules sharing the caller function object but
+        mapping the callee name differently must each call their own
+        callee — the cache records the binding module."""
+        from repro.bytecode.module import BytecodeModule
+
+        base, _ = emit_module(lower_checked(
+            "int g(int a) { return a * 2; }"
+            "int f(int a) { return g(a) + 1; }"))
+        other, _ = emit_module(lower_checked(
+            "int g(int a) { return a * 10; }"))
+        base.freeze()
+        variant = BytecodeModule("variant", {
+            "f": base.functions["f"],
+            "g": other.functions["g"],
+        }).freeze()
+        assert VM(base, verify=False, engine=FAST).call("f", [3]) == 7
+        assert VM(variant, verify=False,
+                  engine=FAST).call("f", [3]) == 31
+        assert VM(base, verify=False, engine=FAST).call("f", [3]) == 7
+
+    def test_frozen_machine_binding_pins_the_callee(self):
+        artifact = offline_compile(
+            "int g(int a) { return a * 2; }"
+            "int f(int a) { return g(a) + 1; }")
+        compiled = deploy(artifact, X86, "split")
+        assert compiled.frozen
+        sim = Simulator(compiled, engine=FAST)
+        assert sim.run("f", [3]).value == 7
+        other = deploy(offline_compile(
+            "int g(int a) { return a * 10; }"), X86, "split")
+        compiled.functions["g"] = other.functions["g"]
+        # forbidden post-freeze swap: the bound callee still runs
+        assert Simulator(compiled, engine=FAST).run("f", [3]).value == 7
+        # the reference engine (dynamic by design) sees the new table
+        assert Simulator(compiled,
+                         engine=REFERENCE).run("f", [3]).value == 31
+
+    def test_missing_callee_still_fails_at_execution_time(self):
+        """A frozen module with a dead call to a missing function must
+        predecode fine and only fail if the call executes (reference
+        parity for unverified modules)."""
+        from repro.bytecode.module import BytecodeModule
+
+        bytecode, _ = emit_module(lower_checked(
+            "int g(int a) { return a; }"
+            "int f(int a) { if (a > 100) { return g(a); } return a; }"))
+        hollow = BytecodeModule("hollow",
+                                {"f": bytecode.functions["f"]}).freeze()
+        vm = VM(hollow, verify=False, engine=FAST)
+        assert vm.call("f", [5]) == 5          # dead call: no error
+        with pytest.raises(KeyError):
+            vm.call("f", [200])                # executed: fails now
+
+    def test_content_edit_invalidates_frozen_binding(self):
+        bytecode, _ = emit_module(lower_checked(
+            "int g(int a) { return a * 2; }"
+            "int f(int a) { return g(a) + 1; }"))
+        bytecode.freeze()
+        vm = VM(bytecode, verify=False, engine=FAST)
+        assert vm.call("f", [3]) == 7
+        func = bytecode.functions["f"]
+        cached = func._predecode_cache
+        assert cached[1] is bytecode           # binding recorded
+        const = next(i for i in func.code if i.op == "const")
+        const.arg = 5
+        assert vm.call("f", [3]) == 11         # token revalidation wins
+
+
 # ---------------------------------------------------------------------------
 # randomized differential sweep (property-test program generator)
 # ---------------------------------------------------------------------------

@@ -6,7 +6,8 @@ from repro.core import deploy, offline_compile
 from repro.lang import types as ty
 from repro.semantics import Memory, TrapError
 from repro.targets import (
-    DSP, HOST, PPC, SPARC, TARGETS, X86, Simulator, target_by_name,
+    ARM, DSP, HOST, PPC, SPARC, TARGETS, WASM32, X86, Simulator,
+    UnknownTargetError, target_by_name, target_names,
 )
 from repro.targets.isa import CompiledFunction, CompiledModule, MInst
 from repro.workloads import TABLE1
@@ -14,15 +15,24 @@ from repro.workloads import TABLE1
 
 class TestCatalog:
     def test_all_targets_registered(self):
-        assert set(TARGETS) == {"x86", "sparc", "ppc", "dsp", "host"}
+        assert set(TARGETS) == {"x86", "sparc", "ppc", "dsp", "host",
+                                "arm"}
+        # The registry additionally holds the stack-backend target.
+        assert set(target_names()) >= set(TARGETS) | {"wasm32"}
 
     def test_lookup_by_name(self):
         assert target_by_name("x86") is X86
+        assert target_by_name("arm") is ARM
+        assert target_by_name("wasm32") is WASM32
+        # The unified error is a KeyError subclass (legacy contract)
+        # and lists the registered names (UnknownFlowError ergonomics).
         with pytest.raises(KeyError):
+            target_by_name("z80")
+        with pytest.raises(UnknownTargetError, match="x86"):
             target_by_name("z80")
 
     def test_simd_capabilities(self):
-        assert X86.has_simd and DSP.has_simd
+        assert X86.has_simd and DSP.has_simd and ARM.has_simd
         assert not SPARC.has_simd and not PPC.has_simd
         assert not HOST.has_simd
 
