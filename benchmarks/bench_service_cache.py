@@ -93,13 +93,9 @@ def report(measurements):
                           for i, (serial, svc) in
                           enumerate(zip(serial_rounds, service_rounds))],
         "targets": len(CATALOG),
-        "service_stats": {
-            "artifact_hits": stats.artifact_hits,
-            "artifact_misses": stats.artifact_misses,
-            "deploy_compiles": stats.deploy_compiles,
-            "deploy_memo_hits": stats.deploy_memo_hits,
-            "deploy_by_flow": stats.deploy_by_flow,
-        },
+        # the full machine-readable snapshot: per-shard cache traffic
+        # and per-executor deployment counters included
+        "service_stats": stats.as_dict(),
     })
     return table
 

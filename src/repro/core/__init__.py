@@ -15,7 +15,7 @@ with split compilation.
 """
 
 from repro.core.offline import OfflineArtifact, offline_compile
-from repro.core.online import deploy, select_bytecode
+from repro.core.online import deploy, deploy_async, select_bytecode
 from repro.core.budget import FlowReport, compare_flows
 from repro.core.platform import Core, DeploymentManager, Platform
 from repro.flows import (
@@ -29,7 +29,7 @@ from repro.targets.registry import (
 
 __all__ = [
     "OfflineArtifact", "offline_compile",
-    "deploy", "select_bytecode",
+    "deploy", "deploy_async", "select_bytecode",
     "FlowReport", "compare_flows",
     "Core", "Platform", "DeploymentManager",
     "Flow", "FlowRegistry", "PipelineSpec", "UnknownFlowError",

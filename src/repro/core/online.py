@@ -46,7 +46,9 @@ def deploy(source: Union[OfflineArtifact, BytecodeModule],
     default).  With a :class:`~repro.service.CompilationService`
     passed as ``service``, artifact deployments are memoized per
     ``(artifact, target, flow)`` — repeated flows hit the service's
-    image cache instead of re-running the JIT.
+    image cache instead of re-running the JIT, and the compile runs
+    on the service's deploy executor (threads, worker processes or
+    inline — see :mod:`repro.service.executors`).
     """
     flow = as_flow(flow)
     target = as_target(target)
@@ -57,3 +59,32 @@ def deploy(source: Union[OfflineArtifact, BytecodeModule],
     else:
         bytecode = source
     return compile_for_target(bytecode, target, flow)
+
+
+async def deploy_async(source: Union[OfflineArtifact, BytecodeModule],
+                       target: Targetish,
+                       flow: Union[str, Flow] = "split",
+                       service=None):
+    """Awaitable :func:`deploy` for event-loop callers.
+
+    Artifact deployments route through the compilation service's
+    async facade (``service`` may be a ``CompilationService``, an
+    ``AsyncCompilationService`` or ``None`` for the process-wide
+    default), awaiting the deployment pool's future instead of
+    blocking the loop; plain bytecode modules compile in the loop's
+    default thread pool.
+    """
+    import asyncio
+
+    flow = as_flow(flow)
+    target = as_target(target)
+    if isinstance(source, OfflineArtifact):
+        from repro.service import default_service
+        from repro.service.asyncio import AsyncCompilationService
+        core = service if service is not None else default_service()
+        if not isinstance(core, AsyncCompilationService):
+            core = AsyncCompilationService(core)
+        return await core.deploy_one(source, target, flow)
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(
+        None, compile_for_target, source, target, flow)

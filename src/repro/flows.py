@@ -13,9 +13,12 @@ compilation service — resolves flows through it.  Adding a flow is one
 the search space and the service cache, with no edits elsewhere.
 
 Flows and pipeline specs are plain frozen dataclasses: hashable,
-picklable (groundwork for a ``ProcessPoolExecutor`` deployment
-backend) and JSON-describable (the service cache keys on
-:meth:`Flow.cache_key`).
+picklable and JSON-describable (the service cache keys on
+:meth:`Flow.cache_key`).  Picklability is what lets a flow cross the
+``ProcessExecutor`` seam — the service's process-pool deployment
+backend ships ``Flow`` objects to worker processes verbatim, and
+replicates the registry into workers at pool start (see
+:mod:`repro.service.executors`).
 """
 
 from __future__ import annotations

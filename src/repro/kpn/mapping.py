@@ -74,10 +74,13 @@ def estimate_costs(network: ProcessNetwork, images: Dict[str, object],
 
 def deploy_actor_images(network: ProcessNetwork, artifact,
                         platform: Platform, mapping: "Mapping",
-                        service, flow="split") -> Dict[str, object]:
+                        service=None, flow="split") -> Dict[str, object]:
     """Deploy each actor's bytecode to its mapped core through the
     compilation service.  ``flow`` is a registered flow name or a
-    :class:`repro.flows.Flow`.
+    :class:`repro.flows.Flow`; ``service`` defaults to the
+    process-wide :func:`repro.service.default_service` (the compile
+    runs on whatever deploy executor that service is configured
+    with — threads, worker processes or inline).
 
     Returns actor name -> compiled image (the backend's image type)
     for the core kind the mapping placed it on.  The service compiles
@@ -87,6 +90,9 @@ def deploy_actor_images(network: ProcessNetwork, artifact,
     to a process network.
     """
     flow = as_flow(flow)          # fail on a typo before any JIT runs
+    if service is None:
+        from repro.service import default_service
+        service = default_service()
     cores = platform.core_list()
     kinds_needed = {}
     for actor in network.actors:

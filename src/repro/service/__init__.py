@@ -6,33 +6,55 @@ actually *reused*.  :class:`CompilationService` is the facade that
 enforces the reuse:
 
 * :mod:`repro.service.cache` — content-addressed artifact cache keyed
-  by ``sha256(source, offline options)``, LRU in memory with optional
-  on-disk persistence of the binary PVI encoding;
+  by ``sha256(source, offline options)``, now N independently locked
+  shards (key-hash routing, per-shard LRU + disk directories);
+* :mod:`repro.service.executors` — the pluggable
+  :class:`DeployExecutor` substrates a deployment compiles on
+  (threads, worker processes, inline);
 * :mod:`repro.service.deployment` — concurrent multi-target deployment
-  with a per-``(artifact, target, flow)`` image memo;
+  with a per-``(artifact, target, flow)`` image memo and in-flight
+  future dedup;
 * :mod:`repro.service.requests` — the batch request/response API with
-  hit/miss/latency accounting.
+  hit/miss/latency accounting;
+* :mod:`repro.service.asyncio` — the :class:`AsyncCompilationService`
+  front end: ``await service.deploy(request)``, ``asyncio.gather``
+  batch fan-out, and coalescing of concurrent identical requests.
 
 Every higher layer (``core.online.deploy``, the platform
 ``DeploymentManager``, the KPN mapper, the experiment harness) can
 route through one service instance so repeated flows hit the cache.
+
+Both facades — this synchronous one and the async front end — are
+thin wrappers over the same core: the sharded cache, the deployment
+pool and the request assembly below.  All the pre-redesign names
+(``CompilationService``, ``ArtifactCache``, ``DeploymentPool``,
+``max_workers=``) keep working; ``max_workers`` is deprecated in
+favour of handing the pool a configured executor
+(``executor="thread" | "process" | "inline"`` or a
+:class:`~repro.service.executors.DeployExecutor` instance).
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import Future
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.offline import OfflineArtifact, offline_compile
-from repro.flows import DEFAULT_PIPELINE, as_flow
+from repro.flows import DEFAULT_PIPELINE, Flow, as_flow
 from repro.service.cache import (
     ArtifactCache, CacheStats, SCHEMA_VERSION, artifact_fingerprint,
     artifact_key, canonical_options, deserialize_artifact,
     serialize_artifact,
 )
 from repro.service.deployment import DeploymentPool, DeployStats
+from repro.service.executors import (
+    DeployExecutor, Executorish, ExecutorStats, InlineExecutor,
+    ProcessExecutor, ThreadExecutor, UnknownExecutorError, as_executor,
+    executor_names,
+)
 from repro.service.requests import (
     CompileOutcome, CompileRequest, DeployResult, ServiceStats,
     TargetDeployment,
@@ -44,9 +66,13 @@ __all__ = [
     "artifact_key", "artifact_fingerprint",
     "canonical_options", "serialize_artifact", "deserialize_artifact",
     "DeploymentPool", "DeployStats",
+    "DeployExecutor", "ExecutorStats", "ThreadExecutor",
+    "ProcessExecutor", "InlineExecutor", "UnknownExecutorError",
+    "as_executor", "executor_names",
     "CompileRequest", "CompileOutcome", "DeployResult",
     "TargetDeployment", "ServiceStats",
-    "CompilationService", "default_service", "reset_default_service",
+    "CompilationService", "AsyncCompilationService",
+    "default_service", "reset_default_service",
 ]
 
 
@@ -56,21 +82,37 @@ class CompilationService:
     One instance per process is the intended shape (see
     :func:`default_service`); everything on it is safe to call from
     multiple threads.  Compilation of the *same* key racing on two
-    threads may run twice — both results are identical and the second
-    store is idempotent, so this costs time, never correctness.
+    threads is deduplicated in flight: the second caller joins the
+    first's result instead of compiling twice (counted as a coalesced
+    request).
     """
 
     def __init__(self, cache: Optional[ArtifactCache] = None,
                  cache_capacity: int = 64,
                  persist_dir: Optional[Path] = None,
-                 max_workers: Optional[int] = None):
+                 max_workers: Optional[int] = None,
+                 executor: Executorish = None,
+                 cache_shards: Optional[int] = None):
+        """``executor`` picks the deployment substrate (name or
+        :class:`DeployExecutor` instance; default thread pool) and
+        ``cache_shards`` the artifact-cache shard count (default
+        ``min(8, capacity)``).  ``max_workers`` is deprecated: it
+        only sizes the worker pool when the service constructs the
+        executor itself — pass a configured executor instead."""
         self.cache = cache if cache is not None else \
-            ArtifactCache(cache_capacity, persist_dir)
-        self.pool = DeploymentPool(max_workers=max_workers)
+            ArtifactCache(cache_capacity, persist_dir,
+                          shards=cache_shards)
+        self.pool = DeploymentPool(max_workers=max_workers,
+                                   executor=executor)
         self._counter_lock = threading.Lock()
         self._requests = 0
+        self._coalesced = 0
         self._offline_latency = 0.0
         self._deploy_latency = 0.0
+        #: in-flight offline compiles, keyed by artifact key — the
+        #: offline-side mirror of the pool's future dedup
+        self._inflight: Dict[str, Future] = {}
+        self._inflight_lock = threading.Lock()
 
     def shutdown(self) -> None:
         self.pool.shutdown()
@@ -79,23 +121,72 @@ class CompilationService:
 
     def compile(self, source: str, name: str = "module",
                 **options) -> CompileOutcome:
-        """Offline-compile through the cache."""
+        """Offline-compile through the cache.
+
+        Concurrent calls for the same key coalesce: one thread runs
+        the compiler, the rest block on its in-flight future and
+        report a cache hit (they triggered no work).
+        """
         start = time.perf_counter()
         key = artifact_key(source, name, options or None)
         artifact = self.cache.get(key)
         hit = artifact is not None
         if artifact is None:
-            artifact = offline_compile(source, name,
-                                       **canonical_options(options or None))
-            # Remember the content address so deployment keys line up
-            # with the cache key without re-encoding the modules.
-            artifact._pvi_fingerprint = key
-            self.cache.put(key, artifact)
+            artifact, hit = self._compile_deduped(key, source, name,
+                                                  options)
         latency = time.perf_counter() - start
         with self._counter_lock:
             self._offline_latency += latency
         return CompileOutcome(artifact=artifact, key=key, cache_hit=hit,
                               latency=latency)
+
+    def _compile_deduped(self, key: str, source: str, name: str,
+                         options) -> Tuple[OfflineArtifact, bool]:
+        """Run (or join) the offline compile for one cache key.
+
+        Returns ``(artifact, joined)`` — ``joined`` is True when this
+        call rode another thread's in-flight compilation.
+        """
+        with self._inflight_lock:
+            future = self._inflight.get(key)
+            joined = future is not None
+            if not joined:
+                future = Future()
+                self._inflight[key] = future
+        if joined:
+            self._note_coalesced()
+            return future.result(), True
+        # Won the in-flight slot — but a previous holder may have
+        # compiled and stored between our cache miss and now (it puts
+        # before it releases the slot).  Re-check so a lost race costs
+        # a lookup, not a recompile; peek is stat-free, so the miss
+        # already counted stays the truth of this call.
+        artifact = self.cache.peek(key)
+        if artifact is not None:
+            future.set_result(artifact)
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+            self._note_coalesced()
+            return artifact, True
+        try:
+            artifact = offline_compile(
+                source, name, **canonical_options(options or None))
+            # Remember the content address so deployment keys line up
+            # with the cache key without re-encoding the modules.
+            artifact._pvi_fingerprint = key
+            self.cache.put(key, artifact)
+        except BaseException as exc:
+            future.set_exception(exc)
+            # The future is never awaited again once evicted from the
+            # in-flight map; silence the never-retrieved warning path.
+            future.exception()
+            raise
+        else:
+            future.set_result(artifact)
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+        return artifact, False
 
     def artifact(self, source: str, name: str = "module",
                  **options) -> OfflineArtifact:
@@ -107,7 +198,8 @@ class CompilationService:
     def deploy(self, artifact: OfflineArtifact, target: Targetish,
                flow="split"):
         """Compile (or reuse) one image for one target (descriptor or
-        registered name); the compile runs on the target's backend."""
+        registered name); the compile runs on the pool's executor
+        through the target's backend."""
         start = time.perf_counter()
         image = self.pool.deploy_one(artifact, target, flow)
         with self._counter_lock:
@@ -134,33 +226,70 @@ class CompilationService:
         The flow is resolved through the registry up front (raising
         ``UnknownFlowError`` before any work happens), and its offline
         pipeline spec joins the artifact cache key, so flows with
-        distinct pipelines get distinct cached artifacts."""
+        distinct pipelines get distinct cached artifacts.  With
+        ``request.tolerate_failures`` a raising target is recorded on
+        its :class:`TargetDeployment` instead of failing the request.
+        """
         start = time.perf_counter()
+        flow, options = self._begin(request)
+        outcome = self.compile(request.source, request.name, **options)
+        deploy_start = time.perf_counter()
+        futures = self.pool.submit_many(outcome.artifact,
+                                        request.targets, flow)
+        info = {}
+        for name, (future, reused) in futures.items():
+            try:
+                info[name] = (future.result(), reused, None)
+            except Exception as exc:
+                if not request.tolerate_failures:
+                    raise
+                info[name] = (None, reused, exc)
+        self._add_deploy_latency(time.perf_counter() - deploy_start)
+        return self._build_result(request, flow, outcome, info, start)
+
+    def submit_batch(self, requests: Iterable[CompileRequest]) \
+            -> List[DeployResult]:
+        return [self.submit(request) for request in requests]
+
+    # -- shared request plumbing (both facades) -----------------------------
+
+    def _begin(self, request: CompileRequest):
+        """Count the request and resolve its flow + offline options."""
         flow = as_flow(request.flow)
-        with self._counter_lock:
-            self._requests += 1
+        self._note_request()
+        return flow, self.request_options(request, flow)
+
+    @staticmethod
+    def request_options(request: CompileRequest,
+                        flow: Flow) -> Dict[str, object]:
+        """The offline options a request actually compiles under: the
+        request's own options, with the flow's pipeline spec filled in
+        when it differs from the default (this is what joins the
+        artifact cache key)."""
         options = dict(request.options or {})
         if "pipeline" not in options and \
                 flow.pipeline != DEFAULT_PIPELINE:
             options["pipeline"] = flow.pipeline
-        outcome = self.compile(request.source, request.name, **options)
-        deploy_start = time.perf_counter()
-        info = self.pool.deploy_many_info(outcome.artifact,
-                                          request.targets, flow)
-        with self._counter_lock:
-            self._deploy_latency += time.perf_counter() - deploy_start
+        return options
+
+    def _build_result(self, request: CompileRequest, flow: Flow,
+                      outcome: CompileOutcome, info, start: float) \
+            -> DeployResult:
+        """Assemble the DeployResult from collected fan-out results:
+        ``info`` maps target name -> (image or None, reused, error)."""
         deployments = {}
-        for name, (compiled, reused) in info.items():
+        for name, (compiled, reused, error) in info.items():
             # memo_hit means this request did not trigger the JIT —
-            # either the image was memoized or another thread's
+            # either the image was memoized or another caller's
             # in-flight compilation was joined; only a triggering
             # request is charged the JIT time.
             deployments[name] = TargetDeployment(
                 target=name,
                 compiled=compiled,
                 memo_hit=reused,
-                latency=0.0 if reused else sum(
-                    f.jit_time for f in compiled.functions.values()))
+                latency=0.0 if (reused or compiled is None) else sum(
+                    f.jit_time for f in compiled.functions.values()),
+                error=error)
         return DeployResult(
             name=request.name,
             artifact_key=outcome.key,
@@ -172,29 +301,57 @@ class CompilationService:
             offline_pass_work=dict(
                 outcome.artifact.pass_stats.work_by_pass))
 
-    def submit_batch(self, requests: Iterable[CompileRequest]) \
-            -> List[DeployResult]:
-        return [self.submit(request) for request in requests]
+    def _add_deploy_latency(self, seconds: float) -> None:
+        with self._counter_lock:
+            self._deploy_latency += seconds
+
+    def _note_request(self) -> None:
+        with self._counter_lock:
+            self._requests += 1
+
+    def _note_coalesced(self) -> None:
+        with self._counter_lock:
+            self._coalesced += 1
 
     # -- observability ------------------------------------------------------
 
     def stats(self) -> ServiceStats:
         cache = self.cache.stats
         pool = self.pool.stats
+        executor = self.pool.executor
         return ServiceStats(
             artifact_hits=cache.hits,
             artifact_disk_hits=cache.disk_hits,
             artifact_misses=cache.misses,
+            artifact_stores=cache.stores,
             artifact_evictions=cache.evictions,
+            artifact_corrupt_entries=cache.corrupt_entries,
             deploy_compiles=pool.compiles,
             deploy_memo_hits=pool.memo_hits,
+            deploy_evictions=pool.evictions,
             requests=self._requests,
+            coalesced_requests=self._coalesced,
             total_offline_latency=self._offline_latency,
             total_deploy_latency=self._deploy_latency,
             deploy_by_flow={
                 name: {"compiles": entry.compiles,
                        "memo_hits": entry.memo_hits}
-                for name, entry in self.pool.flow_stats().items()})
+                for name, entry in self.pool.flow_stats().items()},
+            artifact_shards=[shard.as_dict()
+                             for shard in self.cache.shard_stats()],
+            deploy_executors={
+                executor.name: executor.stats.as_dict()})
+
+
+def __getattr__(name: str):
+    # AsyncCompilationService lives in repro.service.asyncio;
+    # importing it lazily here keeps `repro.service` the one-stop
+    # namespace without dragging event-loop plumbing into every
+    # synchronous consumer's import.
+    if name == "AsyncCompilationService":
+        from repro.service.asyncio import AsyncCompilationService
+        return AsyncCompilationService
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 _DEFAULT: Optional[CompilationService] = None

@@ -7,6 +7,12 @@ keyed by ``sha256(source, offline options)`` so any two requests for
 the same compilation share one artifact, across an in-memory LRU and
 (optionally) an on-disk store that survives the process.
 
+The LRU is *sharded*: N independently locked slices with key-hash
+routing, per-shard recency and per-shard disk directories, so
+concurrent lookups of different keys no longer serialize on one
+global lock (the hot path of a service absorbing deployment traffic
+for many cores at once).
+
 Persistence reuses the binary PVI serialization (`encode_module` /
 `decode_module`) for both bytecode flavours, plus a small JSON metadata
 sidecar carrying the fields of :class:`OfflineArtifact` that the
@@ -19,10 +25,11 @@ import hashlib
 import inspect
 import json
 import threading
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.bytecode.encode import VERSION as PVI_ENCODER_VERSION
 from repro.bytecode.encode import decode_module, encode_module
@@ -213,33 +220,62 @@ class CacheStats:
             return 0.0
         return (self.hits + self.disk_hits) / lookups
 
+    def add(self, other: "CacheStats") -> "CacheStats":
+        """Accumulate another counter set (shard aggregation)."""
+        self.hits += other.hits
+        self.disk_hits += other.disk_hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.evictions += other.evictions
+        self.corrupt_entries += other.corrupt_entries
+        return self
 
-class ArtifactCache:
-    """In-memory LRU over content-addressed artifacts, with optional
-    on-disk persistence.
+    def as_dict(self) -> Dict[str, object]:
+        return {"hits": self.hits, "disk_hits": self.disk_hits,
+                "misses": self.misses, "stores": self.stores,
+                "evictions": self.evictions,
+                "corrupt_entries": self.corrupt_entries,
+                "hit_rate": self.hit_rate}
 
-    ``get``/``put`` are thread-safe; the deployment pool calls them
-    from worker threads.  Disk entries outlive LRU eviction, so an
-    evicted artifact costs a decode instead of a full recompilation.
-    """
 
-    def __init__(self, capacity: int = 64,
-                 persist_dir: Optional[Path] = None):
-        if capacity < 1:
-            raise ValueError("cache capacity must be >= 1")
+#: shard-count ceiling when the caller does not choose one; the
+#: auto-pick never exceeds the capacity (a shard must hold >= 1 entry)
+DEFAULT_CACHE_SHARDS = 8
+
+#: disk-layout fan-out, *fixed* regardless of the in-memory shard
+#: count: a key's ``shard-NN/`` directory depends only on the key, so
+#: a persistence directory written under any shard/capacity
+#: configuration stays fully readable under any other
+DISK_SHARDS = 16
+
+
+class _CacheShard:
+    """One independently locked slice of the cache: its own LRU, its
+    own stats.  All the locking lives here — two lookups that route
+    to different shards never contend.  Disk paths come from the
+    owning cache (``path_for`` / ``legacy_path_for``), whose layout
+    is shard-count independent."""
+
+    __slots__ = ("capacity", "path_for", "legacy_path_for", "stats",
+                 "_entries", "_lock")
+
+    def __init__(self, capacity: int, path_for, legacy_path_for):
         self.capacity = capacity
-        self.persist_dir = Path(persist_dir) if persist_dir else None
+        self.path_for = path_for
+        #: pre-shard flat layout, probed as a read-only fallback so a
+        #: persistence directory written before sharding still serves
+        self.legacy_path_for = legacy_path_for
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, OfflineArtifact]" = OrderedDict()
         self._lock = threading.Lock()
-        if self.persist_dir is not None:
-            self.persist_dir.mkdir(parents=True, exist_ok=True)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: str) -> Optional[OfflineArtifact]:
         with self._lock:
@@ -262,16 +298,22 @@ class ArtifactCache:
             self.stats.misses += 1
         return None
 
+    def peek(self, key: str) -> Optional[OfflineArtifact]:
+        """Stat-free, recency-free in-memory lookup (the in-flight
+        dedup's lost-race re-check)."""
+        with self._lock:
+            return self._entries.get(key)
+
     def put(self, key: str, artifact: OfflineArtifact) -> None:
         if getattr(artifact, "_pvi_fingerprint", None) is None:
             artifact._pvi_fingerprint = key
         with self._lock:
             self.stats.stores += 1
             self._insert(key, artifact)
-        if self.persist_dir is not None:
-            path = self._path(key)
-            if not path.exists():
-                path.write_bytes(serialize_artifact(artifact))
+        path = self.path_for(key)
+        if path is not None and not path.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(serialize_artifact(artifact))
 
     def clear(self) -> None:
         with self._lock:
@@ -286,21 +328,111 @@ class ArtifactCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
-    def _path(self, key: str) -> Path:
-        return self.persist_dir / f"{key}.pvia"
-
     def _load_persisted(self, key: str) -> Optional[OfflineArtifact]:
+        for path in (self.path_for(key), self.legacy_path_for(key)):
+            if path is None or not path.exists():
+                continue
+            try:
+                return deserialize_artifact(path.read_bytes())
+            except Exception:
+                # A truncated or corrupted entry degrades to a miss
+                # (and a recompile overwrites it); it must never take
+                # the service down.
+                self.stats.corrupt_entries += 1
+                path.unlink(missing_ok=True)
+        return None
+
+
+class ArtifactCache:
+    """Sharded in-memory LRU over content-addressed artifacts, with
+    optional on-disk persistence.
+
+    The cache is split into ``shards`` independently locked
+    :class:`_CacheShard` slices; a key is routed by a stable hash of
+    its text (CRC32 — deterministic across processes, so disk entries
+    land in the same shard directory every run).  ``get``/``put`` are
+    thread-safe and, across shards, contention-free: the single global
+    lock the service's hot path used to funnel through is gone.
+
+    ``capacity`` is the *total* entry budget, divided evenly across
+    shards (per-shard LRU; the per-shard slice rounds *up*, so the
+    effective bound can exceed ``capacity`` by at most ``shards - 1``
+    entries).  Disk entries outlive LRU eviction, so an
+    evicted artifact costs a decode instead of a full recompilation.
+    The on-disk layout (``shard-NN/`` by ``crc32(key) % DISK_SHARDS``)
+    is deliberately *independent* of the in-memory shard count, so one
+    persistence directory serves every shard/capacity configuration;
+    a flat pre-shard directory is still probed as a read fallback.
+
+    ``shards=1`` restores the exact single-LRU behaviour (strict
+    global recency ordering), which a few tests rely on.
+    """
+
+    def __init__(self, capacity: int = 64,
+                 persist_dir: Optional[Path] = None,
+                 shards: Optional[int] = None):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        if shards is None:
+            shards = min(DEFAULT_CACHE_SHARDS, capacity)
+        if shards < 1:
+            raise ValueError("cache shard count must be >= 1")
+        self.capacity = capacity
+        self.shard_count = shards
+        self.persist_dir = Path(persist_dir) if persist_dir else None
+        if self.persist_dir is not None:
+            self.persist_dir.mkdir(parents=True, exist_ok=True)
+        per_shard = -(-capacity // shards)            # ceil division
+        self._shards = tuple(
+            _CacheShard(per_shard, self._disk_path, self._legacy_path)
+            for _ in range(shards))
+
+    def _disk_path(self, key: str) -> Optional[Path]:
         if self.persist_dir is None:
             return None
-        path = self._path(key)
-        if not path.exists():
+        index = zlib.crc32(key.encode("utf-8")) % DISK_SHARDS
+        return self.persist_dir / f"shard-{index:02d}" / f"{key}.pvia"
+
+    def _legacy_path(self, key: str) -> Optional[Path]:
+        if self.persist_dir is None:
             return None
-        try:
-            return deserialize_artifact(path.read_bytes())
-        except Exception:
-            # A truncated or corrupted entry degrades to a miss (and a
-            # recompile overwrites it); it must never take the service
-            # down.
-            self.stats.corrupt_entries += 1
-            path.unlink(missing_ok=True)
-            return None
+        return self.persist_dir / f"{key}.pvia"
+
+    def _shard_for(self, key: str) -> _CacheShard:
+        if self.shard_count == 1:
+            return self._shards[0]
+        return self._shards[
+            zlib.crc32(key.encode("utf-8")) % self.shard_count]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._shard_for(key)
+
+    def get(self, key: str) -> Optional[OfflineArtifact]:
+        return self._shard_for(key).get(key)
+
+    def peek(self, key: str) -> Optional[OfflineArtifact]:
+        """In-memory lookup with no stats and no recency update."""
+        return self._shard_for(key).peek(key)
+
+    def put(self, key: str, artifact: OfflineArtifact) -> None:
+        self._shard_for(key).put(key, artifact)
+
+    def clear(self) -> None:
+        for shard in self._shards:
+            shard.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregated counters across every shard (snapshot)."""
+        total = CacheStats()
+        for shard in self._shards:
+            total.add(shard.stats)
+        return total
+
+    def shard_stats(self) -> List[CacheStats]:
+        """Per-shard counter snapshots, in shard order."""
+        return [CacheStats().add(shard.stats)
+                for shard in self._shards]

@@ -12,13 +12,19 @@ In-flight deduplication: if two threads request the same triple
 concurrently, the second blocks on the first's future instead of
 compiling twice — the once-compile/many-deploy economics the paper
 argues for, enforced under concurrency.
+
+*Where* a compile runs is a pluggable axis: the pool drives a
+:class:`~repro.service.executors.DeployExecutor` (thread pool by
+default; worker processes for cold fan-out past the GIL; inline for
+deterministic tests).  The memo, the in-flight dedup and the stats
+all sit above that seam, so every executor serves identical images.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -27,6 +33,9 @@ from repro.core.online import select_bytecode
 from repro.flows import Flow, as_flow
 from repro.jit import compile_for_target
 from repro.service.cache import SCHEMA_VERSION, artifact_fingerprint
+from repro.service.executors import (
+    DeployExecutor, Executorish, as_executor,
+)
 from repro.targets.machine import TargetDesc
 from repro.targets.registry import Targetish, as_target
 
@@ -77,25 +86,35 @@ class DeploymentPool:
     """Memoizing, concurrency-safe JIT front door.
 
     ``deploy_one`` compiles (or reuses) a single image; ``deploy_many``
-    fans one artifact out over N targets through the shared executor.
-    The memo is bounded (LRU over finished images, ``max_images``) and
-    failed compilations are never cached — a raising deploy re-runs on
-    the next request instead of poisoning the triple.
+    fans one artifact out over N targets through the pool's
+    :class:`~repro.service.executors.DeployExecutor`;
+    ``submit_many`` exposes the underlying futures (the async
+    facade's seam).  The memo is bounded (LRU over finished images,
+    ``max_images``) and failed compilations are never cached — a
+    raising deploy re-runs on the next request instead of poisoning
+    the triple.
     """
 
     def __init__(self, max_workers: Optional[int] = None,
-                 max_images: int = 512):
+                 max_images: int = 512,
+                 executor: Executorish = None):
+        """``executor`` selects the execution substrate: an executor
+        name (``"thread"`` / ``"process"`` / ``"inline"``), a
+        :class:`~repro.service.executors.DeployExecutor` instance, or
+        ``None`` for the default thread pool.  ``max_workers`` sizes
+        the worker pool when the pool constructs the executor itself
+        (deprecated in favour of passing a configured executor)."""
         if max_images < 1:
             raise ValueError("max_images must be >= 1")
         self._images: "OrderedDict[DeployKey, Future]" = OrderedDict()
         self._lock = threading.Lock()
-        self._executor = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="pvi-deploy")
+        self.executor: DeployExecutor = as_executor(
+            executor, max_workers=max_workers)
         self.max_images = max_images
         self.stats = DeployStats()
 
     def shutdown(self) -> None:
-        self._executor.shutdown(wait=True)
+        self.executor.shutdown(wait=True)
 
     # -- public API ---------------------------------------------------------
 
@@ -140,14 +159,27 @@ class DeploymentPool:
                                                      flow)
                 out[target.name] = (future.result(), not created)
             return out
-        futures = {}
-        for target in targets:
+        futures = self.submit_many(artifact, targets, flow)
+        return {name: (future.result(), reused)
+                for name, (future, reused) in futures.items()}
+
+    def submit_many(self, artifact: OfflineArtifact,
+                    targets: Sequence[Targetish],
+                    flow: Flowish = "split") \
+            -> Dict[str, Tuple[Future, bool]]:
+        """Schedule the fan-out without blocking: name -> (future,
+        reused).  This is the seam the async facade awaits on —
+        futures carry the in-flight dedup, so however many concurrent
+        callers (threads or coroutines) ask for a triple, it compiles
+        once."""
+        flow = as_flow(flow)
+        futures: Dict[str, Tuple[Future, bool]] = {}
+        for target in (as_target(target) for target in targets):
             future, created = self._image_future(artifact, target, flow)
             reused = futures.get(target.name, (None, True))[1] and \
                 not created
             futures[target.name] = (future, reused)
-        return {name: (future.result(), reused)
-                for name, (future, reused) in futures.items()}
+        return futures
 
     def cached_image(self, artifact: OfflineArtifact, target: Targetish,
                      flow: Flowish = "split") -> Optional[object]:
@@ -185,7 +217,13 @@ class DeploymentPool:
     def _image_future(self, artifact: OfflineArtifact, target: TargetDesc,
                       flow: Flow) -> Tuple[Future, bool]:
         """(future, created): ``created`` is True when this call
-        submitted the compilation rather than joining an existing one."""
+        submitted the compilation rather than joining an existing one.
+
+        The memo slot is reserved under the lock with a placeholder
+        future; the executor itself is invoked *outside* the lock —
+        an inline executor compiles synchronously right here, and a
+        compile must never run (or re-enter the pool) while the
+        non-reentrant pool lock is held."""
         key = self._key(artifact, target, flow)
         with self._lock:
             future = self._images.get(key)
@@ -194,14 +232,33 @@ class DeploymentPool:
                 self._images.move_to_end(key)
                 return future, False
             self.stats._count(flow.name, hit=False)
-            future = self._executor.submit(
-                self._compile, artifact, target, flow)
+            future = Future()
+            future.set_running_or_notify_cancel()
             self._images[key] = future
-        # Registered outside the lock: an already-finished future runs
-        # its callback synchronously in this thread, and _settle needs
-        # the (non-reentrant) lock itself.
+        # Registered before the executor fires so an already-finished
+        # compile still settles; it runs outside the lock because
+        # _settle needs the (non-reentrant) lock itself.
         future.add_done_callback(
             lambda done, key=key: self._settle(key, done))
+
+        def _chain(done: Future, future: Future = future) -> None:
+            try:
+                result = done.result()
+            except BaseException as exc:
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+
+        try:
+            inner = self.executor.submit(self._compile, artifact,
+                                         target, flow)
+        except BaseException as exc:
+            # A rejected submission (e.g. executor shut down) settles
+            # the placeholder so the memo drops it and callers see
+            # the error from future.result().
+            future.set_exception(exc)
+            return future, True
+        inner.add_done_callback(_chain)
         return future, True
 
     def _settle(self, key: DeployKey, future: Future) -> None:

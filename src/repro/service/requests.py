@@ -36,6 +36,11 @@ class CompileRequest:
     #: offline_compile keyword options (see DEFAULT_OFFLINE_OPTIONS);
     #: a 'pipeline' entry here overrides the flow's own pipeline spec
     options: Optional[Dict[str, object]] = None
+    #: when True, a target whose JIT raises is *recorded* (its
+    #: :class:`TargetDeployment` carries the error and no image)
+    #: instead of failing the whole request — partial fan-out
+    #: semantics for a serving layer that should degrade, not drop
+    tolerate_failures: bool = False
 
 
 @dataclass
@@ -51,9 +56,16 @@ class CompileOutcome:
 class TargetDeployment:
     """One target's share of a deployment fan-out."""
     target: str
-    compiled: object            # the backend's image type
+    compiled: object            # the backend's image type (None on error)
     memo_hit: bool              # image reused from the deployment memo
     latency: float
+    #: the exception the JIT raised for this target, when the request
+    #: tolerated failures; ``None`` on success
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 @dataclass
@@ -72,34 +84,72 @@ class DeployResult:
     offline_pass_work: Dict[str, int] = field(default_factory=dict)
 
     def image_for(self, target_name: str):
-        return self.deployments[target_name].compiled
+        deployment = self.deployments[target_name]
+        if deployment.error is not None:
+            raise deployment.error
+        return deployment.compiled
 
     @property
     def target_names(self) -> List[str]:
         return list(self.deployments)
 
     @property
+    def failed_targets(self) -> List[str]:
+        """Targets whose deployment errored (tolerated failures)."""
+        return [name for name, d in self.deployments.items()
+                if d.error is not None]
+
+    @property
+    def errors(self) -> Dict[str, BaseException]:
+        return {name: d.error for name, d in self.deployments.items()
+                if d.error is not None}
+
+    @property
     def fully_cached(self) -> bool:
+        """Did this request cost zero compilation anywhere?
+
+        A deployment that *errored* is not cached work — a failed
+        target means the request cannot be fully cached, whatever the
+        memo said on the way in.
+        """
         return self.artifact_cache_hit and \
-            all(d.memo_hit for d in self.deployments.values())
+            all(d.memo_hit and d.error is None
+                for d in self.deployments.values())
 
 
 @dataclass
 class ServiceStats:
-    """Aggregate service-level counters (snapshot, not live)."""
+    """Aggregate service-level counters (snapshot, not live).
+
+    Aggregates roll up from the sharded artifact cache (per-shard
+    counters in ``artifact_shards``) and the deployment executor
+    (per-executor counters in ``deploy_executors``); ``as_dict()`` is
+    the machine-readable form the benches emit into ``BENCH_*.json``.
+    """
     artifact_hits: int = 0
     artifact_disk_hits: int = 0
     artifact_misses: int = 0
+    artifact_stores: int = 0
     artifact_evictions: int = 0
+    artifact_corrupt_entries: int = 0
     deploy_compiles: int = 0
     deploy_memo_hits: int = 0
+    deploy_evictions: int = 0
     requests: int = 0
+    #: requests answered by joining another request already in flight
+    #: (async facade coalescing + the sync offline in-flight dedup)
+    coalesced_requests: int = 0
     total_offline_latency: float = 0.0
     total_deploy_latency: float = 0.0
     #: deployment traffic per flow name: {flow: {"compiles": n,
     #: "memo_hits": m}} — registered custom flows appear here the
     #: moment they are first deployed
     deploy_by_flow: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: per-shard artifact cache counters, in shard order
+    artifact_shards: List[Dict[str, object]] = field(default_factory=list)
+    #: per-executor deployment counters: {executor name: counters}
+    deploy_executors: Dict[str, Dict[str, object]] = \
+        field(default_factory=dict)
 
     @property
     def artifact_hit_rate(self) -> float:
@@ -115,3 +165,35 @@ class ServiceStats:
         if total == 0:
             return 0.0
         return self.deploy_memo_hits / total
+
+    def as_dict(self) -> Dict[str, object]:
+        """The full snapshot as plain JSON-able data (bench output,
+        dashboards, log lines)."""
+        return {
+            "requests": self.requests,
+            "coalesced_requests": self.coalesced_requests,
+            "artifact": {
+                "hits": self.artifact_hits,
+                "disk_hits": self.artifact_disk_hits,
+                "misses": self.artifact_misses,
+                "stores": self.artifact_stores,
+                "evictions": self.artifact_evictions,
+                "corrupt_entries": self.artifact_corrupt_entries,
+                "hit_rate": self.artifact_hit_rate,
+                "shards": list(self.artifact_shards),
+            },
+            "deploy": {
+                "compiles": self.deploy_compiles,
+                "memo_hits": self.deploy_memo_hits,
+                "evictions": self.deploy_evictions,
+                "hit_rate": self.deploy_hit_rate,
+                "by_flow": {name: dict(entry) for name, entry
+                            in self.deploy_by_flow.items()},
+                "executors": {name: dict(entry) for name, entry
+                              in self.deploy_executors.items()},
+            },
+            "latency": {
+                "offline_s": self.total_offline_latency,
+                "deploy_s": self.total_deploy_latency,
+            },
+        }

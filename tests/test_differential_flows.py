@@ -134,3 +134,76 @@ def test_cached_artifact_deploys_identically(service, tmp_path):
             assert a == b
     finally:
         persisted.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# executor backends x facades: one oracle for every substrate
+# ---------------------------------------------------------------------------
+
+EXECUTOR_NAMES = ("inline", "thread", "process")
+DIFF_KERNELS = ("saxpy_fp", "sum_u8", "prefix_sum")
+
+
+@pytest.mark.parametrize("executor_name", EXECUTOR_NAMES)
+def test_flows_agree_under_every_executor(executor_name, service):
+    """The executor substrate must be invisible: images compiled
+    inline, on threads or in worker processes match the default
+    service byte for byte — code, modeled cycles, instruction counts
+    and work numbers."""
+    svc = CompilationService(executor=executor_name)
+    try:
+        for name in DIFF_KERNELS:
+            kernel = ALL_KERNELS[name]
+            artifact = svc.artifact(kernel.source, name)
+            for flow in FLOWS:
+                for target_name in ("x86", "sparc"):
+                    target = TARGETS[target_name]
+                    image = svc.deploy(artifact, target, flow)
+                    reference = service.deploy(
+                        service.artifact(kernel.source, name),
+                        target, flow)
+                    assert [repr(i) for f in image.functions.values()
+                            for i in f.code] == \
+                        [repr(i) for f in reference.functions.values()
+                         for i in f.code], \
+                        f"{name}: {executor_name}({target_name}, " \
+                        f"{flow}) code diverged"
+                    assert image.total_jit_work == \
+                        reference.total_jit_work
+                    assert simulate(kernel, image) == \
+                        simulate(kernel, reference), \
+                        f"{name}: {executor_name}({target_name}, " \
+                        f"{flow}) results diverged"
+    finally:
+        svc.shutdown()
+
+
+@pytest.mark.parametrize("executor_name", EXECUTOR_NAMES)
+def test_async_facade_agrees_with_sync(executor_name, service):
+    """Same oracle through the async front end, on every executor."""
+    import asyncio
+
+    from repro.service import AsyncCompilationService, CompileRequest
+
+    kernel = ALL_KERNELS["sdot"]
+
+    async def main():
+        async with AsyncCompilationService(executor=executor_name) \
+                as async_service:
+            results = await asyncio.gather(*(
+                async_service.submit(CompileRequest(
+                    source=kernel.source, name="sdot",
+                    targets=list(TARGETS.values()), flow=flow))
+                for flow in FLOWS))
+            return dict(zip(FLOWS, results))
+
+    by_flow = asyncio.run(main())
+    artifact = service.artifact(kernel.source, "sdot")
+    for flow, result in by_flow.items():
+        for target in TARGETS.values():
+            image = result.image_for(target.name)
+            reference = service.deploy(artifact, target, flow)
+            assert simulate(kernel, image) == \
+                simulate(kernel, reference), \
+                f"async {executor_name}({target.name}, {flow}) " \
+                f"diverged from sync"

@@ -353,7 +353,7 @@ class TestSchemaVersion:
         svc = CompilationService(cache_capacity=2, persist_dir=tmp_path)
         try:
             svc.compile(SUM_U8, "k")
-            entry = next(tmp_path.glob("*.pvia"))
+            entry = next(tmp_path.rglob("*.pvia"))
             raw = entry.read_bytes()
             entry.write_bytes(raw.replace(
                 SCHEMA_VERSION.encode("utf-8"),

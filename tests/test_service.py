@@ -76,7 +76,9 @@ class TestLRU:
                                optimize=False)
 
     def test_eviction_drops_least_recent(self):
-        cache = ArtifactCache(capacity=2)
+        # shards=1: strict global LRU ordering is the property under
+        # test (sharded recency is per-shard by design)
+        cache = ArtifactCache(capacity=2, shards=1)
         for key in ("k1", "k2", "k3"):
             cache.put(key, self.make(key))
         assert "k1" not in cache
@@ -84,7 +86,7 @@ class TestLRU:
         assert cache.stats.evictions == 1
 
     def test_get_refreshes_recency(self):
-        cache = ArtifactCache(capacity=2)
+        cache = ArtifactCache(capacity=2, shards=1)
         cache.put("k1", self.make("k1"))
         cache.put("k2", self.make("k2"))
         assert cache.get("k1") is not None     # k2 is now least recent
@@ -129,7 +131,7 @@ class TestPersistence:
         svc = CompilationService(cache_capacity=1, persist_dir=tmp_path)
         try:
             svc.compile(SAXPY, "one")
-            entry = next(tmp_path.glob("*.pvia"))
+            entry = next(tmp_path.rglob("*.pvia"))
             entry.write_bytes(entry.read_bytes()[:40])   # truncate
             svc.cache.clear()
             outcome = svc.compile(SAXPY, "one")          # must recompile
@@ -306,3 +308,214 @@ class TestConcurrentDeployment:
         assert len(images) == 8
         assert all(image is images[0] for image in images)
         assert service.stats().deploy_compiles == 1
+
+
+# ---------------------------------------------------------------------------
+# sharded cache
+# ---------------------------------------------------------------------------
+
+class TestShardedCache:
+    def make(self, name: str) -> OfflineArtifact:
+        return offline_compile(SAXPY, name, do_vectorize=False,
+                               optimize=False)
+
+    def test_routing_is_deterministic_and_total(self):
+        cache = ArtifactCache(capacity=16, shards=4)
+        keys = [artifact_key(SAXPY, f"k{i}") for i in range(32)]
+        for key in keys:
+            assert cache._shard_for(key) is cache._shard_for(key)
+        owners = {id(cache._shard_for(key)) for key in keys}
+        assert len(owners) > 1, "sha256 keys must spread over shards"
+
+    def test_capacity_is_divided_across_shards(self):
+        cache = ArtifactCache(capacity=8, shards=4)
+        assert cache.shard_count == 4
+        assert all(shard.capacity == 2 for shard in cache._shards)
+
+    def test_aggregated_stats_sum_shards(self):
+        cache = ArtifactCache(capacity=8, shards=4)
+        artifact = self.make("a")
+        keys = [artifact_key(SAXPY, f"k{i}") for i in range(8)]
+        for key in keys:
+            cache.put(key, artifact)
+        # an unlucky hash spread may overflow one 2-entry shard; the
+        # survivors must all be served, the evicted ones are misses
+        present = [key for key in keys if key in cache]
+        assert present, "at least some keys must survive"
+        for key in present:
+            assert cache.get(key) is not None
+        assert cache.get("missing-key") is None
+        stats = cache.stats
+        assert stats.stores == 8
+        assert stats.hits == len(present)
+        assert stats.misses == 1
+        assert stats.evictions == 8 - len(present)
+        per_shard = cache.shard_stats()
+        assert len(per_shard) == 4
+        assert sum(s.stores for s in per_shard) == stats.stores
+        assert sum(s.hits for s in per_shard) == stats.hits
+
+    def test_shard_disk_dirs_and_legacy_fallback(self, tmp_path):
+        sharded = ArtifactCache(capacity=4, shards=4,
+                                persist_dir=tmp_path)
+        key = artifact_key(SAXPY, "persisted")
+        sharded.put(key, offline_compile(SAXPY, "persisted"))
+        shard_files = list(tmp_path.rglob("*.pvia"))
+        assert len(shard_files) == 1
+        assert shard_files[0].parent.name.startswith("shard-")
+        # a fresh cache (new process, same dir) revives from its shard
+        revived = ArtifactCache(capacity=4, shards=4,
+                                persist_dir=tmp_path)
+        assert revived.get(key) is not None
+        assert revived.stats.disk_hits == 1
+        # a pre-shard flat entry is still readable (legacy fallback)
+        flat_key = artifact_key(SAXPY, "flat-era")
+        (tmp_path / f"{flat_key}.pvia").write_bytes(
+            serialize_artifact(offline_compile(SAXPY, "flat-era")))
+        assert revived.get(flat_key) is not None
+
+
+class TestConcurrentEvictionRaces:
+    """Satellite: hammer a tiny sharded cache from 8 threads and
+    prove no lost updates, no compile work beyond dedup misses, and
+    disk-entry self-healing."""
+
+    def test_no_lost_updates_under_eviction_pressure(self, tmp_path):
+        cache = ArtifactCache(capacity=2, shards=2,
+                              persist_dir=tmp_path)
+        artifacts = {f"w{i}": offline_compile(SAXPY, f"w{i}",
+                                              optimize=False,
+                                              do_vectorize=False)
+                     for i in range(6)}
+        keys = {name: artifact_key(SAXPY, name)
+                for name in artifacts}
+        rounds = 30
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(seed):
+            try:
+                barrier.wait()
+                names = list(artifacts)
+                for i in range(rounds):
+                    name = names[(seed + i) % len(names)]
+                    cache.put(keys[name], artifacts[name])
+                    got = cache.get(keys[name])
+                    # eviction may race the get; a miss is legal,
+                    # a *wrong* artifact never is
+                    if got is not None and got.name != name:
+                        errors.append((name, got.name))
+            except Exception as exc:            # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        # in-memory cache is over capacity by at most nothing; every
+        # entry remains reachable through its disk shard (no lost
+        # updates even for evicted keys)
+        assert len(cache) <= 2 * cache.shard_count
+        for name, key in keys.items():
+            revived = cache.get(key)
+            assert revived is not None and revived.name == name
+        stats = cache.stats
+        assert stats.stores == 8 * rounds
+        assert stats.corrupt_entries == 0
+
+    def test_disk_entries_self_heal_after_corruption(self, tmp_path):
+        svc = CompilationService(cache_capacity=2, cache_shards=2,
+                                 persist_dir=tmp_path,
+                                 executor="inline")
+        try:
+            for i in range(4):
+                svc.compile(SAXPY, f"m{i}")
+            paths = sorted(tmp_path.rglob("*.pvia"))
+            assert len(paths) == 4
+            for path in paths:
+                path.write_bytes(path.read_bytes()[:32])  # truncate all
+            svc.cache.clear()
+            for i in range(4):
+                outcome = svc.compile(SAXPY, f"m{i}")    # recompiles
+                assert not outcome.cache_hit
+            assert svc.cache.stats.corrupt_entries == 4
+            # the recompiles re-persisted healthy entries
+            svc.cache.clear()
+            for i in range(4):
+                assert svc.compile(SAXPY, f"m{i}").cache_hit
+        finally:
+            svc.shutdown()
+
+    def test_no_double_compile_beyond_dedup_misses(self):
+        """8 threads racing the same request: the offline in-flight
+        dedup and the pool's future dedup must keep actual compiles
+        at one each."""
+        svc = CompilationService(cache_capacity=4)
+        try:
+            barrier = threading.Barrier(8)
+            results = []
+            errors = []
+
+            def worker():
+                try:
+                    barrier.wait()
+                    results.append(svc.submit(CompileRequest(
+                        source=SAXPY, name="raced", targets=[X86])))
+                except Exception as exc:        # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker)
+                       for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors, errors
+            assert len(results) == 8
+            stats = svc.stats()
+            # one offline compile total: 7 threads joined in flight
+            # (coalesced) or hit the cache afterwards
+            assert stats.artifact_stores == 1
+            # one JIT total for the single (artifact, target, flow)
+            assert stats.deploy_compiles == 1
+            images = {id(r.image_for("x86")) for r in results}
+            assert len(images) == 1, "all callers must share one image"
+        finally:
+            svc.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# encapsulation guard
+# ---------------------------------------------------------------------------
+
+class TestServiceEncapsulationGuard:
+    """Satellite: nothing outside ``repro.service`` may reach into the
+    cache's or pool's synchronization internals — the sharding and
+    executor redesign is only safe while every consumer stays behind
+    the public surface."""
+
+    import re as _re
+    BANNED = _re.compile(
+        r"\.(?:cache|pool)\._\w+"               # svc.cache._lock, ...
+        r"|ArtifactCache\._\w+"
+        r"|DeploymentPool\._\w+"
+        r"|_CacheShard\b")
+
+    def test_no_service_internal_access_outside_package(self):
+        import pathlib
+        root = pathlib.Path(__file__).parent.parent
+        offenders = []
+        for base in (root / "src" / "repro", root / "examples",
+                     root / "benchmarks"):
+            for path in sorted(base.rglob("*.py")):
+                if "service" in path.parts and path.match(
+                        "*/repro/service/*"):
+                    continue
+                if self.BANNED.search(path.read_text()):
+                    offenders.append(str(path.relative_to(root)))
+        assert not offenders, (
+            f"modules reaching into repro.service internals (use the "
+            f"public cache/pool/stats surface): {offenders}")

@@ -1,0 +1,391 @@
+"""The service API v2 surface: executor backends, the async facade,
+request coalescing and failure accounting.
+
+The redesign's contract is that *where* a compile runs (inline,
+thread pool, worker processes) and *how* a caller waits (blocking or
+``await``) are orthogonal to what gets compiled: every executor and
+both facades must produce byte-for-byte identical images and modeled
+numbers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core import deploy
+from repro.semantics import Memory
+from repro.service import (
+    AsyncCompilationService, CompilationService, CompileRequest,
+    DeploymentPool, InlineExecutor, ProcessExecutor, ThreadExecutor,
+    UnknownExecutorError, as_executor, executor_names,
+)
+from repro.targets import Simulator, X86
+from repro.targets.catalog import TARGETS
+from repro.workloads import TABLE1
+
+SAXPY = TABLE1["saxpy_fp"].source
+SUM_U8 = TABLE1["sum_u8"].source
+EXECUTOR_NAMES = ("inline", "thread", "process")
+
+
+def simulate(kernel_name: str, compiled, n: int = 48, seed: int = 7):
+    kernel = TABLE1[kernel_name]
+    memory = Memory(1 << 21)
+    run = kernel.prepare(memory, n, seed)
+    result = Simulator(compiled, memory).run(kernel.entry, run.args)
+    outputs = [memory.read_array(t, addr, count)
+               for t, addr, count in run.outputs]
+    return (repr(result.value), [repr(o) for o in outputs],
+            result.cycles, result.instructions)
+
+
+def code_of(image):
+    return [repr(inst) for f in image.functions.values()
+            for inst in f.code]
+
+
+# ---------------------------------------------------------------------------
+# executor resolution
+# ---------------------------------------------------------------------------
+
+class TestExecutorResolution:
+    def test_names(self):
+        assert set(EXECUTOR_NAMES) <= set(executor_names())
+
+    def test_default_is_thread(self):
+        executor = as_executor(None)
+        try:
+            assert isinstance(executor, ThreadExecutor)
+        finally:
+            executor.shutdown()
+
+    def test_instance_passes_through(self):
+        executor = InlineExecutor()
+        assert as_executor(executor) is executor
+
+    def test_unknown_name_rejected_with_catalog(self):
+        with pytest.raises(UnknownExecutorError) as err:
+            as_executor("quantum")
+        message = str(err.value)
+        assert "quantum" in message
+        for name in EXECUTOR_NAMES:
+            assert name in message
+        # unified ergonomics: both KeyError and ValueError callers work
+        assert isinstance(err.value, KeyError)
+        assert isinstance(err.value, ValueError)
+
+    def test_pool_accepts_name_and_instance(self):
+        pool = DeploymentPool(executor="inline")
+        try:
+            assert isinstance(pool.executor, InlineExecutor)
+        finally:
+            pool.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# the three executors serve identical deployments
+# ---------------------------------------------------------------------------
+
+class TestExecutorEquivalence:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        """Fresh serviceless JITs: the oracle every executor must hit."""
+        svc = CompilationService(executor="inline")
+        try:
+            artifact = svc.artifact(SAXPY, "k")
+        finally:
+            svc.shutdown()
+        return {
+            target.name: deploy(artifact, target, "split")
+            for target in TARGETS.values()}
+
+    @pytest.mark.parametrize("executor_name", EXECUTOR_NAMES)
+    def test_identical_images_and_modeled_numbers(self, executor_name,
+                                                  baseline):
+        svc = CompilationService(executor=executor_name)
+        try:
+            artifact = svc.artifact(SAXPY, "k")
+            images = svc.deploy_many(artifact, list(TARGETS.values()),
+                                     "split")
+            assert sorted(images) == sorted(TARGETS)
+            for name, image in images.items():
+                reference = baseline[name]
+                assert code_of(image) == code_of(reference)
+                assert image.total_code_bytes == \
+                    reference.total_code_bytes
+                assert image.total_jit_work == reference.total_jit_work
+                assert simulate("saxpy_fp", image) == \
+                    simulate("saxpy_fp", reference)
+            stats = svc.stats()
+            assert stats.deploy_compiles == len(TARGETS)
+            executor_stats = stats.deploy_executors[executor_name]
+            assert executor_stats["submitted"] == len(TARGETS)
+            assert executor_stats["failed"] == 0
+        finally:
+            svc.shutdown()
+
+    @pytest.mark.parametrize("executor_name", EXECUTOR_NAMES)
+    def test_memo_and_stats_behave_identically(self, executor_name):
+        svc = CompilationService(executor=executor_name)
+        try:
+            artifact = svc.artifact(SUM_U8, "k")
+            first = svc.deploy(artifact, X86, "split")
+            assert svc.deploy(artifact, X86, "split") is first
+            stats = svc.stats()
+            assert stats.deploy_compiles == 1
+            assert stats.deploy_memo_hits == 1
+        finally:
+            svc.shutdown()
+
+    def test_process_executor_reuses_decoded_artifact(self):
+        """Fan-out through worker processes: one artifact, many
+        targets, every image correct (the worker-side artifact cache
+        and the predecode re-warm path)."""
+        svc = CompilationService(executor=ProcessExecutor(max_workers=1))
+        try:
+            artifact = svc.artifact(SAXPY, "k")
+            images = svc.deploy_many(
+                artifact, list(TARGETS.values()), "split")
+            values = {simulate("saxpy_fp", image)[0]
+                      for image in images.values()}
+            assert len(values) == 1
+        finally:
+            svc.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# failure accounting (the fully_cached fix)
+# ---------------------------------------------------------------------------
+
+class TestFailureAccounting:
+    def _flaky_service(self, fail_times: int):
+        svc = CompilationService(executor="inline")
+        original = svc.pool._compile
+        calls = []
+
+        def flaky(artifact, target, flow):
+            calls.append(target.name)
+            if len(calls) <= fail_times:
+                raise MemoryError("transient JIT failure")
+            return original(artifact, target, flow)
+
+        svc.pool._compile = flaky
+        return svc, calls
+
+    def test_strict_request_still_raises(self):
+        svc, _ = self._flaky_service(fail_times=1)
+        try:
+            with pytest.raises(MemoryError):
+                svc.submit(CompileRequest(source=SAXPY, name="m",
+                                          targets=[X86]))
+        finally:
+            svc.shutdown()
+
+    def test_errored_target_is_never_fully_cached(self):
+        svc, calls = self._flaky_service(fail_times=1)
+        try:
+            request = CompileRequest(source=SAXPY, name="m",
+                                     targets=[X86],
+                                     tolerate_failures=True)
+            failed = svc.submit(request)
+            assert failed.failed_targets == ["x86"]
+            assert isinstance(failed.errors["x86"], MemoryError)
+            assert not failed.deployments["x86"].ok
+            # the satellite fix: an errored deployment must not
+            # report fully cached, whatever the artifact cache said
+            assert failed.artifact_cache_hit is False
+            assert not failed.fully_cached
+            again = svc.submit(request)
+            assert again.artifact_cache_hit          # artifact cached
+            assert again.deployments["x86"].ok       # retry succeeded
+            assert not again.fully_cached            # ...but it JITted
+            # only a third submit is a pure memo hit
+            assert svc.submit(request).fully_cached
+        finally:
+            svc.shutdown()
+
+    def test_image_for_reraises_recorded_error(self):
+        svc, _ = self._flaky_service(fail_times=1)
+        try:
+            result = svc.submit(CompileRequest(
+                source=SAXPY, name="m", targets=[X86],
+                tolerate_failures=True))
+            with pytest.raises(MemoryError):
+                result.image_for("x86")
+        finally:
+            svc.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# the async facade
+# ---------------------------------------------------------------------------
+
+CATALOG = list(TARGETS.values())
+
+
+class TestAsyncFacade:
+    def test_submit_matches_sync_submit(self):
+        sync = CompilationService(executor="inline")
+        request = CompileRequest(source=SAXPY, name="m",
+                                 targets=CATALOG)
+        sync_result = sync.submit(request)
+
+        async def main():
+            async with AsyncCompilationService(executor="inline") \
+                    as service:
+                return await service.submit(request)
+
+        async_result = asyncio.run(main())
+        sync.shutdown()
+        assert sorted(async_result.target_names) == \
+            sorted(sync_result.target_names)
+        for name in async_result.target_names:
+            assert code_of(async_result.image_for(name)) == \
+                code_of(sync_result.image_for(name))
+            assert simulate("saxpy_fp", async_result.image_for(name)) \
+                == simulate("saxpy_fp", sync_result.image_for(name))
+
+    def test_deploy_is_the_request_verb(self):
+        async def main():
+            async with AsyncCompilationService(executor="inline") \
+                    as service:
+                result = await service.deploy(CompileRequest(
+                    source=SUM_U8, name="m", targets=[X86]))
+                return result
+
+        result = asyncio.run(main())
+        assert result.target_names == ["x86"]
+
+    def test_batch_gather_and_full_caching(self):
+        requests = [CompileRequest(source=SAXPY, name="m",
+                                   targets=CATALOG),
+                    CompileRequest(source=SUM_U8, name="m2",
+                                   targets=[X86])]
+
+        async def main():
+            async with AsyncCompilationService() as service:
+                first = await service.submit_batch(requests)
+                second = await service.submit_batch(requests)
+                return first, second, service.stats()
+
+        first, second, stats = asyncio.run(main())
+        assert [r.fully_cached for r in first] == [False, False]
+        assert [r.fully_cached for r in second] == [True, True]
+        assert stats.requests == 4
+        assert stats.deploy_compiles == len(CATALOG) + 1
+
+    def test_concurrent_identical_requests_coalesce(self):
+        request = CompileRequest(source=SAXPY, name="m",
+                                 targets=CATALOG)
+
+        async def main():
+            async with AsyncCompilationService() as service:
+                results = await asyncio.gather(
+                    *(service.submit(request) for _ in range(8)))
+                return results, service.stats()
+
+        results, stats = asyncio.run(main())
+        # all eight callers shared one serving task...
+        assert len({id(r) for r in results}) == 1
+        assert stats.coalesced_requests == 7
+        # ...so the herd cost one offline compile and one fan-out
+        assert stats.artifact_stores == 1
+        assert stats.deploy_compiles == len(CATALOG)
+
+    def test_deploy_one_and_many_await_pool_futures(self):
+        async def main():
+            async with AsyncCompilationService(executor="inline") \
+                    as service:
+                artifact = await service.artifact(SAXPY, "k")
+                one = await service.deploy_one(artifact, X86, "split")
+                many = await service.deploy_many(artifact, CATALOG,
+                                                 "split")
+                return one, many
+
+        one, many = asyncio.run(main())
+        assert many["x86"] is one          # memoized across awaits
+        assert sorted(many) == sorted(TARGETS)
+
+    def test_wraps_existing_service_and_shares_caches(self):
+        core = CompilationService(executor="inline")
+        try:
+            warm = core.submit(CompileRequest(source=SAXPY, name="m",
+                                              targets=[X86]))
+
+            async def main():
+                async with AsyncCompilationService(core) as service:
+                    return await service.submit(CompileRequest(
+                        source=SAXPY, name="m", targets=[X86]))
+
+            result = asyncio.run(main())
+            assert result.fully_cached
+            assert result.image_for("x86") is warm.image_for("x86")
+            # wrapping must not shut the caller's core down
+            assert core.submit(CompileRequest(
+                source=SAXPY, name="m", targets=[X86])).fully_cached
+        finally:
+            core.shutdown()
+
+    def test_async_tolerates_failures_like_sync(self):
+        core = CompilationService(executor="inline")
+        original = core.pool._compile
+        calls = []
+
+        def flaky(artifact, target, flow):
+            calls.append(target.name)
+            if len(calls) == 1:
+                raise MemoryError("transient JIT failure")
+            return original(artifact, target, flow)
+
+        core.pool._compile = flaky
+
+        async def main():
+            async with AsyncCompilationService(core) as service:
+                result = await service.submit(CompileRequest(
+                    source=SAXPY, name="m", targets=[X86],
+                    tolerate_failures=True))
+                retry = await service.submit(CompileRequest(
+                    source=SAXPY, name="m", targets=[X86],
+                    tolerate_failures=True))
+                return result, retry
+
+        result, retry = asyncio.run(main())
+        core.shutdown()
+        assert result.failed_targets == ["x86"]
+        assert not result.fully_cached
+        assert retry.deployments["x86"].ok
+
+    def test_stats_as_dict_shape(self):
+        async def main():
+            async with AsyncCompilationService(cache_shards=4) \
+                    as service:
+                await service.submit(CompileRequest(
+                    source=SAXPY, name="m", targets=[X86]))
+                return service.stats().as_dict()
+
+        snapshot = asyncio.run(main())
+        assert snapshot["requests"] == 1
+        assert len(snapshot["artifact"]["shards"]) == 4
+        assert "thread" in snapshot["deploy"]["executors"]
+        assert snapshot["deploy"]["compiles"] == 1
+        assert snapshot["latency"]["offline_s"] > 0
+
+
+class TestAsyncDeployHelper:
+    def test_core_online_deploy_async(self):
+        from repro.core.online import deploy_async
+
+        core = CompilationService(executor="inline")
+        try:
+            artifact = core.artifact(SAXPY, "k")
+
+            async def main():
+                return await deploy_async(artifact, X86, "split",
+                                          service=core)
+
+            image = asyncio.run(main())
+            assert image is core.deploy(artifact, X86, "split")
+        finally:
+            core.shutdown()
