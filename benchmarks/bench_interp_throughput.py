@@ -1,17 +1,18 @@
-"""Execution-core throughput: fast vs reference engines.
+"""Execution-core throughput: fast and tier-2 vs reference engines.
 
 The fast engines (predecoded closure threading + type-specialized
-semantics kernels) exist to make the host-side execution layer — the
+semantics kernels) and the tier-2 whole-function translations layered
+on top of them exist to make the host-side execution layer — the
 slowest path in every experiment — cheap.  This bench measures VM and
 simulator throughput in MIPS (million executed instructions per
-second) for both engines across the Table 1 kernels, asserting along
-the way that the engines execute *identical* instruction and cycle
-counts (the perf claim is meaningless without the parity claim).
+second) for all three engines across the Table 1 kernels, asserting
+along the way that the engines execute *identical* instruction and
+cycle counts (the perf claim is meaningless without the parity claim).
 
 The machine-readable ``BENCH_interp_throughput.json`` anchors the perf
 trajectory per PR; the CI smoke job fails if the fast engine ever
-regresses below the reference engine (a sanity floor, not a flaky
-absolute threshold).
+regresses below the reference engine or tier-2 below the block-
+threaded fast engine (sanity floors, not flaky absolute thresholds).
 """
 
 import time
@@ -20,7 +21,7 @@ import pytest
 
 from repro.bench import format_table
 from repro.core import deploy, offline_compile
-from repro.engine import FAST, REFERENCE
+from repro.engine import FAST, REFERENCE, TIER2
 from repro.semantics import Memory
 from repro.targets import X86, Simulator
 from repro.vm import VM
@@ -33,7 +34,7 @@ N = 64 if SMOKE else 512
 SEED = 7
 REPEATS = 3 if SMOKE else 5
 MEMORY_BYTES = 1 << 21
-ENGINES = (FAST, REFERENCE)
+ENGINES = (FAST, TIER2, REFERENCE)
 
 
 def _vm_measure(artifact, kernel, engine):
@@ -80,27 +81,37 @@ def measurements():
             instructions, seconds = _vm_measure(artifact, kernel,
                                                 engine)
             vm[engine] = (instructions, instructions / seconds / 1e6)
-        assert vm[FAST][0] == vm[REFERENCE][0], \
-            f"{name}: engines executed different instruction counts"
+        for engine in (FAST, TIER2):
+            assert vm[engine][0] == vm[REFERENCE][0], \
+                f"{name}: {engine} VM executed a different " \
+                f"instruction count than the reference"
 
         sim = {}
         for engine in ENGINES:
             counts, seconds = _sim_measure(compiled, kernel, engine)
             sim[engine] = (counts, counts[0] / seconds / 1e6)
-        assert sim[FAST][0] == sim[REFERENCE][0], \
-            f"{name}: engines disagree on instructions/cycles"
+        for engine in (FAST, TIER2):
+            assert sim[engine][0] == sim[REFERENCE][0], \
+                f"{name}: {engine} simulator disagrees with the " \
+                f"reference on instructions/cycles"
 
         rows.append({
             "kernel": name,
             "vm_instructions": vm[FAST][0],
             "vm_fast_mips": vm[FAST][1],
+            "vm_tier2_mips": vm[TIER2][1],
             "vm_reference_mips": vm[REFERENCE][1],
             "vm_speedup": vm[FAST][1] / vm[REFERENCE][1],
+            "vm_tier2_speedup": vm[TIER2][1] / vm[REFERENCE][1],
+            "vm_tier2_over_fast": vm[TIER2][1] / vm[FAST][1],
             "sim_instructions": sim[FAST][0][0],
             "sim_cycles": sim[FAST][0][1],
             "sim_fast_mips": sim[FAST][1],
+            "sim_tier2_mips": sim[TIER2][1],
             "sim_reference_mips": sim[REFERENCE][1],
             "sim_speedup": sim[FAST][1] / sim[REFERENCE][1],
+            "sim_tier2_speedup": sim[TIER2][1] / sim[REFERENCE][1],
+            "sim_tier2_over_fast": sim[TIER2][1] / sim[FAST][1],
         })
     return rows
 
@@ -109,16 +120,17 @@ def measurements():
 def report(measurements):
     table_rows = [
         (row["kernel"],
-         f"{row['vm_fast_mips']:.2f}", f"{row['vm_reference_mips']:.2f}",
-         f"{row['vm_speedup']:.1f}x",
-         f"{row['sim_fast_mips']:.2f}",
+         f"{row['vm_tier2_mips']:.2f}", f"{row['vm_fast_mips']:.2f}",
+         f"{row['vm_reference_mips']:.2f}",
+         f"{row['vm_tier2_speedup']:.1f}x",
+         f"{row['sim_tier2_mips']:.2f}", f"{row['sim_fast_mips']:.2f}",
          f"{row['sim_reference_mips']:.2f}",
-         f"{row['sim_speedup']:.1f}x")
+         f"{row['sim_tier2_speedup']:.1f}x")
         for row in measurements
     ]
     table = format_table(
-        ["kernel", "VM fast", "VM ref", "VM gain",
-         "sim fast", "sim ref", "sim gain"],
+        ["kernel", "VM t2", "VM fast", "VM ref", "VM t2 gain",
+         "sim t2", "sim fast", "sim ref", "sim t2 gain"],
         table_rows,
         title=f"Execution-core throughput, MIPS (n={N}, "
               f"best of {REPEATS})")
@@ -146,6 +158,17 @@ class TestThroughput:
                 f"{row['kernel']}: fast simulator slower than " \
                 f"reference ({row['sim_speedup']:.2f}x)"
 
+    def test_tier2_never_below_fast(self, measurements, report):
+        """Whole-function translation must not lose to the block-
+        threaded tier it is promoted from — on either engine."""
+        for row in measurements:
+            assert row["vm_tier2_over_fast"] >= 1.0, \
+                f"{row['kernel']}: tier-2 VM slower than fast " \
+                f"({row['vm_tier2_over_fast']:.2f}x)"
+            assert row["sim_tier2_over_fast"] >= 1.0, \
+                f"{row['kernel']}: tier-2 simulator slower than fast " \
+                f"({row['sim_tier2_over_fast']:.2f}x)"
+
     @pytest.mark.skipif(SMOKE, reason="full-size runs only")
     def test_saxpy_meets_speedup_targets(self, measurements):
         """The tentpole targets on the anchor kernel — asserted with
@@ -156,6 +179,15 @@ class TestThroughput:
             f"VM speedup degraded to {row['vm_speedup']:.2f}x"
         assert row["sim_speedup"] >= 2.0, \
             f"simulator speedup degraded to {row['sim_speedup']:.2f}x"
+
+    @pytest.mark.skipif(SMOKE, reason="full-size runs only")
+    def test_saxpy_tier2_doubles_fast_mips(self, measurements):
+        """The tier-2 tentpole target: >= 2x the block-threaded MIPS
+        on the anchor kernel."""
+        row = next(r for r in measurements if r["kernel"] == "saxpy_fp")
+        assert row["vm_tier2_over_fast"] >= 2.0, \
+            f"tier-2 VM gain over fast degraded to " \
+            f"{row['vm_tier2_over_fast']:.2f}x"
 
 
 def test_bench_fast_vm_call(benchmark):

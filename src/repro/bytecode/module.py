@@ -140,6 +140,17 @@ class BytecodeModule:
             found = [a for a in found if isinstance(a, kind)]
         return found
 
+    def max_hotness(self, func_name: str) -> Optional[int]:
+        """The largest hotness weight annotated for ``func_name``, or
+        ``None`` when the profile never mentions it.  ``None`` and
+        ``0`` differ deliberately: an unprofiled function carries no
+        evidence either way, a zero-weight one is known cold — the
+        tier-2 promotion gate treats only the latter as a verdict."""
+        from repro.bytecode.annotations import HotnessAnnotation
+        weights = [a.weight for a in self.annotations_for(
+            func_name, HotnessAnnotation)]
+        return max(weights) if weights else None
+
     def strip_annotations(self) -> "BytecodeModule":
         """A copy without annotations (the 'plain deferred' deployment).
 

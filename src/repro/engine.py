@@ -1,16 +1,28 @@
 """Execution-engine selection for the VM and the target simulators.
 
-Two engines execute everything in this reproduction:
+Three engines execute everything in this reproduction:
 
 * ``fast`` (the default) — predecode + closure threading: a one-time
   per-function pass translates the code into a tuple of specialized
   handler closures (opcode, types and operand locations resolved at
   decode time), fed by the type-specialized semantics kernels of
-  :mod:`repro.semantics.kernels`.
+  :mod:`repro.semantics.kernels`.  Functions carrying a hotness
+  annotation that clears the adaptive threshold (or an explicit
+  ``JITOptions(tier2=True)`` hint) are additionally promoted to the
+  tier-2 whole-function compiler below.
+* ``tier2`` — whole-function translation: the fuel blocks of a
+  function are lowered into one generated Python function (virtual
+  stack / register file in Python locals, block transfers as real
+  control flow), compiled once and cached on the predecoded form.
+  Anything the emitter cannot prove deopts back to the block-threaded
+  engine at the enclosing block leader, with identical instruction
+  and cycle counts.  Selecting ``tier2`` as *the* engine forces the
+  promotion for every function (the differential suite runs this way);
+  under ``fast`` only hinted functions are promoted.
 * ``reference`` — the original string-ladder interpreters
   (``VM._run`` / ``Simulator._call``), kept verbatim as the semantic
   oracle.  The differential suite asserts byte-identical values,
-  traps and cycle/instruction counts between the two.
+  traps and cycle/instruction counts across all engines.
 
 The process-wide default comes from the ``PVI_ENGINE`` environment
 variable; ``VM(..., engine=...)`` and ``Simulator(..., engine=...)``
@@ -20,11 +32,13 @@ override it per instance.
 from __future__ import annotations
 
 import os
+import struct
 from typing import Optional
 
 FAST = "fast"
 REFERENCE = "reference"
-ENGINES = (FAST, REFERENCE)
+TIER2 = "tier2"
+ENGINES = (FAST, REFERENCE, TIER2)
 
 #: environment variable naming the process-wide default engine
 ENGINE_ENV = "PVI_ENGINE"
@@ -126,6 +140,136 @@ class CodegenEnv:
         name = f"{prefix}{len(self.env)}"
         self.env[name] = value
         return name
+
+
+# ---------------------------------------------------------------------------
+# tier-2 inline expression templates
+# ---------------------------------------------------------------------------
+#
+# The tier-2 whole-function compilers replace semantics-kernel *calls*
+# with the kernel's arithmetic inlined as a Python expression wherever
+# the result is provably identical for every input — including the
+# wrap/sign-decode of out-of-range operands, and IEEE unordered-NaN
+# comparison results, which Python's own comparison operators share.
+# Ops with trap semantics (integer div/rem, unknown predicates) and
+# float division (IEEE zero-divide special cases) keep the kernel
+# call.  Templates carry ``{a}``/``{b}`` operand slots; the second
+# element of each result marks expressions that cannot raise (f32
+# results round through the same struct pack as the kernel, which can
+# overflow on absurd inputs, so they stay marked impure).
+
+#: the f32 rounding round-trip the scalar kernels use
+_F32_ROUND = struct.Struct("<f")
+
+#: the 4-lane batch round trip the quad vec kernels use
+_F32_QUAD = struct.Struct("<4f")
+
+_ARITH_SYMS = {"add": "+", "sub": "-", "mul": "*"}
+_BIT_SYMS = {"and": "&", "or": "|", "xor": "^"}
+_CMP_SYMS = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=",
+             "gt": ">", "ge": ">="}
+
+
+def _int_wrap(core: str, int_ty) -> str:
+    """Wrap ``core`` into ``int_ty``'s range exactly like the kernels:
+    mask, then sign-decode via the xor trick for signed types."""
+    mask = (1 << int_ty.bits) - 1
+    if int_ty.signed:
+        sign = 1 << (int_ty.bits - 1)
+        return f"(((({core}) & {mask}) ^ {sign}) - {sign})"
+    return f"(({core}) & {mask})"
+
+
+def inline_binop(op: str, value_ty, env: "CodegenEnv"):
+    """``(template, pure)`` inlining the binop kernel for
+    ``value_ty``, or ``None`` when the op must stay a kernel call."""
+    from repro.lang import types as ty
+    if isinstance(value_ty, ty.IntType):
+        mask = (1 << value_ty.bits) - 1
+        sm = value_ty.bits - 1
+        if op in _ARITH_SYMS:
+            return _int_wrap(f"{{a}} {_ARITH_SYMS[op]} {{b}}",
+                             value_ty), True
+        if op in _BIT_SYMS:
+            core = f"({{a}} & {mask}) {_BIT_SYMS[op]} ({{b}} & {mask})"
+            if value_ty.signed:
+                return _int_wrap(core, value_ty), True
+            return f"({core})", True       # masked operands: in range
+        if op == "shl":
+            return _int_wrap(f"{{a}} << ({{b}} & {sm})", value_ty), True
+        if op == "shr":
+            if value_ty.signed:
+                return _int_wrap(f"{{a}} >> ({{b}} & {sm})",
+                                 value_ty), True
+            return f"(({{a}} & {mask}) >> ({{b}} & {sm}))", True
+        if op in ("min", "max"):
+            return _int_wrap(f"{op}({{a}}, {{b}})", value_ty), True
+        return None                        # div/rem trap on zero
+    if isinstance(value_ty, ty.FloatType):
+        if op in _ARITH_SYMS:
+            core = f"{{a}} {_ARITH_SYMS[op]} {{b}}"
+        elif op in ("min", "max"):
+            core = f"{op}({{a}}, {{b}})"
+        else:
+            return None                    # div: IEEE special cases
+        if value_ty.bits == 32:
+            p = env.bind(_F32_ROUND.pack, "p")
+            u = env.bind(_F32_ROUND.unpack, "u")
+            return f"{u}({p}({core}))[0]", False
+        return f"({core})", True
+    return None
+
+
+def inline_cmp(pred: str, value_ty):
+    """A pure template inlining the cmp kernel, or ``None`` for
+    predicates the kernel traps on."""
+    from repro.lang import types as ty
+    sym = _CMP_SYMS.get(pred)
+    if sym is None:
+        return None
+    if isinstance(value_ty, ty.IntType) and not value_ty.signed:
+        mask = (1 << value_ty.bits) - 1
+        return (f"(1 if (({{a}}) & {mask}) {sym} (({{b}}) & {mask}) "
+                f"else 0)")
+    # Signed ints compare directly; Python float comparisons share
+    # IEEE's unordered-NaN results (all False except ``!=``), exactly
+    # the kernel's NaN handling.
+    return f"(1 if ({{a}}) {sym} ({{b}}) else 0)"
+
+
+def inline_cast(from_ty, to_ty, env: "CodegenEnv"):
+    """``(template, pure)`` inlining a non-identity cast kernel, or
+    ``None`` (float->int keeps the kernel: NaN/inf special cases)."""
+    from repro.lang import types as ty
+    if isinstance(to_ty, ty.IntType):
+        if isinstance(from_ty, ty.IntType):
+            return _int_wrap("{a}", to_ty), True
+        return None
+    if not isinstance(to_ty, ty.FloatType):
+        return None
+    if to_ty.bits == 32:
+        p = env.bind(_F32_ROUND.pack, "p")
+        u = env.bind(_F32_ROUND.unpack, "u")
+        return f"{u}({p}(float({{a}})))[0]", False
+    return "(float({a}))", False       # float(huge int) can overflow
+
+
+def inline_unop(op: str, value_ty, env: "CodegenEnv"):
+    """``(template, pure)`` inlining the unop kernel, or ``None``."""
+    from repro.lang import types as ty
+    if isinstance(value_ty, ty.IntType):
+        if op == "neg":
+            return _int_wrap("-({a})", value_ty), True
+        if op == "not":
+            return _int_wrap("~({a})", value_ty), True
+        return None
+    if op != "neg" or not isinstance(value_ty, ty.FloatType):
+        return None
+    if value_ty.bits == 32:
+        p = env.bind(_F32_ROUND.pack, "p")
+        u = env.bind(_F32_ROUND.unpack, "u")
+        return f"{u}({p}(-({{a}})))[0]", False
+    return "(-({a}))", True
 
 
 def normalize_branch_target(target, n: int):

@@ -264,7 +264,12 @@ def registered_flows() -> Tuple[Flow, ...]:
 # ---------------------------------------------------------------------------
 
 #: hotness weight at or above which the adaptive flow spends online
-#: analysis on a function (unannotated functions count as hot)
+#: analysis on a function (unannotated functions count as hot).  The
+#: execution engines reuse the same threshold as the tier-2 promotion
+#: gate (see :mod:`repro.engine`): functions whose hotness annotation
+#: clears it get whole-function translation, though there *unprofiled*
+#: functions stay on the block tier — promotion wants positive
+#: evidence, analysis gating only an absence of contrary evidence.
 ADAPTIVE_HOTNESS_THRESHOLD = 1
 
 register_flow(Flow(
@@ -305,4 +310,6 @@ register_flow(Flow(
                    hotness_threshold=ADAPTIVE_HOTNESS_THRESHOLD),
     bytecode="scalar",
     description="hotness-gated online vectorization: the JIT spends "
-                "its analysis budget only on functions profiled hot"))
+                "its analysis budget only on functions profiled hot; "
+                "the same hotness annotations drive the engines' "
+                "tier-2 whole-function promotion"))

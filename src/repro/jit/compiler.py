@@ -55,6 +55,15 @@ class JITOptions:
     #: HotnessAnnotation weight reaches the threshold (functions with
     #: no profile count as hot) — the 'adaptive' flow's gate
     hotness_threshold: Optional[int] = None
+    #: tier-2 whole-function translation hint: ``True`` marks every
+    #: emitted function for promotion, ``False`` none, and ``None``
+    #: (default) promotes functions whose HotnessAnnotation weight
+    #: clears ADAPTIVE_HOTNESS_THRESHOLD — *unprofiled functions are
+    #: not promoted* (unlike the analysis gate above, tier-2 spends
+    #: host memory per promoted function, so it wants positive
+    #: evidence).  Advisory only: execution results are byte-identical
+    #: either way.
+    tier2: Optional[bool] = None
 
     @classmethod
     def flow(cls, name: str) -> "JITOptions":
@@ -144,7 +153,21 @@ class JITCompiler:
         compiled.jit_analysis_work = analysis_work
         compiled.jit_pass_work = pass_work
         compiled.jit_time = time.perf_counter() - start
+        compiled.tier2_hint = self._wants_tier2(module, name)
         return compiled
+
+    def _wants_tier2(self, module: BytecodeModule, name: str) -> bool:
+        """The tier-2 promotion gate: an explicit ``JITOptions.tier2``
+        wins; otherwise promote exactly the functions whose hotness
+        annotation clears the adaptive threshold (unprofiled functions
+        stay on the block tier — promotion wants positive evidence)."""
+        if self.options.tier2 is not None:
+            return self.options.tier2
+        weight = module.max_hotness(name)
+        if weight is None:
+            return False
+        from repro.flows import ADAPTIVE_HOTNESS_THRESHOLD
+        return weight >= ADAPTIVE_HOTNESS_THRESHOLD
 
     def _wants_online_analysis(self, module: BytecodeModule,
                                name: str) -> bool:

@@ -109,6 +109,10 @@ class CompilationService:
         self._coalesced = 0
         self._offline_latency = 0.0
         self._deploy_latency = 0.0
+        #: wall time coalesced requests spent *waiting* on work some
+        #: other request triggered — kept out of the latency totals
+        #: above so they measure real compilation, not herd size
+        self._coalesced_wait = 0.0
         #: in-flight offline compiles, keyed by artifact key — the
         #: offline-side mirror of the pool's future dedup
         self._inflight: Dict[str, Future] = {}
@@ -131,21 +135,30 @@ class CompilationService:
         key = artifact_key(source, name, options or None)
         artifact = self.cache.get(key)
         hit = artifact is not None
+        joined = False
         if artifact is None:
-            artifact, hit = self._compile_deduped(key, source, name,
-                                                  options)
+            artifact, hit, joined = self._compile_deduped(
+                key, source, name, options)
         latency = time.perf_counter() - start
+        # A joiner's wall clock is time spent *waiting* on another
+        # request's compile, not work this request performed — charge
+        # it to the coalesced-wait bucket so the offline latency total
+        # scales with compilations, not with herd size.
         with self._counter_lock:
-            self._offline_latency += latency
+            if joined:
+                self._coalesced_wait += latency
+            else:
+                self._offline_latency += latency
         return CompileOutcome(artifact=artifact, key=key, cache_hit=hit,
                               latency=latency)
 
     def _compile_deduped(self, key: str, source: str, name: str,
-                         options) -> Tuple[OfflineArtifact, bool]:
+                         options) -> Tuple[OfflineArtifact, bool, bool]:
         """Run (or join) the offline compile for one cache key.
 
-        Returns ``(artifact, joined)`` — ``joined`` is True when this
-        call rode another thread's in-flight compilation.
+        Returns ``(artifact, hit, joined)`` — ``joined`` is True when
+        this call rode another thread's in-flight compilation (it
+        triggered no work of its own).
         """
         with self._inflight_lock:
             future = self._inflight.get(key)
@@ -155,7 +168,7 @@ class CompilationService:
                 self._inflight[key] = future
         if joined:
             self._note_coalesced()
-            return future.result(), True
+            return future.result(), True, True
         # Won the in-flight slot — but a previous holder may have
         # compiled and stored between our cache miss and now (it puts
         # before it releases the slot).  Re-check so a lost race costs
@@ -167,7 +180,7 @@ class CompilationService:
             with self._inflight_lock:
                 self._inflight.pop(key, None)
             self._note_coalesced()
-            return artifact, True
+            return artifact, True, True
         try:
             artifact = offline_compile(
                 source, name, **canonical_options(options or None))
@@ -186,7 +199,7 @@ class CompilationService:
         finally:
             with self._inflight_lock:
                 self._inflight.pop(key, None)
-        return artifact, False
+        return artifact, False, False
 
     def artifact(self, source: str, name: str = "module",
                  **options) -> OfflineArtifact:
@@ -244,7 +257,8 @@ class CompilationService:
                 if not request.tolerate_failures:
                     raise
                 info[name] = (None, reused, exc)
-        self._add_deploy_latency(time.perf_counter() - deploy_start)
+        self._settle_deploy_latency(time.perf_counter() - deploy_start,
+                                    info)
         return self._build_result(request, flow, outcome, info, start)
 
     def submit_batch(self, requests: Iterable[CompileRequest]) \
@@ -305,6 +319,20 @@ class CompilationService:
         with self._counter_lock:
             self._deploy_latency += seconds
 
+    def _add_coalesced_wait(self, seconds: float) -> None:
+        with self._counter_lock:
+            self._coalesced_wait += seconds
+
+    def _settle_deploy_latency(self, seconds: float, info) -> None:
+        """Charge one fan-out's wall clock to the right bucket: a
+        request whose every target rode the memo or an in-flight
+        compile triggered no JIT work — its wait belongs to
+        ``coalesced_wait``, not the deploy latency total."""
+        if info and all(reused for (_c, reused, _e) in info.values()):
+            self._add_coalesced_wait(seconds)
+        else:
+            self._add_deploy_latency(seconds)
+
     def _note_request(self) -> None:
         with self._counter_lock:
             self._requests += 1
@@ -326,6 +354,7 @@ class CompilationService:
             artifact_stores=cache.stores,
             artifact_evictions=cache.evictions,
             artifact_corrupt_entries=cache.corrupt_entries,
+            artifact_io_errors=cache.io_errors,
             deploy_compiles=pool.compiles,
             deploy_memo_hits=pool.memo_hits,
             deploy_evictions=pool.evictions,
@@ -333,6 +362,7 @@ class CompilationService:
             coalesced_requests=self._coalesced,
             total_offline_latency=self._offline_latency,
             total_deploy_latency=self._deploy_latency,
+            total_coalesced_wait=self._coalesced_wait,
             deploy_by_flow={
                 name: {"compiles": entry.compiles,
                        "memo_hits": entry.memo_hits}

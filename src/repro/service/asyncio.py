@@ -221,5 +221,6 @@ class AsyncCompilationService:
                 info[name] = (None, reused, result)
             else:
                 info[name] = (result, reused, None)
-        core._add_deploy_latency(time.perf_counter() - deploy_start)
+        core._settle_deploy_latency(time.perf_counter() - deploy_start,
+                                    info)
         return core._build_result(request, flow, outcome, info, start)

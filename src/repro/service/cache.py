@@ -207,7 +207,14 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
-    corrupt_entries: int = 0   # unreadable disk entries (dropped)
+    corrupt_entries: int = 0   # undecodable disk entries (self-healed)
+    #: I/O failures against the persistence directory (permission
+    #: denied, disk full, ...).  Distinct from ``corrupt_entries``:
+    #: the entry bytes were never seen, so nothing is unlinked and the
+    #: lookup degrades to a miss — a climbing count here is how an
+    #: unreadable/unwritable persist dir shows up instead of
+    #: masquerading as an endless cache-miss recompile loop.
+    io_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -228,6 +235,7 @@ class CacheStats:
         self.stores += other.stores
         self.evictions += other.evictions
         self.corrupt_entries += other.corrupt_entries
+        self.io_errors += other.io_errors
         return self
 
     def as_dict(self) -> Dict[str, object]:
@@ -235,6 +243,7 @@ class CacheStats:
                 "misses": self.misses, "stores": self.stores,
                 "evictions": self.evictions,
                 "corrupt_entries": self.corrupt_entries,
+                "io_errors": self.io_errors,
                 "hit_rate": self.hit_rate}
 
 
@@ -312,8 +321,15 @@ class _CacheShard:
             self._insert(key, artifact)
         path = self.path_for(key)
         if path is not None and not path.exists():
-            path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_bytes(serialize_artifact(artifact))
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_bytes(serialize_artifact(artifact))
+            except OSError:
+                # Persistence is an optimization; a read-only persist
+                # dir must not fail the compile that produced the
+                # artifact.  Surface it instead of looping silently.
+                with self._lock:
+                    self.stats.io_errors += 1
 
     def clear(self) -> None:
         with self._lock:
@@ -333,13 +349,34 @@ class _CacheShard:
             if path is None or not path.exists():
                 continue
             try:
-                return deserialize_artifact(path.read_bytes())
+                raw = path.read_bytes()
+            except FileNotFoundError:
+                continue                # raced with another unlink
+            except OSError:
+                # The entry could not be *read* (permissions, I/O
+                # error) — that says nothing about its content, so it
+                # is neither corrupt nor healed by deletion.  Count it
+                # where operators can see it (``io_errors``, surfaced
+                # through ``ServiceStats``) and degrade this lookup to
+                # a miss; recompilation keeps the service alive.
+                with self._lock:
+                    self.stats.io_errors += 1
+                continue
+            try:
+                return deserialize_artifact(raw)
             except Exception:
                 # A truncated or corrupted entry degrades to a miss
                 # (and a recompile overwrites it); it must never take
-                # the service down.
-                self.stats.corrupt_entries += 1
-                path.unlink(missing_ok=True)
+                # the service down.  Self-heal by deleting the entry —
+                # but a deletion *failure* is an I/O problem, not more
+                # corruption.
+                with self._lock:
+                    self.stats.corrupt_entries += 1
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    with self._lock:
+                        self.stats.io_errors += 1
         return None
 
 

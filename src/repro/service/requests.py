@@ -132,6 +132,10 @@ class ServiceStats:
     artifact_stores: int = 0
     artifact_evictions: int = 0
     artifact_corrupt_entries: int = 0
+    #: persist-side I/O failures (unreadable or unwritable entries) —
+    #: distinct from decode corruption: the entry may be fine, the
+    #: filesystem is not, so nothing is self-healed
+    artifact_io_errors: int = 0
     deploy_compiles: int = 0
     deploy_memo_hits: int = 0
     deploy_evictions: int = 0
@@ -141,6 +145,10 @@ class ServiceStats:
     coalesced_requests: int = 0
     total_offline_latency: float = 0.0
     total_deploy_latency: float = 0.0
+    #: wall clock spent by coalesced requests *waiting* on work some
+    #: other request was already doing — kept out of the latency
+    #: totals above so those reflect real compilation effort
+    total_coalesced_wait: float = 0.0
     #: deployment traffic per flow name: {flow: {"compiles": n,
     #: "memo_hits": m}} — registered custom flows appear here the
     #: moment they are first deployed
@@ -179,6 +187,7 @@ class ServiceStats:
                 "stores": self.artifact_stores,
                 "evictions": self.artifact_evictions,
                 "corrupt_entries": self.artifact_corrupt_entries,
+                "io_errors": self.artifact_io_errors,
                 "hit_rate": self.artifact_hit_rate,
                 "shards": list(self.artifact_shards),
             },
@@ -195,5 +204,6 @@ class ServiceStats:
             "latency": {
                 "offline_s": self.total_offline_latency,
                 "deploy_s": self.total_deploy_latency,
+                "coalesced_wait_s": self.total_coalesced_wait,
             },
         }

@@ -39,10 +39,12 @@ unchanged.
 
 from __future__ import annotations
 
+import re
 from typing import Callable, List
 
 from repro.engine import (
-    CodegenEnv, MASK64_LITERAL, MeterTrip, fuel_blocks,
+    CodegenEnv, MASK64_LITERAL, MeterTrip, _ARITH_SYMS, _F32_QUAD,
+    fuel_blocks, inline_binop, inline_cast, inline_cmp, inline_unop,
     normalize_branch_target,
 )
 from repro.lang import types as ty
@@ -66,21 +68,43 @@ _CLS_INDEX = {"int": 0, "flt": 1, "vec": 2}
 #: (ri, rf, rv, slots, fb, mem, sim, res) -> pc   (-1 = returned)
 Handler = Callable
 
+#: "tier-2 translation not attempted yet" marker (``None`` = attempted
+#: and failed — don't retry per call)
+_TIER2_UNBUILT = object()
+
 
 class PredecodedMachine:
     """One compiled function's decoded form."""
 
     __slots__ = ("token", "handlers", "raw", "reg_counts", "param_locs",
-                 "frame_bytes")
+                 "frame_bytes", "tier2_hint", "_tier2", "_tier2_args")
 
     def __init__(self, token, handlers, raw, reg_counts, param_locs,
-                 frame_bytes):
+                 frame_bytes, tier2_hint=False, tier2_args=(None, None)):
         self.token = token
         self.handlers = handlers
         self.raw = raw
         self.reg_counts = reg_counts          # (n_int, n_flt, n_vec)
         self.param_locs = param_locs          # [(cls_index | -1, index)]
         self.frame_bytes = frame_bytes
+        #: the JIT marked this function for whole-function translation
+        #: (hotness annotation cleared the threshold, or an explicit
+        #: ``JITOptions(tier2=True)``)
+        self.tier2_hint = tier2_hint
+        self._tier2 = _TIER2_UNBUILT
+        self._tier2_args = tier2_args
+
+    def tier2(self):
+        """The whole-function tier-2 translation, built lazily on
+        first request and cached here (so it rides the predecode
+        cache); ``None`` when translation failed."""
+        t2 = self._tier2
+        if t2 is _TIER2_UNBUILT:
+            func, binding = self._tier2_args
+            t2 = self._tier2 = None if func is None \
+                else _build_tier2(func, binding)
+            self._tier2_args = (None, None)
+        return t2
 
 
 def predecode_machine(func: CompiledFunction,
@@ -105,9 +129,15 @@ def predecode_machine(func: CompiledFunction,
 
 
 def warm_module(module: CompiledModule) -> CompiledModule:
-    """Predecode every function of an image (JIT/service warm hook)."""
+    """Predecode every function of an image (JIT/service warm hook).
+
+    Functions the JIT hinted for tier-2 also get their whole-function
+    translation built here, so warmed deployments dispatch straight
+    into tier-2 code with no first-call compile pause."""
     for func in module.functions.values():
-        predecode_machine(func, module)
+        pre = predecode_machine(func, module)
+        if pre.tier2_hint:
+            pre.tier2()
     return module
 
 
@@ -170,6 +200,18 @@ def _build(func: CompiledFunction, token,
                 handlers[leader] = _interp_block(code, raw, leader,
                                                  blocks[leader])
 
+    reg_counts, param_locs = _register_layout(func)
+
+    return PredecodedMachine(token, handlers, raw, reg_counts,
+                             param_locs, func.frame_bytes,
+                             tier2_hint=getattr(func, "tier2_hint",
+                                                False),
+                             tier2_args=(func, binding))
+
+
+def _register_layout(func: CompiledFunction):
+    """((n_int, n_flt, n_vec), [(cls_index | -1, index)]) — the flat
+    register-file sizes and parameter homes a call needs."""
     reg_counts = [0, 0, 0]
     param_locs = []
     for kind, index in func.param_locs:
@@ -179,7 +221,7 @@ def _build(func: CompiledFunction, token,
             cls = _CLS_INDEX[kind]
             param_locs.append((cls, index))
             reg_counts[cls] = max(reg_counts[cls], index + 1)
-    for instr in code:
+    for instr in func.code:
         if instr.dst is not None and instr.dst[0] in _CLS_INDEX:
             cls = _CLS_INDEX[instr.dst[0]]
             reg_counts[cls] = max(reg_counts[cls], instr.dst[1] + 1)
@@ -187,9 +229,7 @@ def _build(func: CompiledFunction, token,
             if kind in _CLS_INDEX and isinstance(value, int):
                 cls = _CLS_INDEX[kind]
                 reg_counts[cls] = max(reg_counts[cls], value + 1)
-
-    return PredecodedMachine(token, handlers, raw, tuple(reg_counts),
-                             param_locs, func.frame_bytes)
+    return tuple(reg_counts), param_locs
 
 
 def _param_regs(func: CompiledFunction) -> set:
@@ -274,10 +314,53 @@ def _interp_block(code, raw, leader: int, length: int) -> Handler:
 
 def _gen_block(name: str, code, leader: int, length: int, env_dict,
                written_at_entry: set, binding=None) -> str:
-    env = CodegenEnv(env_dict)
+    lines = _gen_block_lines(name, code, leader, length,
+                             CodegenEnv(env_dict), written_at_entry,
+                             binding)
+    debit = "\n".join("    " + line
+                      for line in _debit_lines(code, leader, length))
+    body = "\n".join("        " + line for line in lines)
+    return (f"def _b{leader}(ri, rf, rv, slots, fb, mem, sim, res):\n"
+            f"{debit}\n"
+            f"    _i = {length - 1}\n"
+            f"    try:\n"
+            f"{body}\n"
+            f"    except Exception:\n"
+            f"        # roll the fuel debit back to the trapping\n"
+            f"        # instruction (res counters are unobservable\n"
+            f"        # after a trap)\n"
+            f"        sim._executed -= {length} - _i - 1\n"
+            f"        raise\n")
+
+
+def _gen_block_lines(name: str, code, leader: int, length: int,
+                     env: CodegenEnv, written_at_entry: set,
+                     binding=None,
+                     reg_fmt: str = "{0}[{1}]",
+                     check_direct: bool = False,
+                     goto_fmt: str = "return {0}",
+                     ret_lines=("return -1",),
+                     tier2: bool = False,
+                     data: str = "mem.data",
+                     msize: str = "mem.size") -> List[str]:
+    """The per-instruction lowering shared by the block tier and the
+    tier-2 whole-function compiler.  ``reg_fmt`` maps a register file
+    name + index to its lvalue (flat list vs lowered Python local,
+    where ``check_direct`` skips the read-into-temp for the
+    uninitialized check); ``goto_fmt``/``ret_lines`` shape transfers
+    (``return pc`` per block vs ``pc = ...`` dispatcher assignments).
+    Under ``tier2`` the arith/cmp/cast kernels are inlined as Python
+    expressions where provably identical, and progress markers are
+    elided for instructions that cannot raise; ``data``/``msize``
+    name the (hoisted) memory buffer and size expressions.
+    """
     lines: List[str] = []
     written = set(written_at_entry)
     counter = [0]
+    #: per-instruction can-this-raise flag (tier-2 only): instructions
+    #: proven pure need no ``_i`` progress marker, and a block with no
+    #: markers at all drops its metered try/except wrapper
+    impure = [False]
 
     def newt() -> str:
         counter[0] += 1
@@ -294,21 +377,26 @@ def _gen_block(name: str, code, leader: int, length: int, env_dict,
             return env.bind(value, "c")
         if kind == "slot":
             raise ValueError("raw slot operand")      # -> fallback
-        reg_file = _REG_FILES[kind]
+        location = reg_fmt.format(_REG_FILES[kind], value)
         if (kind, value) in written:
-            return f"{reg_file}[{value}]"
-        t = newt()
-        emit(f"{t} = {reg_file}[{value}]", indent)
-        emit(f"if {t} is _UNSET:", indent)
+            return location
+        impure[0] = True            # the uninitialized-register trap
         message = env.bind(f"{name}: read of uninitialized register "
                            f"{kind}{value}", "m")
+        if check_direct:
+            emit(f"if {location} is _UNSET:", indent)
+            emit(f"raise TrapError({message})", indent + "    ")
+            return location
+        t = newt()
+        emit(f"{t} = {location}", indent)
+        emit(f"if {t} is _UNSET:", indent)
         emit(f"raise TrapError({message})", indent + "    ")
         return t
 
     def dst_of(instr) -> str:
         kind, index = instr.dst
         written.add((kind, index))
-        return f"{_REG_FILES[kind]}[{index}]"
+        return reg_fmt.format(_REG_FILES[kind], index)
 
     def addr_of(instr, srcs, indent: str = "") -> str:
         base = read(srcs[0], indent)
@@ -323,7 +411,7 @@ def _gen_block(name: str, code, leader: int, length: int, env_dict,
 
     def bounds(addr_var: str, size: int) -> None:
         emit(f"if {addr_var} < {NULL_GUARD} or "
-             f"{addr_var} + {size} > mem.size:")
+             f"{addr_var} + {size} > {msize}:")
         emit('raise TrapError(f"memory access out of bounds: '
              'addr={' + addr_var + ':#x} size=' + str(size) + '")',
              "    ")
@@ -335,36 +423,74 @@ def _gen_block(name: str, code, leader: int, length: int, env_dict,
         op = instr.op
         # Progress marker: if this instruction traps mid-block, the
         # except clause rolls the block-entry fuel debit back to
-        # exactly the reference engine's per-instruction count.
+        # exactly the reference engine's per-instruction count.  The
+        # block tier conservatively marks everything; tier-2 marks
+        # only instructions that can actually raise.
         marker_at = len(lines)
+        impure[0] = not tier2
 
         # NB: sources must be read (and uninitialized-register checked)
         # *before* dst_of marks the destination written — a dst that
         # aliases an unwritten source must still trap.
         if op == "bin":
-            kernel = env.bind(binop_kernel(instr.arg, instr.ty), "k")
+            template = inline_binop(instr.arg, instr.ty, env) \
+                if tier2 else None
             a = read(instr.srcs[0])
             b = read(instr.srcs[1])
-            emit(f"{dst_of(instr)} = {kernel}({a}, {b})")
+            if template is not None:
+                expr, pure = template
+                if not pure:
+                    impure[0] = True
+                emit(f"{dst_of(instr)} = {expr.format(a=a, b=b)}")
+            else:
+                impure[0] = True    # div/rem trap; kernel calls too
+                kernel = env.bind(binop_kernel(instr.arg, instr.ty),
+                                  "k")
+                emit(f"{dst_of(instr)} = {kernel}({a}, {b})")
         elif op == "mov":
             source = read(instr.srcs[0])
             emit(f"{dst_of(instr)} = {source}")
         elif op == "cmp":
-            kernel = env.bind(cmp_kernel(instr.arg, instr.ty), "k")
+            template = inline_cmp(instr.arg, instr.ty) \
+                if tier2 else None
             a = read(instr.srcs[0])
             b = read(instr.srcs[1])
-            emit(f"{dst_of(instr)} = {kernel}({a}, {b})")
+            if template is not None:
+                emit(f"{dst_of(instr)} = "
+                     f"{template.format(a=a, b=b)}")
+            else:
+                impure[0] = True    # undefined predicates trap
+                kernel = env.bind(cmp_kernel(instr.arg, instr.ty), "k")
+                emit(f"{dst_of(instr)} = {kernel}({a}, {b})")
         elif op == "un":
-            kernel = env.bind(unop_kernel(instr.arg, instr.ty), "k")
+            template = inline_unop(instr.arg, instr.ty, env) \
+                if tier2 else None
             source = read(instr.srcs[0])
-            emit(f"{dst_of(instr)} = {kernel}({source})")
+            if template is not None:
+                expr, pure = template
+                if not pure:
+                    impure[0] = True
+                emit(f"{dst_of(instr)} = {expr.format(a=source)}")
+            else:
+                impure[0] = True
+                kernel = env.bind(unop_kernel(instr.arg, instr.ty),
+                                  "k")
+                emit(f"{dst_of(instr)} = {kernel}({source})")
         elif op == "cast":
             from_ty, to_ty = instr.arg
             kernel = cast_kernel(from_ty, to_ty)
+            template = inline_cast(from_ty, to_ty, env) \
+                if tier2 and kernel is not identity_kernel else None
             source = read(instr.srcs[0])
             if kernel is identity_kernel:
                 emit(f"{dst_of(instr)} = {source}")
+            elif template is not None:
+                expr, pure = template
+                if not pure:
+                    impure[0] = True
+                emit(f"{dst_of(instr)} = {expr.format(a=source)}")
             else:
+                impure[0] = True    # float->int: NaN/inf trap
                 emit(f"{dst_of(instr)} = "
                      f"{env.bind(kernel, 'k')}({source})")
         elif op == "select":
@@ -374,7 +500,7 @@ def _gen_block(name: str, code, leader: int, length: int, env_dict,
             # are generated, so a dst-aliasing operand still checks.
             cond = read(instr.srcs[0])
             kind, index = instr.dst
-            dst = f"{_REG_FILES[kind]}[{index}]"
+            dst = reg_fmt.format(_REG_FILES[kind], index)
             emit(f"if ({cond}) != 0:")
             taken = read(instr.srcs[1], "    ")
             emit(f"{dst} = {taken}", "    ")
@@ -383,12 +509,14 @@ def _gen_block(name: str, code, leader: int, length: int, env_dict,
             emit(f"{dst} = {untaken}", "    ")
             written.add((kind, index))
         elif op == "load":
+            impure[0] = True
             packer = scalar_struct(instr.ty)
             unpack = env.bind(packer.unpack_from, "u")
             addr = addr_of(instr, instr.srcs)
             bounds(addr, packer.size)
-            emit(f"{dst_of(instr)} = {unpack}(mem.data, {addr})[0]")
+            emit(f"{dst_of(instr)} = {unpack}({data}, {addr})[0]")
         elif op == "store":
+            impure[0] = True
             packer = scalar_struct(instr.ty)
             pack = env.bind(packer.pack_into, "p")
             if isinstance(instr.ty, ty.IntType):
@@ -400,12 +528,13 @@ def _gen_block(name: str, code, leader: int, length: int, env_dict,
             value = read(instr.srcs[-1])
             bounds(addr, packer.size)
             emit("try:")
-            emit(f"{pack}(mem.data, {addr}, {value})", "    ")
+            emit(f"{pack}({data}, {addr}, {value})", "    ")
             emit("except _PE:")
-            emit(f"{pack}(mem.data, {addr}, {coerce}({value}))", "    ")
+            emit(f"{pack}({data}, {addr}, {coerce}({value}))", "    ")
         elif op == "lea.frame":
             emit(f"{dst_of(instr)} = fb + {instr.arg}")
         elif op == "spill.ld":
+            impure[0] = True        # empty-slot trap
             message = env.bind(f"{name}: reload of empty spill slot "
                                f"{instr.arg}", "m")
             emit("try:")
@@ -418,14 +547,27 @@ def _gen_block(name: str, code, leader: int, length: int, env_dict,
             target = normalize_branch_target(instr.arg, len(code))
             if not isinstance(target, int):
                 raise ValueError("non-integer branch target")  # -> raw
-            emit(f"return {target}")
+            emit(goto_fmt.format(target))
         elif op == "brif":
             target = normalize_branch_target(instr.arg, len(code))
             if not isinstance(target, int):
                 raise ValueError("non-integer branch target")  # -> raw
             cond = read(instr.srcs[0])
-            emit(f"return {target} if ({cond}) != 0 else {exit_pc}")
+            test = f"({cond}) != 0"
+            if tier2 and lines:
+                # Peephole: a register just written by an inlined
+                # comparison — branch on the comparison itself (the
+                # register write stays, for deopt and later reads).
+                prefix = f"{cond} = (1 if "
+                if lines[-1].startswith(prefix) \
+                        and lines[-1].endswith(" else 0)"):
+                    inner = lines[-1][len(prefix):-len(" else 0)")]
+                    if not re.search(rf"\b{re.escape(cond)}\b", inner):
+                        test = inner
+            emit(goto_fmt.format(
+                f"{target} if {test} else {exit_pc}"))
         elif op == "call":
+            impure[0] = True
             resolved = _resolved_callee(binding, instr.arg)
             values = []
             for operand in instr.srcs:
@@ -450,20 +592,23 @@ def _gen_block(name: str, code, leader: int, length: int, env_dict,
                      f"[{callee}], [{', '.join(values)}], res)")
             if instr.dst is not None:
                 emit(f"{dst_of(instr)} = {result}")
-            emit(f"return {exit_pc}")
+            emit(goto_fmt.format(exit_pc))
         elif op == "ret":
             if instr.srcs:
                 emit(f"sim._ret = {read(instr.srcs[0])}")
             else:
                 emit("sim._ret = None")
-            emit("return -1")
+            for line in ret_lines:
+                emit(line)
         elif op == "vload":
+            impure[0] = True
             packer = vector_struct(instr.ty.elem, instr.ty.lanes)
             unpack = env.bind(packer.unpack_from, "u")
             addr = addr_of(instr, instr.srcs)
             bounds(addr, packer.size)
-            emit(f"{dst_of(instr)} = list({unpack}(mem.data, {addr}))")
+            emit(f"{dst_of(instr)} = list({unpack}({data}, {addr}))")
         elif op == "vstore":
+            impure[0] = True
             lanes = instr.ty.lanes
             packer = vector_struct(instr.ty.elem, lanes)
             pack = env.bind(packer.pack_into, "p")
@@ -472,60 +617,411 @@ def _gen_block(name: str, code, leader: int, length: int, env_dict,
             value = read(instr.srcs[-1])
             emit(f"if len({value}) == {lanes} and "
                  f"{addr} >= {NULL_GUARD} and "
-                 f"{addr} + {packer.size} <= mem.size:")
+                 f"{addr} + {packer.size} <= {msize}:")
             emit("try:", "    ")
-            emit(f"{pack}(mem.data, {addr}, *{value})", "        ")
+            emit(f"{pack}({data}, {addr}, *{value})", "        ")
             emit("except _PE:", "    ")
             emit(f"mem.store_vec({elem_name}, {addr}, {value})",
                  "        ")
             emit("else:")
             emit(f"mem.store_vec({elem_name}, {addr}, {value})", "    ")
         elif op == "vbin":
-            kernel = env.bind(
-                vec_binop_kernel(instr.arg, instr.ty.elem), "v")
-            a = read(instr.srcs[0])
+            impure[0] = True        # lane-count mismatch traps, and
+            a = read(instr.srcs[0])  # the f32 repack can overflow
             b = read(instr.srcs[1])
-            emit(f"{dst_of(instr)} = {kernel}({a}, {b})")
+            bop = instr.arg
+            elem = instr.ty.elem
+            if tier2 and isinstance(elem, ty.FloatType) \
+                    and elem.bits == 32 \
+                    and bop in ("add", "sub", "mul", "min", "max"):
+                # Inline the 4-lane f32 batch kernel: one quad
+                # pack/unpack round trip instead of a kernel call plus
+                # per-lane rounding — identical arithmetic, including
+                # the left-to-right product rounding order.  Any other
+                # shape falls back to the kernel in the else arm.
+                qp = env.bind(_F32_QUAD.pack, "qp")
+                qu = env.bind(_F32_QUAD.unpack, "qu")
+                sym = _ARITH_SYMS.get(bop)
+                if sym is not None:
+                    cores = ", ".join(f"_a{i} {sym} _b{i}"
+                                      for i in range(4))
+                else:
+                    cores = ", ".join(f"{bop}(_a{i}, _b{i})"
+                                      for i in range(4))
+                kernel = env.bind(vec_binop_kernel(bop, elem), "v")
+                dst = dst_of(instr)
+                emit(f"if len({a}) == 4 and len({b}) == 4:")
+                emit(f"_a0, _a1, _a2, _a3 = {a}", "    ")
+                emit(f"_b0, _b1, _b2, _b3 = {b}", "    ")
+                emit(f"{dst} = list({qu}({qp}({cores})))", "    ")
+                emit("else:")
+                emit(f"{dst} = {kernel}({a}, {b})", "    ")
+            else:
+                kernel = env.bind(vec_binop_kernel(bop, elem), "v")
+                emit(f"{dst_of(instr)} = {kernel}({a}, {b})")
         elif op == "vsplat":
             source = read(instr.srcs[0])
             emit(f"{dst_of(instr)} = [{source}] * {instr.ty.lanes}")
         elif op == "vreduce":
+            impure[0] = True        # empty-vector trap
             reduce_op, acc_ty = instr.arg
             if reduce_op not in ("add", "max", "min"):
                 raise ValueError("undefined reduce op")   # -> fallback
-            widen = env.bind(cast_kernel(instr.ty.elem, acc_ty), "k")
-            fold = env.bind(binop_kernel(reduce_op, acc_ty), "k")
+            widen_kernel = cast_kernel(instr.ty.elem, acc_ty)
+            widen_tpl = fold_tpl = None
+            if tier2:
+                if widen_kernel is identity_kernel:
+                    widen_tpl = ("{a}", True)
+                else:
+                    widen_tpl = inline_cast(instr.ty.elem, acc_ty, env)
+                fold_tpl = inline_binop(reduce_op, acc_ty, env)
             vec = read(instr.srcs[0])
             acc, lane = newt(), newt()
             emit(f"if not {vec}:")
             emit("raise TrapError('reduce of empty vector')", "    ")
-            emit(f"{acc} = {widen}({vec}[0])")
-            emit(f"for {lane} in {vec}[1:]:")
-            emit(f"{acc} = {fold}({acc}, {widen}({lane}))", "    ")
+            if widen_tpl is not None and widen_tpl[1] \
+                    and fold_tpl is not None and fold_tpl[1]:
+                # Inline the whole fold: no kernel call per lane.
+                wexpr = widen_tpl[0]
+                emit(f"{acc} = {wexpr.format(a=f'{vec}[0]')}")
+                emit(f"for {lane} in {vec}[1:]:")
+                emit(f"{acc} = "
+                     f"{fold_tpl[0].format(a=acc, b=wexpr.format(a=lane))}",
+                     "    ")
+            else:
+                widen = env.bind(widen_kernel, "k")
+                fold = env.bind(binop_kernel(reduce_op, acc_ty), "k")
+                emit(f"{acc} = {widen}({vec}[0])")
+                emit(f"for {lane} in {vec}[1:]:")
+                emit(f"{acc} = {fold}({acc}, {widen}({lane}))", "    ")
             emit(f"{dst_of(instr)} = {acc}")
         else:
             raise ValueError(f"bad machine opcode {op!r}")  # fallback
 
-        if len(lines) > marker_at:       # instruction emits real code
+        if len(lines) > marker_at and impure[0]:
             lines.insert(marker_at, f"_i = {pc - leader}")
 
-    if not lines or not lines[-1].lstrip().startswith("return"):
-        emit(f"return {exit_pc}")
+    if code[exit_pc - 1].op not in ("br", "brif", "ret", "call"):
+        emit(goto_fmt.format(exit_pc))
 
-    debit = "\n".join("    " + line
-                      for line in _debit_lines(code, leader, length))
-    body = "\n".join("        " + line for line in lines)
-    return (f"def _b{leader}(ri, rf, rv, slots, fb, mem, sim, res):\n"
-            f"{debit}\n"
-            f"    _i = {length - 1}\n"
-            f"    try:\n"
-            f"{body}\n"
-            f"    except Exception:\n"
-            f"        # roll the fuel debit back to the trapping\n"
-            f"        # instruction (res counters are unobservable\n"
-            f"        # after a trap)\n"
-            f"        sim._executed -= {length} - _i - 1\n"
-            f"        raise\n")
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# tier-2: whole-function translation
+# ---------------------------------------------------------------------------
+#
+# One generated Python function covers every fuel block: a ``while 1``
+# dispatcher over block leaders, the flat register files lowered to
+# Python locals (``ri3`` instead of ``ri[3]``), and the same per-op
+# lowering as the block tier (shared via ``_gen_block_lines``).  The
+# contract matches a block handler exactly —
+# ``_t2(ri, rf, rv, slots, fb, mem, sim, res) -> pc`` — so the
+# trampoline in ``Simulator._call_fast`` treats its return value like
+# any block's:
+#
+# * ``-1``   — the function returned (``sim._ret`` holds the value);
+# * leader pc — a *deopt*: a fuel debit would cross the limit, or the
+#   block resisted translation.  The tier-2 code writes its lowered
+#   registers back into the flat files, leaves the block **undebited**
+#   (fuel and res counters both) and hands the leader to the
+#   block-threaded trampoline, which re-debits and (on fuel
+#   exhaustion) meters per instruction — so cycle/instruction counts
+#   and trap messages stay byte-identical to the reference.
+#
+# Fuel accounting comes in two shapes: functions containing calls keep
+# ``sim._executed`` live at every block debit (the callee's debits
+# must interleave with the caller's exactly as per-instruction
+# accounting would), while call-free functions carry the counter in a
+# local and flush it on every exit path.  The res counters are debited
+# per block either way — they are only read after the run completes.
+
+def _build_tier2(func: CompiledFunction, binding=None):
+    try:
+        source, env = _gen_tier2(func, binding)
+        exec(compile(source, f"<pvi-sim-t2:{func.name}>", "exec"), env)
+        return env["_t2"]
+    except Exception:
+        return None
+
+
+def _block_successors(code, blocks, n: int) -> dict:
+    """leader -> leaders reachable by the block's terminator (within
+    ``_t2``: entry is always pc 0, deopts never re-enter)."""
+    succs = {}
+    for leader, length in blocks.items():
+        term = code[leader + length - 1]
+        exit_pc = leader + length
+        op = term.op
+        if op == "br":
+            target = normalize_branch_target(term.arg, n)
+            succs[leader] = [target] if isinstance(target, int) else []
+        elif op == "brif":
+            target = normalize_branch_target(term.arg, n)
+            succs[leader] = ([target] if isinstance(target, int)
+                             else []) + [exit_pc]
+        elif op == "ret":
+            succs[leader] = []
+        else:                       # call or plain fall-through
+            succs[leader] = [exit_pc]
+    return succs
+
+
+def _written_at_block_entry(code, blocks, n: int,
+                            param_regs: set) -> dict:
+    """leader -> registers definitely written on every ``_t2`` path
+    reaching it (forward must-dataflow from block 0).
+
+    Sound because a block either runs to its terminator or exits
+    ``_t2`` entirely — a mid-block trap propagates out and a fuel
+    deopt returns to the block trampoline, which never re-enters —
+    so along any *internal* edge the whole predecessor block has
+    executed and all its destinations are written."""
+    gen = {}
+    for leader, length in blocks.items():
+        gen[leader] = {instr.dst
+                       for instr in code[leader:leader + length]
+                       if instr.dst is not None
+                       and instr.dst[0] in _CLS_INDEX}
+    succs = _block_successors(code, blocks, n)
+    entry = {0: frozenset(param_regs)}
+    work = [0]
+    while work:
+        leader = work.pop()
+        out = entry[leader] | gen[leader]
+        for succ in succs.get(leader, ()):
+            if succ not in blocks:
+                continue
+            current = entry.get(succ)
+            if current is None:
+                entry[succ] = frozenset(out)
+                work.append(succ)
+            else:
+                met = current & out
+                if met != current:
+                    entry[succ] = met
+                    work.append(succ)
+    return entry
+
+
+def _gen_tier2(func: CompiledFunction, binding=None):
+    code = func.code
+    n = len(code)
+    name = func.name
+    blocks = fuel_blocks(code)
+    env_dict = {"TrapError": TrapError, "_PE": PACK_COERCE_ERRORS,
+                "_UNSET": UNSET}
+    env = CodegenEnv(env_dict)
+    param_regs = _param_regs(func)
+    reg_counts, _ = _register_layout(func)
+    has_calls = any(instr.op == "call" for instr in code)
+    counters_by_block = {leader: _block_counters(code, leader, length)
+                         for leader, length in blocks.items()}
+
+    named = [(file_name, count) for file_name, count
+             in zip(("ri", "rf", "rv"), reg_counts) if count]
+    load_regs = "; ".join(f"{f}{k} = {f}[{k}]"
+                          for f, count in named for k in range(count))
+    writeback = ["; ".join(f"{f}[{k}] = {f}{k}"
+                           for f, count in named for k in range(count))] \
+        if named else []
+
+    # Res counters: functions containing calls keep them live on the
+    # shared result object (the callee's debits interleave); call-free
+    # functions carry them in locals and flush on every exit — they
+    # are only read after the run completes (and are unobservable
+    # after a trap, so the raise paths skip the flush).
+    if has_calls:
+        res_fields = []
+    else:
+        res_fields = ["instructions", "cycles"] + \
+            [field for field in ("branches", "spill_loads",
+                                 "spill_stores", "calls")
+             if any(c[field] for c in counters_by_block.values())]
+    res_load = "; ".join(f"_r_{f} = res.{f}" for f in res_fields)
+    res_flush = "; ".join(f"res.{f} = _r_{f}" for f in res_fields)
+    if has_calls:
+        counter_flush = []
+        ret_lines = ("return -1",)
+    else:
+        counter_flush = ["sim._executed = executed", res_flush]
+        ret_lines = ("sim._executed = executed", res_flush,
+                     "return -1")
+
+    out: List[str] = []
+
+    def w(line: str, indent: int = 0) -> None:
+        out.append(" " * indent + line)
+
+    w("def _t2(ri, rf, rv, slots, fb, mem, sim, res):")
+    w("fuel = sim.fuel", 4)
+    w("_md = mem.data; _ms = mem.size", 4)
+    if load_regs:
+        w(load_regs, 4)
+    if not has_calls:
+        w("executed = sim._executed", 4)
+        if res_load:
+            w(res_load, 4)
+    w("pc = 0", 4)
+    w("while 1:", 4)
+
+    # Loop blocks head the dispatch ladder: every block inside a
+    # back-edge span is checked before the straight-line entry/exit
+    # blocks, so iterations match on the first arms instead of
+    # scanning the whole elif chain once per transfer.
+    hot = set()
+    for src, instr in enumerate(code):
+        if instr.op in ("br", "brif") and isinstance(instr.arg, int) \
+                and 0 <= instr.arg <= src:
+            hot.update(b for b in blocks if instr.arg <= b <= src)
+    ordered = [b for b in blocks if b in hot] \
+        + [b for b in blocks if b not in hot]
+
+    # Pre-translate every block under the whole-function dataflow
+    # facts; an untranslatable block keeps no dispatch arm — its
+    # leader falls through to the else arm, a per-block deopt point.
+    entry_written = _written_at_block_entry(code, blocks, n,
+                                            param_regs)
+    bodies = {}
+    for leader in blocks:
+        try:
+            bodies[leader] = _gen_block_lines(
+                name, code, leader, blocks[leader], env,
+                entry_written.get(leader, param_regs), binding,
+                reg_fmt="{0}{1}", check_direct=True,
+                goto_fmt="pc = {0}", ret_lines=ret_lines,
+                tier2=True, data="_md", msize="_ms")
+        except Exception:
+            bodies[leader] = None
+
+    # Two-block natural loops — a header ending in ``brif`` and a
+    # lone latch ending in ``br header`` — run as a native ``while``
+    # inside the header's dispatch arm, so loop iterations pay no
+    # dispatch at all.  Fuel/counter debits and deopt returns stay
+    # per block, byte-identical to the ladder form.
+    loops = {}
+    dropped = set()
+    for src, instr in enumerate(code):
+        if instr.op != "br" or not isinstance(instr.arg, int):
+            continue
+        header = instr.arg
+        if header not in blocks or header > src:
+            continue
+        latch = max(b for b in blocks if b <= src)
+        if latch == header or src != latch + blocks[latch] - 1:
+            continue
+        hbody, lbody = bodies.get(header), bodies.get(latch)
+        if not hbody or not lbody or lbody[-1] != f"pc = {header}":
+            continue
+        branch = re.fullmatch(r"pc = (\d+) if (.+) else (\d+)",
+                              hbody[-1])
+        if branch is None:
+            continue
+        taken, fall = int(branch.group(1)), int(branch.group(3))
+        if taken == fall or latch not in (taken, fall):
+            continue
+        if header in loops:
+            dropped.add(header)     # two latches: keep the ladder form
+        loops[header] = (latch, branch.group(2), taken, fall)
+    for header in dropped:
+        del loops[header]
+    loops = {header: entry for header, entry in loops.items()
+             if header not in {e[0] for e in loops.values()}
+             and entry[0] not in loops}
+    fused_latches = {entry[0] for entry in loops.values()}
+
+    def emit_block(leader: int, base: int, body) -> None:
+        """Fuel/counter debits + (possibly metered) body at indent
+        ``base``."""
+        length = blocks[leader]
+        counters = counters_by_block[leader]
+        if has_calls:
+            w(f"executed = sim._executed + {length}", base)
+            w("if executed > fuel:", base)
+            for line in writeback:
+                w(line, base + 4)
+            w(f"return {leader}", base + 4)
+            w("sim._executed = executed", base)
+            w(f"res.instructions += {length}", base)
+            w(f"res.cycles += {counters['cycles']}", base)
+            for field in ("branches", "spill_loads", "spill_stores",
+                          "calls"):
+                if counters[field]:
+                    w(f"res.{field} += {counters[field]}", base)
+        else:
+            w(f"executed += {length}", base)
+            w("if executed > fuel:", base)
+            w(f"executed -= {length}", base + 4)
+            for line in writeback:
+                w(line, base + 4)
+            w("sim._executed = executed", base + 4)
+            if res_flush:
+                w(res_flush, base + 4)
+            w(f"return {leader}", base + 4)
+            debits = [f"_r_instructions += {length}",
+                      f"_r_cycles += {counters['cycles']}"]
+            debits += [f"_r_{field} += {counters[field]}"
+                       for field in ("branches", "spill_loads",
+                                     "spill_stores", "calls")
+                       if counters[field]]
+            w("; ".join(debits), base)
+        # A block with no ``_i`` markers has no instruction that can
+        # raise — the rollback handler is dead, so elide it.
+        if not any(line.startswith("_i = ") for line in body):
+            for line in body:
+                w(line, base)
+            return
+        w(f"_i = {length - 1}", base)
+        w("try:", base)
+        for line in body:
+            w(line, base + 4)
+        w("except Exception:", base)
+        # roll the debit back to the trapping instruction, exactly
+        # like the block tier's except clause
+        if has_calls:
+            w(f"sim._executed -= {length} - _i - 1", base + 4)
+        else:
+            w(f"sim._executed = executed - ({length} - _i - 1)",
+              base + 4)
+        w("raise", base + 4)
+
+    keyword = "if"
+    for leader in ordered:
+        body = bodies[leader]
+        if body is None or leader in fused_latches:
+            continue
+        w(f"{keyword} pc == {leader}:", 8)
+        keyword = "elif"
+        if leader not in loops:
+            emit_block(leader, 12, body)
+            continue
+        latch, cond, taken, fall = loops[leader]
+        # The header's terminal branch becomes the loop exit; the
+        # latch's terminal ``pc = header`` becomes the implicit
+        # back edge.
+        if latch == taken:
+            exits = [f"if not ({cond}):", f"    pc = {fall}",
+                     "    break"]
+        else:
+            exits = [f"if {cond}:", f"    pc = {taken}", "    break"]
+        w("while 1:", 12)
+        emit_block(leader, 16, body[:-1] + exits)
+        emit_block(latch, 16, bodies[latch][:-1])
+
+    fell = env.bind(f"{name}: fell off code end", "m")
+    w(f"{keyword} pc == {n}:", 8)
+    if not has_calls:
+        w("sim._executed = executed", 12)
+    w(f"raise TrapError({fell})", 12)
+    w("else:", 8)
+    for line in writeback:
+        w(line, 12)
+    for line in counter_flush:
+        if line:
+            w(line, 12)
+    w("return pc", 12)
+
+    return "\n".join(out), env_dict
 
 
 # ---------------------------------------------------------------------------

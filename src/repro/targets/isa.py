@@ -95,6 +95,11 @@ class CompiledFunction:
     jit_time: float = 0.0
     #: analysis work by pass name, when the flow ran online analyses
     jit_pass_work: dict = field(default_factory=dict)
+    #: the JIT marked this function for tier-2 whole-function
+    #: translation (hotness annotation cleared the adaptive threshold,
+    #: or an explicit ``JITOptions(tier2=True)``); advisory — not part
+    #: of the modeled image, so excluded from equality
+    tier2_hint: bool = field(default=False, compare=False)
 
     # -- predecode cache hook -------------------------------------------------
     #

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.engine import REFERENCE, resolve_engine
+from repro.engine import REFERENCE, TIER2, resolve_engine
 from repro.lang import types as ty
 from repro.semantics import (
     Memory, TrapError, eval_binop, eval_cast, eval_cmp, eval_unop,
@@ -64,6 +64,10 @@ class Simulator:
         self.fuel = fuel
         self._executed = 0
         self.engine = resolve_engine(engine)
+        #: tier-2 promotion policy: the ``tier2`` engine forces the
+        #: whole-function compiler for every function; the default
+        #: ``fast`` engine promotes only JIT-hinted functions
+        self._tier2_all = self.engine == TIER2
         #: per-simulator memo of validated predecodes, by function name
         self._predecoded: Dict[str, dispatch.PredecodedMachine] = {}
         self._ret = None
@@ -113,6 +117,16 @@ class Simulator:
         handlers = pre.handlers
         pc = 0
         try:
+            if self._tier2_all or pre.tier2_hint:
+                t2 = pre.tier2()
+                if t2 is not None:
+                    # Whole-function tier: runs to completion (-1) or
+                    # deopts by returning a block leader — undebited —
+                    # for the block-threaded trampoline below to
+                    # continue from (which re-debits and meters the
+                    # fuel trap exactly as usual).
+                    pc = t2(ri, rf, rv, slots, frame_base, memory,
+                            self, counters)
             while pc >= 0:
                 try:
                     pc = handlers[pc](ri, rf, rv, slots, frame_base,

@@ -16,7 +16,7 @@ from repro.bytecode.module import (
 )
 from repro.bytecode.opcodes import BIN_OPS, UN_OPS, type_of
 from repro.bytecode.verifier import verify_module
-from repro.engine import REFERENCE, resolve_engine
+from repro.engine import REFERENCE, TIER2, resolve_engine
 from repro.semantics import (
     Memory, TrapError, eval_binop, eval_cast, eval_cmp, eval_unop,
     round_float, vec_binop, vec_reduce, vec_splat,
@@ -42,6 +42,10 @@ class VM:
         self.fuel = fuel
         self.instructions_executed = 0
         self.engine = resolve_engine(engine)
+        #: tier-2 promotion policy: the ``tier2`` engine forces the
+        #: whole-function compiler for every function; the default
+        #: ``fast`` engine promotes only hotness-hinted functions
+        self._tier2_all = self.engine == TIER2
         #: per-VM memo of validated predecodes, keyed by function name
         self._predecoded: Dict[str, threaded.PredecodedFunction] = {}
 
@@ -86,6 +90,16 @@ class VM:
         handlers = pre.handlers
         pc = 0
         try:
+            if self._tier2_all or pre.tier2_hot:
+                t2 = pre.tier2()
+                if t2 is not None:
+                    # Whole-function tier: runs to completion (-1) or
+                    # deopts by returning a block leader — undebited —
+                    # for the block-threaded trampoline below to
+                    # continue from (which re-debits and meters the
+                    # fuel trap exactly as usual).
+                    pc = t2(stack, locals_, args, frame_base, memory,
+                            self)
             while pc >= 0:
                 try:
                     pc = handlers[pc](stack, locals_, args, frame_base,

@@ -49,6 +49,7 @@ table, and content-token invalidation works unchanged.
 
 from __future__ import annotations
 
+import re
 from typing import Callable, List
 
 from repro.bytecode.module import (
@@ -56,7 +57,8 @@ from repro.bytecode.module import (
 )
 from repro.bytecode.opcodes import BIN_OPS, UN_OPS, type_of
 from repro.engine import (
-    CodegenEnv, MASK64_LITERAL, MeterTrip, fuel_blocks,
+    CodegenEnv, MASK64_LITERAL, MeterTrip, _ARITH_SYMS, _F32_QUAD,
+    fuel_blocks, inline_binop, inline_cast, inline_cmp, inline_unop,
     normalize_branch_target,
 )
 from repro.lang import types as ty
@@ -75,16 +77,24 @@ RETURN = -1
 Handler = Callable
 
 
+#: "tier-2 code not built yet" sentinel (distinct from None = "build
+#: failed or declined; stay block-threaded")
+_TIER2_UNBUILT = object()
+
+
 class PredecodedFunction:
     """One function's decoded form: block-compiled handlers at fuel
     block leaders, raw per-instruction handlers (the metered path),
-    and the per-call initialization data."""
+    the per-call initialization data, and the lazily built tier-2
+    whole-function translation."""
 
     __slots__ = ("token", "handlers", "raw", "frame_size",
-                 "scalar_defaults", "vector_locals", "has_ret")
+                 "scalar_defaults", "vector_locals", "has_ret",
+                 "tier2_hot", "_tier2", "_tier2_args")
 
     def __init__(self, token, handlers, raw, frame_size,
-                 scalar_defaults, vector_locals, has_ret):
+                 scalar_defaults, vector_locals, has_ret,
+                 tier2_hot=False, tier2_args=(None, None)):
         self.token = token
         self.handlers = handlers
         self.raw = raw
@@ -92,6 +102,25 @@ class PredecodedFunction:
         self.scalar_defaults = scalar_defaults
         self.vector_locals = vector_locals
         self.has_ret = has_ret
+        #: did the binding module's hotness annotations clear the
+        #: adaptive threshold for this function?  (the default engine's
+        #: tier-2 promotion gate; ``engine="tier2"`` ignores it)
+        self.tier2_hot = tier2_hot
+        self._tier2 = _TIER2_UNBUILT
+        self._tier2_args = tier2_args
+
+    def tier2(self):
+        """The whole-function tier-2 translation, built on first
+        request and cached with the predecode (so it rides the same
+        content-token invalidation).  ``None`` means the build failed
+        or was declined — callers stay on the block-threaded tier."""
+        t2 = self._tier2
+        if t2 is _TIER2_UNBUILT:
+            func, binding = self._tier2_args
+            t2 = self._tier2 = None if func is None \
+                else _build_tier2(func, binding)
+            self._tier2_args = (None, None)
+        return t2
 
 
 def predecode(func: BytecodeFunction,
@@ -111,7 +140,7 @@ def predecode(func: BytecodeFunction,
     cached = func.cached_predecode(token, binding)
     if cached is not None:
         return cached
-    pre = _build(func, token, binding)
+    pre = _build(func, token, binding, module)
     func.store_predecode(token, pre, binding)
     return pre
 
@@ -120,8 +149,8 @@ def predecode(func: BytecodeFunction,
 # build
 # ---------------------------------------------------------------------------
 
-def _build(func: BytecodeFunction, token,
-           binding=None) -> PredecodedFunction:
+def _build(func: BytecodeFunction, token, binding=None,
+           module=None) -> PredecodedFunction:
     code = func.code
     n = len(code)
     name = func.name
@@ -183,7 +212,26 @@ def _build(func: BytecodeFunction, token,
 
     return PredecodedFunction(
         token, handlers, raw, func.frame_size(), scalar_defaults,
-        vector_locals, func.ret_type is not None)
+        vector_locals, func.ret_type is not None,
+        tier2_hot=_tier2_hot(func, module),
+        tier2_args=(func, binding))
+
+
+def _tier2_hot(func, module) -> bool:
+    """Does the module's hotness profile promote ``func`` to tier 2?
+
+    Unlike the online-analysis gate (where *unprofiled* counts as
+    hot), tier-2 promotion requires an explicit annotation: whole-
+    function translation is the one online stage expensive enough
+    that we only spend it where the offline profile says it pays.
+    """
+    if module is None:
+        return False
+    weight = getattr(module, "max_hotness", lambda _n: None)(func.name)
+    if weight is None:
+        return False
+    from repro.flows import ADAPTIVE_HOTNESS_THRESHOLD
+    return weight >= ADAPTIVE_HOTNESS_THRESHOLD
 
 
 def _interp_block(raw, leader: int, length: int) -> Handler:
@@ -225,9 +273,85 @@ def _resolved_callee(binding, name):
 def _gen_block(code, leader: int, length: int, frame_offsets,
                env_dict, binding=None) -> str:
     env = CodegenEnv(env_dict)
+    lines = _gen_block_lines(code, leader, length, frame_offsets, env,
+                             binding)
+    body = "\n".join("        " + line for line in lines)
+    return (f"def _b{leader}(s, lo, ar, fb, mem, vm):\n"
+            f"    executed = vm.instructions_executed + {length}\n"
+            f"    vm.instructions_executed = executed\n"
+            f"    if executed > vm.fuel:\n"
+            f"        vm.instructions_executed = executed - {length}\n"
+            f"        raise MeterTrip({leader})\n"
+            f"    _i = {length - 1}\n"
+            f"    try:\n"
+            f"{body}\n"
+            f"    except Exception:\n"
+            f"        # roll the debit back to the trapping instruction\n"
+            f"        vm.instructions_executed -= {length} - _i - 1\n"
+            f"        raise\n")
+
+
+_EMPTY_DEPS = frozenset()
+_EMPTY_LANES: dict = {}
+
+#: vstack meta for a wrapped-u64 inline result — feeding one into an
+#: address slot skips the redundant 64-bit re-mask
+_MASKED64_META = {"masked64": True}
+
+
+def _scalar_meta(value_ty):
+    if isinstance(value_ty, ty.IntType) and value_ty.bits == 64 \
+            and not value_ty.signed:
+        return _MASKED64_META
+    return None
+
+
+def _gen_block_lines(code, leader: int, length: int, frame_offsets,
+                     env: CodegenEnv, binding=None,
+                     local_fmt: str = "lo[{0}]",
+                     goto_fmt: str = "return {0}",
+                     ret_lines=("return -1",),
+                     tier2: bool = False,
+                     safe_args: int = 0,
+                     tuple_locals: frozenset = _EMPTY_DEPS,
+                     lane_locals: dict = _EMPTY_LANES,
+                     info=None) -> List[str]:
+    """Emit one fuel block's body as source lines.
+
+    The same per-op lowering serves two tiers: the block-threaded
+    engine (``local_fmt``/``goto_fmt`` defaults — locals stay in the
+    ``lo`` list, transfers return the next leader to the trampoline)
+    and the tier-2 whole-function compiler (locals lowered to Python
+    locals, transfers assign ``pc`` inside the generated dispatcher,
+    ``ret`` may need to flush a local fuel counter first).
+
+    ``tier2`` additionally turns on the optimizations the trampoline
+    tier cannot use: kernel calls inlined as expressions (see
+    :func:`repro.engine.inline_binop`), pure values *deferred* on the
+    virtual stack so statements fuse, ``mem.data``/``mem.size`` read
+    from the dispatcher's hoisted ``_md``/``_ms`` locals, and the
+    per-instruction ``_i`` progress marker emitted only before
+    instructions that can actually raise (deferral tracks which local
+    each pending expression reads, so a ``stloc`` materializes the
+    values it would clobber).
+    """
     lines: List[str] = []
     vstack: List[str] = []          # expressions for virtual stack slots
+    vdeps: List[frozenset] = []     # local indices each deferred
+    #                                 expression reads (temps: empty)
+    vmeta: List = []                # static vector facts per slot, or
+    #                                 None: {"lanes": k or None,
+    #                                 "tuple": bool, "float": bool}
+    local_meta: dict = {}           # tier-2: vector facts proven for a
+    #                                 local by a ``stloc`` in this block
     counter = [0]
+    impure = [False]                # current instruction emitted code
+    #                                 that can raise (forces its marker)
+    proven_bounds: set = set()      # (addr name, width) pairs already
+    #                                 range-checked in this block, valid
+    #                                 until the name is reassigned
+    data = "_md" if tier2 else "mem.data"
+    size = "_ms" if tier2 else "mem.size"
 
     def newt() -> str:
         counter[0] += 1
@@ -236,39 +360,112 @@ def _gen_block(code, leader: int, length: int, frame_offsets,
     def emit(text: str, indent: str = "") -> None:
         lines.append(indent + text)
 
-    def push(expr: str) -> None:
+    def push(expr: str, meta=None) -> None:
         """Materialize ``expr`` now (order/side-effect preserving)."""
         t = newt()
         emit(f"{t} = {expr}")
         vstack.append(t)
+        vdeps.append(_EMPTY_DEPS)
+        vmeta.append(meta)
 
-    def push_atom(atom: str) -> None:
-        """Defer a *pure* expression (const, frame address)."""
+    def push_atom(atom: str, deps: frozenset = _EMPTY_DEPS,
+                  meta=None) -> None:
+        """Defer a *pure* expression (const, frame address, or — in
+        tier-2 — any inlined arithmetic that cannot raise)."""
         vstack.append(atom)
+        vdeps.append(deps)
+        vmeta.append(meta)
 
-    def pop() -> str:
+    def popm():
+        """(expr, deps, meta) — the raw slot, tuple-ness visible only
+        through ``meta``; callers that let the value escape to an
+        engine-observable place must go through :func:`popd`."""
         if vstack:
-            return vstack.pop()
+            return vstack.pop(), vdeps.pop(), vmeta.pop()
+        impure[0] = True            # s.pop() can IndexError
         t = newt()
         emit(f"{t} = s.pop()")
-        return t
+        return t, _EMPTY_DEPS, None
+
+    def popd():
+        """(expr, deps) with vector values normalized to lists —
+        tier-2 keeps vec temporaries as tuples internally, but every
+        value the reference engine could observe must be a list."""
+        expr, deps, meta = popm()
+        if meta is not None and meta.get("tuple"):
+            expr = f"list({expr})"
+        return expr, deps
+
+    def pop() -> str:
+        return popd()[0]
 
     def flush() -> None:
-        for atom in vstack:
+        for j, atom in enumerate(vstack):
+            meta = vmeta[j]
+            if meta is not None and meta.get("tuple"):
+                atom = f"list({atom})"
             emit(f"s.append({atom})")
         del vstack[:]
+        del vdeps[:]
+        del vmeta[:]
+
+    def spill_local(index: int) -> None:
+        """A deferred expression still reads local ``index``:
+        materialize it before the pending store clobbers the value it
+        closed over."""
+        for j, deps in enumerate(vdeps):
+            if index in deps:
+                t = newt()
+                emit(f"{t} = {vstack[j]}")
+                vstack[j] = t
+                vdeps[j] = _EMPTY_DEPS
 
     def mask_addr(expr: str) -> str:
         t = newt()
         emit(f"{t} = ({expr}) & {MASK64_LITERAL}")
         return t
 
-    def bounds(addr_var: str, size: int) -> None:
-        emit(f"if {addr_var} < {NULL_GUARD} or "
-             f"{addr_var} + {size} > mem.size:")
+    def pop_addr() -> str:
+        """Pop an address, skipping the 64-bit re-mask when the
+        expression is a wrapped-u64 inline result (already in range)."""
+        expr, _, meta = popm()
+        if meta is not None and meta.get("masked64"):
+            if expr.isidentifier():     # already a single-eval name
+                return expr
+            t = newt()
+            emit(f"{t} = {expr}")
+            return t
+        if meta is not None and meta.get("tuple"):
+            expr = f"list({expr})"      # same TypeError as the lists
+        return mask_addr(expr)
+
+    def bound_limit(size_bytes: int) -> str:
+        """The upper-bound operand for a ``size_bytes`` access: the
+        tier-2 dispatcher hoists ``_ms - size`` into a local, so the
+        per-check add disappears from hot loops."""
+        if tier2 and info is not None:
+            info.setdefault("bounds_sizes", set()).add(size_bytes)
+            return f"_ms{size_bytes}"
+        return None
+
+    def bounds(addr_var: str, size_bytes: int) -> None:
+        if tier2 and (addr_var, size_bytes) in proven_bounds:
+            # An earlier check in this block already raised on this
+            # exact (address, width) pair and the address name has
+            # not been reassigned since — re-checking is dead code.
+            return
+        limit = bound_limit(size_bytes)
+        if limit is not None:
+            emit(f"if {addr_var} < {NULL_GUARD} or "
+                 f"{addr_var} > {limit}:")
+        else:
+            emit(f"if {addr_var} < {NULL_GUARD} or "
+                 f"{addr_var} + {size_bytes} > {size}:")
         emit('raise TrapError(f"memory access out of bounds: '
-             'addr={' + addr_var + ':#x} size=' + str(size) + '")',
+             'addr={' + addr_var + ':#x} size=' + str(size_bytes) + '")',
              "    ")
+        if tier2:
+            proven_bounds.add((addr_var, size_bytes))
 
     exit_pc = leader + length
 
@@ -278,14 +475,80 @@ def _gen_block(code, leader: int, length: int, frame_offsets,
         # Progress marker: if this instruction traps mid-block, the
         # except clause rolls the block-entry fuel debit back to
         # exactly the reference engine's per-instruction count.
+        # Tier-2 elides the marker for instructions whose generated
+        # code cannot raise.
         marker_at = len(lines)
+        impure[0] = not tier2
 
         if op == "ldloc":
-            push(f"lo[{instr.arg}]")
+            if tier2:
+                if instr.arg in local_meta:
+                    meta = local_meta[instr.arg]
+                elif instr.arg in tuple_locals:
+                    # Some block keeps a vec tuple in this local; at
+                    # entry we only know "possibly a tuple" — plus the
+                    # lane count when every store preserves it.
+                    meta = {"lanes": lane_locals.get(instr.arg),
+                            "tuple": True, "float": False}
+                elif instr.arg in lane_locals:
+                    # Whole-function lane fact: the local starts as a
+                    # fresh ``[0] * lanes`` vector and every ``stloc``
+                    # anywhere keeps the count (see the fixed point in
+                    # ``_gen_tier2``), so the length guard is proven.
+                    meta = {"lanes": lane_locals[instr.arg],
+                            "tuple": False, "float": False}
+                else:
+                    meta = None
+                push_atom(local_fmt.format(instr.arg),
+                          frozenset((instr.arg,)), meta=meta)
+            else:
+                push(local_fmt.format(instr.arg))
         elif op == "ldarg":
-            push(f"ar[{instr.arg}]")
+            if instr.arg < safe_args:
+                # The dispatcher's entry guard proved ``ar`` holds at
+                # least ``safe_args`` values, so the read cannot raise
+                # — and hoisted it into local ``a{k}`` (args have no
+                # store op, so the binding never goes stale).
+                push_atom(f"a{instr.arg}")
+            else:
+                impure[0] = True    # short args IndexError here, like
+                push(f"ar[{instr.arg}]")    # the reference's args[i]
         elif op == "stloc":
-            emit(f"lo[{instr.arg}] = {pop()}")
+            value, _, meta = popm()
+            if meta is not None and meta.get("tuple"):
+                if tier2 and info is not None:
+                    # Keep the tuple: the whole-function writeback
+                    # normalizes tuple-bearing locals back to lists
+                    # at every engine-observable boundary.
+                    info["tuple_stores"].add(instr.arg)
+                else:
+                    value = f"list({value})"
+                    meta = dict(meta, tuple=False)
+            if tier2:
+                if instr.arg in lane_locals and info is not None \
+                        and (meta is None
+                             or meta.get("lanes")
+                             != lane_locals[instr.arg]):
+                    # This store may change the lane count: the local
+                    # loses its whole-function lane fact.
+                    info["lane_breaks"].add(instr.arg)
+                spill_local(instr.arg)
+                local_meta[instr.arg] = meta
+            target = local_fmt.format(instr.arg)
+            proven_bounds.difference_update(
+                {pb for pb in proven_bounds if pb[0] == target})
+            if tier2 and lines and re.fullmatch(r"t\d+", value) \
+                    and lines[-1].startswith(f"{value} = "):
+                # The value is a single-use temp defined on the line
+                # just emitted: fold the store into the defining
+                # statement (the temp has no other reader — temps are
+                # single-assignment and this ``stloc`` consumed its
+                # only stack slot).  A trap while evaluating the
+                # right-hand side still belongs to the defining
+                # instruction's progress marker, exactly as before.
+                lines[-1] = f"{target} = {lines[-1][len(value) + 3:]}"
+            else:
+                emit(f"{target} = {value}")
         elif op == "const":
             value = instr.arg
             if type(value) is int:
@@ -293,35 +556,88 @@ def _gen_block(code, leader: int, length: int, frame_offsets,
             else:
                 push_atom(env.bind(value, "c"))
         elif op in BIN_OPS:
-            kernel = env.bind(binop_kernel(op, type_of(instr.ty)), "k")
-            b = pop()
-            a = pop()
-            push(f"{kernel}({a}, {b})")
+            value_ty = type_of(instr.ty)
+            tmpl = inline_binop(op, value_ty, env) if tier2 else None
+            b, bdeps = popd()
+            a, adeps = popd()
+            if tmpl is not None:
+                expr, pure = tmpl
+                expr = expr.format(a=a, b=b)
+                if pure:
+                    push_atom(expr, adeps | bdeps,
+                              meta=_scalar_meta(value_ty))
+                else:
+                    impure[0] = True
+                    push(expr)
+            else:
+                impure[0] = True    # div/rem trap; fallback kernels too
+                kernel = env.bind(binop_kernel(op, value_ty), "k")
+                push(f"{kernel}({a}, {b})")
         elif op == "cmp":
-            kernel = env.bind(cmp_kernel(instr.arg, type_of(instr.ty)),
-                              "k")
-            b = pop()
-            a = pop()
-            push(f"{kernel}({a}, {b})")
+            value_ty = type_of(instr.ty)
+            tmpl = inline_cmp(instr.arg, value_ty) if tier2 else None
+            b, bdeps = popd()
+            a, adeps = popd()
+            if tmpl is not None:
+                push_atom(tmpl.format(a=a, b=b), adeps | bdeps)
+            else:
+                impure[0] = True    # undefined predicates trap
+                kernel = env.bind(cmp_kernel(instr.arg, value_ty), "k")
+                push(f"{kernel}({a}, {b})")
         elif op in UN_OPS:
-            kernel = env.bind(unop_kernel(op, type_of(instr.ty)), "k")
-            push(f"{kernel}({pop()})")
+            value_ty = type_of(instr.ty)
+            tmpl = inline_unop(op, value_ty, env) if tier2 else None
+            a, adeps = popd()
+            if tmpl is not None:
+                expr, pure = tmpl
+                expr = expr.format(a=a)
+                if pure:
+                    push_atom(expr, adeps)
+                else:
+                    impure[0] = True
+                    push(expr)
+            else:
+                impure[0] = True
+                kernel = env.bind(unop_kernel(op, value_ty), "k")
+                push(f"{kernel}({a})")
         elif op == "cast":
-            kernel = cast_kernel(type_of(instr.arg), type_of(instr.ty))
+            from_ty = type_of(instr.arg)
+            to_ty = type_of(instr.ty)
+            kernel = cast_kernel(from_ty, to_ty)
             if kernel is not identity_kernel:    # elide no-op widenings
-                push(f"{env.bind(kernel, 'k')}({pop()})")
+                tmpl = inline_cast(from_ty, to_ty, env) if tier2 \
+                    else None
+                a, adeps = popd()
+                if tmpl is not None:
+                    expr, pure = tmpl
+                    expr = expr.format(a=a)
+                    if pure:
+                        push_atom(expr, adeps,
+                                  meta=_scalar_meta(to_ty))
+                    else:
+                        impure[0] = True
+                        push(expr)
+                else:
+                    impure[0] = True
+                    push(f"{env.bind(kernel, 'k')}({a})")
         elif op == "select":
-            b = pop()
-            a = pop()
-            cond = pop()
-            push(f"({a}) if ({cond}) != 0 else ({b})")
+            b, bdeps = popd()
+            a, adeps = popd()
+            cond, cdeps = popd()
+            expr = f"({a}) if ({cond}) != 0 else ({b})"
+            if tier2:
+                push_atom(expr, adeps | bdeps | cdeps)
+            else:
+                push(expr)
         elif op == "load":
+            impure[0] = True
             packer = scalar_struct(type_of(instr.ty))
             unpack = env.bind(packer.unpack_from, "u")
-            addr = mask_addr(pop())
+            addr = pop_addr()
             bounds(addr, packer.size)
-            push(f"{unpack}(mem.data, {addr})[0]")
+            push(f"{unpack}({data}, {addr})[0]")
         elif op == "store":
+            impure[0] = True
             value_ty = type_of(instr.ty)
             packer = scalar_struct(value_ty)
             pack = env.bind(packer.pack_into, "p")
@@ -331,12 +647,12 @@ def _gen_block(code, leader: int, length: int, frame_offsets,
             else:
                 coerce = "float"
             value = pop()
-            addr = mask_addr(pop())
+            addr = pop_addr()
             bounds(addr, packer.size)
             emit("try:")
-            emit(f"{pack}(mem.data, {addr}, {value})", "    ")
+            emit(f"{pack}({data}, {addr}, {value})", "    ")
             emit("except _PE:")
-            emit(f"{pack}(mem.data, {addr}, {coerce}({value}))", "    ")
+            emit(f"{pack}({data}, {addr}, {coerce}({value}))", "    ")
         elif op == "frame":
             push_atom(f"(fb + {frame_offsets[instr.arg]})")
         elif op == "br":
@@ -344,15 +660,21 @@ def _gen_block(code, leader: int, length: int, frame_offsets,
             if not isinstance(target, int):
                 raise ValueError("non-integer branch target")  # -> raw
             flush()
-            emit(f"return {target}")
+            emit(goto_fmt.format(target))
         elif op == "brif":
             target = normalize_branch_target(instr.arg, len(code))
             if not isinstance(target, int):
                 raise ValueError("non-integer branch target")  # -> raw
             cond = pop()
             flush()
-            emit(f"return {target} if ({cond}) != 0 else {exit_pc}")
+            # An inlined comparison pushes ``(1 if X else 0)``; testing
+            # that against zero is just ``X``.
+            folded = re.fullmatch(r"\(1 if (.+) else 0\)", cond)
+            test = folded.group(1) if folded else f"({cond}) != 0"
+            emit(goto_fmt.format(
+                f"{target} if {test} else {exit_pc}"))
         elif op == "call":
+            impure[0] = True
             flush()
             resolved = _resolved_callee(binding, instr.arg)
             if resolved is not None:
@@ -369,7 +691,7 @@ def _gen_block(code, leader: int, length: int, frame_offsets,
                 emit(f"{r} = vm._run_fast({f}, {a})")
                 if resolved.ret_type is not None:
                     emit(f"s.append({r})")
-                emit(f"return {exit_pc}")
+                emit(goto_fmt.format(exit_pc))
             else:
                 callee = env.bind(instr.arg, "n")
                 f, c, a, r = newt(), newt(), newt(), newt()
@@ -383,90 +705,585 @@ def _gen_block(code, leader: int, length: int, frame_offsets,
                 emit(f"{r} = vm._run_fast({f}, {a})")
                 emit(f"if {f}.ret_type is not None:")
                 emit(f"s.append({r})", "    ")
-                emit(f"return {exit_pc}")
+                emit(goto_fmt.format(exit_pc))
         elif op == "ret":
             flush()
-            emit("return -1")
+            for line in ret_lines:
+                emit(line)
         elif op == "pop":
             if vstack:
                 vstack.pop()
+                vdeps.pop()
+                vmeta.pop()
             else:
+                impure[0] = True
                 emit("s.pop()")
         elif op == "vec.load":
+            impure[0] = True
             elem = type_of(instr.ty)
             lanes = 16 // ty.sizeof(elem)
             packer = vector_struct(elem, lanes)
             unpack = env.bind(packer.unpack_from, "u")
-            addr = mask_addr(pop())
+            addr = pop_addr()
             bounds(addr, packer.size)
-            push(f"list({unpack}(mem.data, {addr}))")
+            if tier2:
+                # Keep the unpacked tuple: downstream lane-wise
+                # consumers read it directly, and ``popd``/``flush``
+                # re-list it wherever the value becomes observable.
+                push(f"{unpack}({data}, {addr})",
+                     meta={"lanes": lanes, "tuple": True,
+                           "float": isinstance(elem, ty.FloatType)})
+            else:
+                push(f"list({unpack}({data}, {addr}))")
         elif op == "vec.store":
+            impure[0] = True
             elem = type_of(instr.ty)
             lanes = 16 // ty.sizeof(elem)
             packer = vector_struct(elem, lanes)
             pack = env.bind(packer.pack_into, "p")
             elem_name = env.bind(elem, "e")
-            value = pop()
-            addr = mask_addr(pop())
-            emit(f"if len({value}) == {lanes} and {addr} >= {NULL_GUARD} "
-                 f"and {addr} + {packer.size} <= mem.size:")
-            emit("try:", "    ")
-            emit(f"{pack}(mem.data, {addr}, *{value})", "        ")
-            emit("except _PE:", "    ")
-            emit(f"mem.store_vec({elem_name}, {addr}, {value})",
-                 "        ")
-            emit("else:")
-            emit(f"mem.store_vec({elem_name}, {addr}, {value})", "    ")
+            value, _, meta = popm()
+            static4 = meta is not None and meta.get("lanes") == lanes
+            proven_float = static4 and meta.get("float") \
+                and isinstance(elem, ty.FloatType)
+            # Store-pack fusion: when the value being stored is an
+            # inlined f32 quad result whose defining line was emitted
+            # just above (``X = qu(qp(lane exprs))``), the store packs
+            # the raw lane expressions directly — ``pack`` applies the
+            # identical <4f> rounding, so the stored bytes match the
+            # round-tripped tuple bit for bit.  The local (if any)
+            # then reads its rounded lanes back out of memory, and the
+            # out-of-bounds arm recomputes the tuple before trapping,
+            # keeping the deopt writeback value intact.
+            fused_rhs = cores = None
+            if tier2 and proven_float and lines:
+                fold = re.fullmatch(
+                    rf"{re.escape(value)} = "
+                    rf"(qu\d+)\((qp\d+)\((.+)\)\)", lines[-1])
+                if fold is not None:
+                    cores = fold.group(3)
+                    fused_rhs = f"{fold.group(1)}({fold.group(2)}" \
+                        f"({cores}))"
+                    lines.pop()
+                    marker_at = min(marker_at, len(lines))
+            addr = pop_addr()
+            if tier2 and static4 \
+                    and (addr, packer.size) in proven_bounds:
+                # A raise-check in this block already proved this
+                # exact (address, width) in range: the store's guard
+                # is always true and its out-of-bounds arm is dead.
+                if cores is not None:
+                    emit(f"{pack}({data}, {addr}, {cores})")
+                    if re.fullmatch(r"l\d+", value):
+                        readback = env.bind(packer.unpack_from, "u")
+                        emit(f"{value} = {readback}({data}, {addr})")
+                elif proven_float:
+                    emit(f"{pack}({data}, {addr}, *{value})")
+                else:
+                    emit("try:")
+                    emit(f"{pack}({data}, {addr}, *{value})", "    ")
+                    emit("except _PE:")
+                    emit(f"mem.store_vec({elem_name}, {addr}, "
+                         f"{value})", "    ")
+            else:
+                limit = bound_limit(packer.size)
+                upper = f"{addr} <= {limit}" if limit is not None \
+                    else f"{addr} + {packer.size} <= {size}"
+                guard = "" if static4 \
+                    else f"len({value}) == {lanes} and "
+                emit(f"if {guard}{addr} >= {NULL_GUARD} and {upper}:")
+                if cores is not None:
+                    emit(f"{pack}({data}, {addr}, {cores})", "    ")
+                    if re.fullmatch(r"l\d+", value):
+                        readback = env.bind(packer.unpack_from, "u")
+                        emit(f"{value} = {readback}({data}, {addr})",
+                             "    ")
+                    emit("else:")
+                    emit(f"{value} = {fused_rhs}", "    ")
+                    emit(f"mem.store_vec({elem_name}, {addr}, "
+                         f"{value})", "    ")
+                elif proven_float:
+                    # Lanes produced by the same pack/unpack round
+                    # trip the store would apply — already genuine
+                    # in-range floats, so the coercion fallback is
+                    # unreachable.
+                    emit(f"{pack}({data}, {addr}, *{value})", "    ")
+                    emit("else:")
+                    emit(f"mem.store_vec({elem_name}, {addr}, "
+                         f"{value})", "    ")
+                else:
+                    emit("try:", "    ")
+                    emit(f"{pack}({data}, {addr}, *{value})",
+                         "        ")
+                    emit("except _PE:", "    ")
+                    emit(f"mem.store_vec({elem_name}, {addr}, "
+                         f"{value})", "        ")
+                    emit("else:")
+                    emit(f"mem.store_vec({elem_name}, {addr}, "
+                         f"{value})", "    ")
         elif op.startswith("vec.") and op[4:] in BIN_OPS:
-            kernel = env.bind(vec_binop_kernel(op[4:], type_of(instr.ty)),
-                              "v")
-            b = pop()
-            a = pop()
-            push(f"{kernel}({a}, {b})")
+            impure[0] = True            # lane-count mismatch traps
+            bop = op[4:]
+            elem = type_of(instr.ty)
+            kernel = env.bind(vec_binop_kernel(bop, elem), "v")
+            if not (tier2 and isinstance(elem, ty.FloatType)
+                    and elem.bits == 32
+                    and bop in ("add", "sub", "mul", "min", "max")):
+                b = pop()
+                a = pop()
+                push(f"{kernel}({a}, {b})")
+            else:
+                # Inline the 4-lane f32 kernel: raw lane results, one
+                # <4f> pack/unpack round trip — exactly the quad
+                # kernel's arithmetic, minus the call.  Operands whose
+                # lane count the block hasn't proven guard into the
+                # kernel (generic lanes, exact mismatch trap).
+                b, _, bm = popm()
+                a, _, am = popm()
+                # Fuse a just-materialized 4-lane temp (typically a
+                # vec.load's unpack) straight into the lane unpack —
+                # the temp's defining line is dropped and its pure
+                # right-hand side moves to the point of use.  Only
+                # single-use *temps* fuse: a local whose store
+                # happens to be the last emitted line must keep that
+                # line, because the local outlives this use (deopt
+                # writeback, later blocks).  Only proven-4-lane
+                # operands fuse (never re-evaluated by a guard).
+                for operand, m in ((b, bm), (a, am)):
+                    if m is not None and m.get("lanes") == 4 \
+                            and lines \
+                            and re.fullmatch(r"t\d+", operand) \
+                            and lines[-1].startswith(f"{operand} = "):
+                        fusedexpr = f"({lines.pop()[len(operand) + 3:]})"
+                        if operand == b:
+                            b = fusedexpr
+                        else:
+                            a = fusedexpr
+                        marker_at -= 1
+                quad = env.bind(_F32_QUAD.pack, "qp"), \
+                    env.bind(_F32_QUAD.unpack, "qu")
+                sym = _ARITH_SYMS.get(bop)
+                if sym:
+                    cores = ", ".join(f"_a{i} {sym} _b{i}"
+                                      for i in range(4))
+                else:
+                    cores = ", ".join(f"{bop}(_a{i}, _b{i})"
+                                      for i in range(4))
+                guards = [f"len({operand}) == 4"
+                          for operand, m in ((a, am), (b, bm))
+                          if m is None or m.get("lanes") != 4]
+                result = newt()
+                pad = ""
+                if guards:
+                    emit(f"if {' and '.join(guards)}:")
+                    pad = "    "
+                emit(f"_a0, _a1, _a2, _a3 = {a}", pad)
+                emit(f"_b0, _b1, _b2, _b3 = {b}", pad)
+                emit(f"{result} = {quad[1]}({quad[0]}({cores}))", pad)
+                if guards:
+                    emit("else:")
+                    emit(f"{result} = {kernel}({a}, {b})", "    ")
+                vstack.append(result)
+                vdeps.append(_EMPTY_DEPS)
+                # With a 4-lane operand the kernel fallback can only
+                # trap (lane mismatch), so any value that flows past
+                # this op has 4 lanes; only when both operands are
+                # dynamic can the generic path yield other counts.
+                proven = len(guards) < 2
+                vmeta.append({"lanes": 4 if proven else None,
+                              "tuple": True, "float": True})
         elif op == "vec.splat":
             elem = type_of(instr.ty)
             lanes = 16 // ty.sizeof(elem)
-            push(f"[{pop()}] * {lanes}")
+            x, xdeps = popd()
+            if tier2:
+                push_atom(f"([{x}] * {lanes})", xdeps,
+                          meta={"lanes": lanes, "tuple": False,
+                                "float": False})
+            else:
+                push(f"[{x}] * {lanes}")
         elif op == "vec.reduce":
+            impure[0] = True            # empty-vector trap
             reduce_op, acc_tag = instr.arg
             if reduce_op not in ("add", "max", "min"):
                 raise ValueError("undefined reduce op")   # -> fallback
             elem = type_of(instr.ty)
             acc_ty = type_of(acc_tag)
-            widen = env.bind(cast_kernel(elem, acc_ty), "k")
-            fold = env.bind(binop_kernel(reduce_op, acc_ty), "k")
-            vec = pop()
+            widen_kernel = cast_kernel(elem, acc_ty)
+            widen_tpl = fold_tpl = None
+            if tier2:
+                if widen_kernel is identity_kernel:
+                    widen_tpl = ("{a}", True)
+                else:
+                    widen_tpl = inline_cast(elem, acc_ty, env)
+                fold_tpl = inline_binop(reduce_op, acc_ty, env)
+            vec = popm()[0]             # tuples index/iterate the same
             acc, lane = newt(), newt()
             emit(f"if not {vec}:")
             emit("raise TrapError('reduce of empty vector')", "    ")
-            emit(f"{acc} = {widen}({vec}[0])")
-            emit(f"for {lane} in {vec}[1:]:")
-            emit(f"{acc} = {fold}({acc}, {widen}({lane}))", "    ")
+            if widen_tpl is not None and widen_tpl[1] \
+                    and fold_tpl is not None and fold_tpl[1]:
+                # Inline the whole fold: no kernel call per lane.
+                wexpr = widen_tpl[0]
+                emit(f"{acc} = {wexpr.format(a=f'{vec}[0]')}")
+                emit(f"for {lane} in {vec}[1:]:")
+                emit(f"{acc} = "
+                     f"{fold_tpl[0].format(a=acc, b=wexpr.format(a=lane))}",
+                     "    ")
+            else:
+                widen = env.bind(widen_kernel, "k")
+                fold = env.bind(binop_kernel(reduce_op, acc_ty), "k")
+                emit(f"{acc} = {widen}({vec}[0])")
+                emit(f"for {lane} in {vec}[1:]:")
+                emit(f"{acc} = {fold}({acc}, {widen}({lane}))", "    ")
             push_atom(acc)
         else:
             raise ValueError(f"unknown opcode {op!r}")    # -> fallback
 
-        if len(lines) > marker_at:       # instruction emits real code
-            lines.insert(marker_at, f"_i = {pc - leader}")
+        if len(lines) > marker_at and impure[0]:
+            if tier2 and info is not None:
+                # Tier-2 keeps the hot path marker-free: the caller
+                # builds a source-line -> instruction-offset table
+                # from these records and the except clause maps the
+                # trapping line back through the exception traceback.
+                info.setdefault("marks", []).append(
+                    (marker_at, pc - leader))
+            else:
+                lines.insert(marker_at, f"_i = {pc - leader}")
 
-    if not lines or not lines[-1].lstrip().startswith("return"):
+    if code[exit_pc - 1].op not in ("br", "brif", "ret", "call"):
+        # fall-through block: transfer to the next leader explicitly
         flush()
-        emit(f"return {exit_pc}")
+        emit(goto_fmt.format(exit_pc))
+    return lines
 
-    body = "\n".join("        " + line for line in lines)
-    return (f"def _b{leader}(s, lo, ar, fb, mem, vm):\n"
-            f"    executed = vm.instructions_executed + {length}\n"
-            f"    vm.instructions_executed = executed\n"
-            f"    if executed > vm.fuel:\n"
-            f"        vm.instructions_executed = executed - {length}\n"
-            f"        raise MeterTrip({leader})\n"
-            f"    _i = {length - 1}\n"
-            f"    try:\n"
-            f"{body}\n"
-            f"    except Exception:\n"
-            f"        # roll the debit back to the trapping instruction\n"
-            f"        vm.instructions_executed -= {length} - _i - 1\n"
-            f"        raise\n")
+
+# ---------------------------------------------------------------------------
+# tier-2: whole-function translation
+# ---------------------------------------------------------------------------
+#
+# One generated Python function covers every fuel block of the
+# function: a ``while 1`` dispatcher over block leaders, VM locals
+# lowered to Python locals, and the same per-op lowering as the
+# block tier (shared via ``_gen_block_lines``).  The contract matches
+# a block handler exactly — ``_t2(s, lo, ar, fb, mem, vm) -> pc`` —
+# so the trampoline in ``VM._run_fast`` can treat its return value
+# like any block's:
+#
+# * ``-1``   — the function returned (result flushed onto ``s``);
+# * leader pc — a *deopt*: a fuel debit would cross the limit, or the
+#   block resisted translation.  The tier-2 code writes its lowered
+#   locals back into ``lo``, leaves the block **undebited** and hands
+#   the leader to the block-threaded trampoline, which re-debits and
+#   (on fuel exhaustion) meters per instruction — so instruction
+#   counts and trap messages stay byte-identical to the reference.
+#
+# Fuel accounting comes in two shapes: functions containing calls
+# keep ``vm.instructions_executed`` live at every block debit (the
+# callee's debits must interleave with the caller's exactly as
+# per-instruction accounting would), while call-free functions carry
+# the counter in a local and flush it on every exit path.
+
+def _build_tier2(func: BytecodeFunction, binding=None):
+    """Compile the whole-function tier-2 form of ``func``, or ``None``
+    when the translation fails to build — a build failure is never an
+    execution failure, callers just stay on the block-threaded tier."""
+    try:
+        source, env = _gen_tier2(func, binding)
+        exec(compile(source, f"<pvi-t2:{func.name}>", "exec"), env)
+        return env["_t2"]
+    except Exception:
+        return None
+
+
+def _gen_tier2(func: BytecodeFunction, binding=None):
+    """Source + exec environment for the tier-2 translation."""
+    code = func.code
+    n = len(code)
+    frame_offsets = func.frame_offsets()
+    env_dict = {"TrapError": TrapError, "_PE": PACK_COERCE_ERRORS}
+    env = CodegenEnv(env_dict)
+    blocks = fuel_blocks(code)
+    nlocals = len(func.local_types)
+    has_calls = any(instr.op == "call" for instr in code)
+
+    load_locals = "; ".join(f"l{i} = lo[{i}]" for i in range(nlocals))
+    writeback = ["; ".join(f"lo[{i}] = l{i}" for i in range(nlocals))] \
+        if nlocals else []
+    if has_calls:
+        counter_flush = []
+        ret_lines = ("return -1",)
+    else:
+        counter_flush = ["vm.instructions_executed = executed"]
+        ret_lines = ("vm.instructions_executed = executed", "return -1")
+
+    out: List[str] = []
+
+    def w(line: str, indent: int = 0) -> None:
+        out.append(" " * indent + line)
+
+    num_params = len(func.param_types)
+
+    # Loop blocks head the dispatch ladder: every block inside a
+    # back-edge span (the leaders a loop iterates over) is checked
+    # before the straight-line entry/exit blocks, so iterations match
+    # on the first arms instead of scanning the whole elif chain once
+    # per transfer (which made short-block loops slower than the
+    # trampoline's O(1) handler indexing).
+    hot = set()
+    for src, instr in enumerate(code):
+        if instr.op in ("br", "brif") and isinstance(instr.arg, int) \
+                and 0 <= instr.arg <= src:
+            hot.update(b for b in blocks if instr.arg <= b <= src)
+    ordered = [b for b in blocks if b in hot] \
+        + [b for b in blocks if b not in hot]
+
+    # Pre-translate every block; an untranslatable block keeps no
+    # dispatch arm — its leader falls through to the else arm, a
+    # per-block deopt point.  Two whole-function facts are discovered
+    # to a fixed point across passes.  Locals that ever receive a
+    # deferred vector *tuple* (a stloc of an unmaterialized vec value)
+    # grow monotonically: once a local is tuple-bearing, every ldloc
+    # of it — in every block — must treat the value as maybe-tuple,
+    # which can in turn surface new tuple stores.  Lane facts shrink
+    # monotonically: ``_t2`` is entered exactly once, at pc 0, with
+    # every vector local freshly initialized to ``[0] * lanes`` (and
+    # deopts never re-enter), so a vector local provably keeps its
+    # lane count as long as every ``stloc`` to it anywhere stores a
+    # value with that proven count — a store that cannot be proven
+    # drops the local from the set, which can cascade.  A pass
+    # regenerates all blocks under the current sets and the loop
+    # stops when both are stable (env.bind names accumulated by
+    # discarded passes stay in the exec environment, unused).
+    tuple_locals = frozenset()
+    lane_locals = {}
+    for index, tag in enumerate(func.local_types):
+        if is_vector_local(tag):
+            elem = type_of(vector_elem_tag(tag))
+            lane_locals[index] = 16 // ty.sizeof(elem)
+    while True:
+        bodies = {}
+        marks_by = {}
+        info = {"tuple_stores": set(), "lane_breaks": set()}
+        for leader in blocks:
+            try:
+                bodies[leader] = _gen_block_lines(
+                    code, leader, blocks[leader], frame_offsets, env,
+                    binding, local_fmt="l{0}", goto_fmt="pc = {0}",
+                    ret_lines=ret_lines, tier2=True,
+                    safe_args=num_params, tuple_locals=tuple_locals,
+                    lane_locals=lane_locals, info=info)
+            except Exception:
+                bodies[leader] = None
+            marks_by[leader] = info.pop("marks", [])
+        grown = tuple_locals | info["tuple_stores"]
+        if grown == tuple_locals and not info["lane_breaks"]:
+            break
+        tuple_locals = frozenset(grown)
+        for index in info["lane_breaks"]:
+            lane_locals.pop(index, None)
+
+    # Deopt writeback: tuple-bearing locals normalize back to lists
+    # at every engine-observable boundary — the block tier and the
+    # reference only ever store lists in the frame.
+    if tuple_locals:
+        writeback = ["; ".join(
+            f"lo[{i}] = list(l{i}) if type(l{i}) is tuple else l{i}"
+            if i in tuple_locals else f"lo[{i}] = l{i}"
+            for i in range(nlocals))]
+
+    # Two-block natural loops — a header ending in ``brif`` and a
+    # lone latch ending in ``br header`` — run as a native ``while``
+    # inside the header's dispatch arm, so loop iterations pay no
+    # dispatch at all.  Fuel checks, debits and deopt returns stay
+    # per block, byte-identical to the ladder form.  (Any *other*
+    # entry into a fused latch lands in the else arm — a deopt,
+    # correct but slower; real loop latches have no such entries.)
+    loops = {}
+    dropped = set()
+    for src, instr in enumerate(code):
+        if instr.op != "br" or not isinstance(instr.arg, int):
+            continue
+        header = instr.arg
+        if header not in blocks or header > src:
+            continue
+        latch = max(b for b in blocks if b <= src)
+        if latch == header or src != latch + blocks[latch] - 1:
+            continue
+        hbody, lbody = bodies.get(header), bodies.get(latch)
+        if not hbody or not lbody or lbody[-1] != f"pc = {header}":
+            continue
+        branch = re.fullmatch(r"pc = (\d+) if (.+) else (\d+)",
+                              hbody[-1])
+        if branch is None:
+            continue
+        taken, fall = int(branch.group(1)), int(branch.group(3))
+        if taken == fall or latch not in (taken, fall):
+            continue
+        if header in loops:
+            dropped.add(header)     # two latches: keep the ladder form
+        loops[header] = (latch, branch.group(2), taken, fall)
+    for header in dropped:
+        del loops[header]
+    loops = {header: entry for header, entry in loops.items()
+             if header not in {e[0] for e in loops.values()}
+             and entry[0] not in loops}
+    fused_latches = {entry[0] for entry in loops.values()}
+
+    w("def _t2(s, lo, ar, fb, mem, vm):")
+    if num_params:
+        # Entry arity guard: deopt (undebited, before touching any
+        # state) when the caller passed fewer args than the signature
+        # names, so the block tier raises the reference's IndexError
+        # on exactly the right ``ldarg``.  Past the guard, every
+        # in-signature ``ar[k]`` read is provably safe, which lets the
+        # emitter defer them as pure expressions.
+        w(f"if len(ar) < {num_params}:", 4)
+        w("return 0", 8)
+        w("; ".join(f"a{k} = ar[{k}]" for k in range(num_params)), 4)
+    w("fuel = vm.fuel", 4)
+    w("_md = mem.data; _ms = mem.size", 4)
+    bounds_sizes = sorted(info.get("bounds_sizes", ()))
+    if bounds_sizes:
+        # Bounds-check upper limits, hoisted: ``mem.size`` is already
+        # proven loop-invariant across ``_t2`` (``_ms``), so each
+        # access width's limit folds to one compare per check.
+        w("; ".join(f"_ms{n} = _ms - {n}" for n in bounds_sizes), 4)
+    if load_locals:
+        w(load_locals, 4)
+    if not has_calls:
+        w("executed = vm.instructions_executed", 4)
+    w("pc = 0", 4)
+    w("while 1:", 4)
+
+    def emit_deopt(leader: int, base: int) -> None:
+        for line in writeback:
+            w(line, base)
+        if not has_calls:
+            w("vm.instructions_executed = executed", base)
+        w(f"return {leader}", base)
+
+    def emit_body(leader: int, base: int, body, marks) -> None:
+        """Block body at indent ``base``.  A block with no marks has
+        no instruction that can raise — no rollback handler at all.
+        Otherwise the body runs under one ``try`` whose except clause
+        maps the trapping *source line* (via the exception traceback)
+        back to the instruction offset whose progress marker would
+        have been active there — the hot path stays free of the
+        per-instruction ``_i`` stores the block tier pays."""
+        length = blocks[leader]
+        if not marks:
+            for line in body:
+                w(line, base)
+            return
+        owners = []
+        position, active = 0, length - 1
+        for index in range(len(body)):
+            while position < len(marks) and marks[position][0] <= index:
+                active = marks[position][1]
+                position += 1
+            owners.append(active)
+        table = {}
+        w("try:", base)
+        for index, line in enumerate(body):
+            table[len(out) + 1] = owners[index]
+            w(line, base + 4)
+        name = env.bind(table, "lm")
+        w("except Exception as _e:", base)
+        # roll the debit back to the trapping instruction, exactly
+        # like the block tier's except clause
+        w(f"_i = {name}.get(_e.__traceback__.tb_lineno, "
+          f"{length - 1})", base + 4)
+        if has_calls:
+            w(f"vm.instructions_executed -= {length} - _i - 1",
+              base + 4)
+        else:
+            w("vm.instructions_executed = "
+              f"executed - ({length} - _i - 1)", base + 4)
+        w("raise", base + 4)
+
+    def emit_block(leader: int, base: int, body, marks) -> None:
+        """Fuel check + (possibly trap-mapped) body at ``base``."""
+        length = blocks[leader]
+        if has_calls:
+            w(f"executed = vm.instructions_executed + {length}", base)
+            w("if executed > fuel:", base)
+            emit_deopt(leader, base + 4)
+            w("vm.instructions_executed = executed", base)
+        else:
+            w(f"executed += {length}", base)
+            w("if executed > fuel:", base)
+            w(f"executed -= {length}", base + 4)
+            emit_deopt(leader, base + 4)
+        emit_body(leader, base, body, marks)
+
+    keyword = "if"
+    for leader in ordered:
+        body = bodies[leader]
+        if body is None or leader in fused_latches:
+            continue
+        w(f"{keyword} pc == {leader}:", 8)
+        keyword = "elif"
+        if leader not in loops:
+            emit_block(leader, 12, body, marks_by[leader])
+            continue
+        latch, cond, taken, fall = loops[leader]
+        if latch == taken:
+            exit_test, exit_target = f"not ({cond})", fall
+        else:
+            exit_test, exit_target = cond, taken
+        header_len, latch_len = blocks[leader], blocks[latch]
+        w("while 1:", 12)
+        if not has_calls and len(body) == 1 and not marks_by[leader]:
+            # Empty-header loop (the condition is one pure deferred
+            # expression): both block debits merge into one charge at
+            # the loop top.  Exit refunds the latch's share, and when
+            # the merged charge crosses the fuel limit the loop falls
+            # back to the ladder's per-block debit order — so deopt
+            # pcs, fuel traps and final counts stay byte-identical.
+            w(f"executed += {header_len + latch_len}", 16)
+            w("if executed > fuel:", 16)
+            w(f"executed -= {header_len + latch_len}", 20)
+            w(f"executed += {header_len}", 20)
+            w("if executed > fuel:", 20)
+            w(f"executed -= {header_len}", 24)
+            emit_deopt(leader, 24)
+            w(f"if {exit_test}:", 20)
+            w(f"pc = {exit_target}", 24)
+            w("break", 24)
+            w(f"executed += {latch_len}", 20)
+            w("if executed > fuel:", 20)
+            w(f"executed -= {latch_len}", 24)
+            emit_deopt(latch, 24)
+            w(f"elif {exit_test}:", 16)
+            w(f"executed -= {latch_len}", 20)
+            w(f"pc = {exit_target}", 20)
+            w("break", 20)
+            emit_body(latch, 16, bodies[latch][:-1], marks_by[latch])
+        else:
+            # The header's terminal branch becomes the loop exit; the
+            # latch's terminal ``pc = header`` becomes the implicit
+            # back edge.
+            exits = [f"if {exit_test}:", f"    pc = {exit_target}",
+                     "    break"]
+            emit_block(leader, 16, body[:-1] + exits,
+                       marks_by[leader])
+            emit_block(latch, 16, bodies[latch][:-1],
+                       marks_by[latch])
+
+    fell = env.bind(f"{func.name}: fell off code end", "m")
+    w(f"{keyword} pc == {n}:", 8)
+    for line in counter_flush:
+        w(line, 12)
+    w(f"raise TrapError({fell})", 12)
+    w("else:", 8)
+    for line in writeback:
+        w(line, 12)
+    for line in counter_flush:
+        w(line, 12)
+    w("return pc", 12)
+
+    return "\n".join(out), env_dict
 
 
 # ---------------------------------------------------------------------------

@@ -1,12 +1,14 @@
-"""Dual-engine differential testing: fast vs reference.
+"""Triple-engine differential testing: fast and tier-2 vs reference.
 
 The fast engines (predecoded closure threading, ``repro.vm.threaded``
-and ``repro.targets.dispatch``) must be observationally identical to
-the reference ladder interpreters: same values, same output arrays,
+and ``repro.targets.dispatch``) and the tier-2 whole-function
+translations layered on top of them must be observationally identical
+to the reference ladder interpreters: same values, same output arrays,
 same instruction and cycle counts, and the same trap at the same
 instruction with the same message — across every kernel x flow x
-target combination, under fuel exhaustion at arbitrary block offsets,
-and over randomized programs from the property-test generator.
+target combination, under fuel exhaustion at arbitrary block offsets
+(including tier-2 deopt back to the metered block engine), and over
+randomized programs from the property-test generator.
 """
 
 from __future__ import annotations
@@ -18,7 +20,9 @@ from hypothesis import strategies as st
 from repro.bytecode import emit_module
 from repro.core import deploy, offline_compile
 from repro.core.online import select_bytecode
-from repro.engine import ENGINE_ENV, FAST, REFERENCE, resolve_engine
+from repro.engine import (
+    ENGINE_ENV, FAST, REFERENCE, TIER2, resolve_engine,
+)
 from repro.flows import flow_names
 from repro.semantics import Memory, TrapError
 from repro.service import CompilationService
@@ -33,7 +37,18 @@ from tests.test_property_programs import int_expr, statement_list
 N = 32
 SEED = 5
 MEMORY_BYTES = 1 << 21
-ENGINES = (FAST, REFERENCE)
+#: reference last, so ``outcomes[-1]`` / ``outcomes[REFERENCE]`` is
+#: always the oracle the other engines are held to
+ENGINES = (FAST, TIER2, REFERENCE)
+
+
+def assert_engines_agree(outcomes, context=""):
+    """Every engine's observation must equal the reference one."""
+    oracle = outcomes[REFERENCE]
+    for engine, observed in outcomes.items():
+        assert observed == oracle, \
+            f"{engine} diverges from reference{context and ': '}" \
+            f"{context}\n  {engine}: {observed}\n  reference: {oracle}"
 
 
 @pytest.fixture(scope="module")
@@ -68,22 +83,23 @@ def _sim_observation(compiled, kernel, engine):
 
 @pytest.mark.parametrize("name", sorted(ALL_KERNELS))
 def test_engines_agree_on_every_kernel_flow_target(name, service):
-    """kernels x flows x targets: the fast engines must reproduce the
-    reference engines' values, outputs, instruction counts, cycle
-    counts and counters exactly."""
+    """kernels x flows x targets: the fast and tier-2 engines must
+    reproduce the reference engines' values, outputs, instruction
+    counts, cycle counts and counters exactly."""
     kernel = ALL_KERNELS[name]
     artifact = service.artifact(kernel.source, name)
     for flow in flow_names():
         bytecode = select_bytecode(artifact, flow)
-        assert _vm_observation(bytecode, kernel, FAST) == \
-            _vm_observation(bytecode, kernel, REFERENCE), \
-            f"{name}: VM engines diverge on flow {flow}"
+        assert_engines_agree(
+            {engine: _vm_observation(bytecode, kernel, engine)
+             for engine in ENGINES},
+            f"{name}: VM on flow {flow}")
         for target in TARGETS.values():
             compiled = service.deploy(artifact, target, flow)
-            assert _sim_observation(compiled, kernel, FAST) == \
-                _sim_observation(compiled, kernel, REFERENCE), \
-                f"{name}: simulator engines diverge on " \
-                f"({target.name}, {flow})"
+            assert_engines_agree(
+                {engine: _sim_observation(compiled, kernel, engine)
+                 for engine in ENGINES},
+                f"{name}: simulator on ({target.name}, {flow})")
 
 
 # ---------------------------------------------------------------------------
@@ -105,32 +121,34 @@ def _vm_trap(source, entry, args, engine, fuel=None):
 class TestVMTrapParity:
     def test_division_by_zero_message(self):
         source = "int f(int a) { return 10 / a; }"
-        fast = _vm_trap(source, "f", [0], FAST)
-        reference = _vm_trap(source, "f", [0], REFERENCE)
-        assert fast[:2] == reference[:2]
-        assert fast[0] == "trap"
-        assert "integer division by zero" in fast[1]
+        outcomes = {engine: _vm_trap(source, "f", [0], engine)
+                    for engine in ENGINES}
+        assert_engines_agree(outcomes)
+        assert outcomes[FAST][0] == "trap"
+        assert "integer division by zero" in outcomes[FAST][1]
 
     def test_remainder_by_zero_message(self):
         source = "int f(int a) { return 10 % a; }"
-        fast = _vm_trap(source, "f", [0], FAST)
-        assert fast[:2] == _vm_trap(source, "f", [0], REFERENCE)[:2]
-        assert "integer remainder by zero" in fast[1]
+        outcomes = {engine: _vm_trap(source, "f", [0], engine)
+                    for engine in ENGINES}
+        assert_engines_agree(outcomes)
+        assert "integer remainder by zero" in outcomes[FAST][1]
 
     def test_out_of_bounds_access_message(self):
         source = "int f(int *p) { return *p; }"
         for addr in (0, 1, (1 << 22)):       # null page / beyond end
-            fast = _vm_trap(source, "f", [addr], FAST)
-            reference = _vm_trap(source, "f", [addr], REFERENCE)
-            assert fast[:2] == reference[:2], addr
-            assert fast[0] == "trap"
-            assert "memory access out of bounds" in fast[1]
+            outcomes = {engine: _vm_trap(source, "f", [addr], engine)
+                        for engine in ENGINES}
+            assert_engines_agree(outcomes, f"addr={addr}")
+            assert outcomes[FAST][0] == "trap"
+            assert "memory access out of bounds" in outcomes[FAST][1]
 
     def test_out_of_bounds_store_message(self):
         source = "void f(int *p) { *p = 7; }"
-        fast = _vm_trap(source, "f", [3], FAST)
-        assert fast[:2] == _vm_trap(source, "f", [3], REFERENCE)[:2]
-        assert "memory access out of bounds" in fast[1]
+        outcomes = {engine: _vm_trap(source, "f", [3], engine)
+                    for engine in ENGINES}
+        assert_engines_agree(outcomes)
+        assert "memory access out of bounds" in outcomes[FAST][1]
 
     @pytest.mark.parametrize("fuel", [0, 1, 2, 3, 5, 17, 100, 101,
                                       102, 103, 1001])
@@ -146,10 +164,11 @@ class TestVMTrapParity:
                 for (int i = 0; i < n; i++) s += i * i - (s >> 3);
                 return s;
             }"""
-        fast = _vm_trap(source, "f", [10_000], FAST, fuel=fuel)
-        reference = _vm_trap(source, "f", [10_000], REFERENCE,
-                             fuel=fuel)
-        assert fast == reference
+        outcomes = {engine: _vm_trap(source, "f", [10_000], engine,
+                                     fuel=fuel)
+                    for engine in ENGINES}
+        assert_engines_agree(outcomes, f"fuel={fuel}")
+        fast = outcomes[FAST]
         assert fast[0] == "trap" and fast[1] == "VM fuel exhausted"
         assert fast[2] == fuel + 1       # counted like the reference
 
@@ -164,9 +183,9 @@ class TestVMTrapParity:
                 for (int i = 0; i < n; i++) s += helper(i);
                 return s;
             }"""
-        fast = _vm_trap(source, "f", [50], FAST, fuel=fuel)
-        reference = _vm_trap(source, "f", [50], REFERENCE, fuel=fuel)
-        assert fast == reference
+        assert_engines_agree(
+            {engine: _vm_trap(source, "f", [50], engine, fuel=fuel)
+             for engine in ENGINES}, f"fuel={fuel}")
 
     def test_mid_block_trap_rolls_back_block_debit(self):
         """A non-fuel trap mid-block must leave instructions_executed
@@ -179,10 +198,10 @@ class TestVMTrapParity:
                 int y = x / b;
                 return y - a + x;
             }"""
-        fast = _vm_trap(source, "f", [7, 0], FAST)
-        reference = _vm_trap(source, "f", [7, 0], REFERENCE)
-        assert fast == reference
-        assert fast[0] == "trap"
+        outcomes = {engine: _vm_trap(source, "f", [7, 0], engine)
+                    for engine in ENGINES}
+        assert_engines_agree(outcomes)
+        assert outcomes[FAST][0] == "trap"
 
     def test_reuse_after_trap_keeps_fuel_parity(self):
         """Catch a trap, then keep calling on the same engine
@@ -205,16 +224,16 @@ class TestVMTrapParity:
                 trail.append(("trap", str(exc)))
             trail.append(vm.instructions_executed)
             outcomes[engine] = trail
-        assert outcomes[FAST] == outcomes[REFERENCE]
+        assert_engines_agree(outcomes)
 
     def test_successful_run_instruction_counts_match(self):
         source = """
             int fib(int n) { if (n < 2) return n;
                              return fib(n-1) + fib(n-2); }"""
-        fast = _vm_trap(source, "fib", [12], FAST)
-        reference = _vm_trap(source, "fib", [12], REFERENCE)
-        assert fast == reference
-        assert fast[0] == "ok"
+        outcomes = {engine: _vm_trap(source, "fib", [12], engine)
+                    for engine in ENGINES}
+        assert_engines_agree(outcomes)
+        assert outcomes[FAST][0] == "ok"
 
 
 class TestSimulatorTrapParity:
@@ -240,7 +259,7 @@ class TestSimulatorTrapParity:
             [MInst("ret", None, None, [("int", 9)], None)])
         outcomes = {engine: self._run(module, engine)
                     for engine in ENGINES}
-        assert outcomes[FAST] == outcomes[REFERENCE]
+        assert_engines_agree(outcomes)
         assert outcomes[FAST] == \
             ("trap", "f: read of uninitialized register int9")
 
@@ -254,7 +273,7 @@ class TestSimulatorTrapParity:
         ])
         outcomes = {engine: self._run(module, engine)
                     for engine in ENGINES}
-        assert outcomes[FAST] == outcomes[REFERENCE]
+        assert_engines_agree(outcomes)
         assert outcomes[FAST] == \
             ("trap", "f: read of uninitialized register flt2")
 
@@ -281,7 +300,7 @@ class TestSimulatorTrapParity:
             module = self._module(code)
             outcomes = {engine: self._run(module, engine)
                         for engine in ENGINES}
-            assert outcomes[FAST] == outcomes[REFERENCE], code
+            assert_engines_agree(outcomes, repr(code))
             assert outcomes[FAST][0] == "trap", code
             assert "uninitialized register" in outcomes[FAST][1], code
 
@@ -297,7 +316,8 @@ class TestSimulatorTrapParity:
         ])
         outcomes = {engine: self._run(module, engine)
                     for engine in ENGINES}
-        assert outcomes[FAST] == outcomes[REFERENCE] == ("ok", "42")
+        assert_engines_agree(outcomes)
+        assert outcomes[FAST] == ("ok", "42")
 
     def test_empty_spill_slot_message(self):
         module = self._module([
@@ -306,7 +326,7 @@ class TestSimulatorTrapParity:
         ], frame_bytes=16)
         outcomes = {engine: self._run(module, engine)
                     for engine in ENGINES}
-        assert outcomes[FAST] == outcomes[REFERENCE]
+        assert_engines_agree(outcomes)
         assert outcomes[FAST] == \
             ("trap", "f: reload of empty spill slot 8")
 
@@ -316,7 +336,7 @@ class TestSimulatorTrapParity:
                               ret=False)
         outcomes = {engine: self._run(module, engine, fuel=fuel)
                     for engine in ENGINES}
-        assert outcomes[FAST] == outcomes[REFERENCE]
+        assert_engines_agree(outcomes)
         assert outcomes[FAST] == ("trap", "simulation fuel exhausted")
 
     def test_fell_off_code_end(self):
@@ -324,7 +344,7 @@ class TestSimulatorTrapParity:
             [MInst("mov", None, ("int", 0), [("imm", 1)], None)])
         outcomes = {engine: self._run(module, engine)
                     for engine in ENGINES}
-        assert outcomes[FAST] == outcomes[REFERENCE]
+        assert_engines_agree(outcomes)
         assert outcomes[FAST] == ("trap", "f: fell off code end")
 
     @pytest.mark.parametrize("target", [-3, -1, 7, 1000])
@@ -339,7 +359,7 @@ class TestSimulatorTrapParity:
         ])
         outcomes = {engine: self._run(module, engine)
                     for engine in ENGINES}
-        assert outcomes[FAST] == outcomes[REFERENCE]
+        assert_engines_agree(outcomes)
         assert outcomes[FAST] == ("trap", "f: fell off code end")
 
     def test_division_by_zero_in_simulator(self):
@@ -354,7 +374,7 @@ class TestSimulatorTrapParity:
                 outcomes[engine] = ("ok", repr(value))
             except TrapError as exc:
                 outcomes[engine] = ("trap", str(exc))
-        assert outcomes[FAST] == outcomes[REFERENCE]
+        assert_engines_agree(outcomes)
         assert outcomes[FAST] == ("trap", "integer division by zero")
 
 
@@ -521,9 +541,10 @@ class TestFrozenCallInlineCache:
         compiled = deploy(artifact, X86, "split")
         obs = [Simulator(compiled, Memory(), engine=engine).run("f", [9])
                for engine in ENGINES]
-        assert obs[0].value == obs[1].value
-        assert obs[0].cycles == obs[1].cycles
-        assert obs[0].calls == obs[1].calls
+        for result in obs[:-1]:           # reference is last
+            assert result.value == obs[-1].value
+            assert result.cycles == obs[-1].cycles
+            assert result.calls == obs[-1].calls
 
     def test_frozen_vm_binding_pins_the_callee(self):
         """The contract freezing buys: the callee is resolved once at
@@ -625,22 +646,23 @@ class TestFrozenCallInlineCache:
 # randomized differential sweep (property-test program generator)
 # ---------------------------------------------------------------------------
 
-def _four_way(source, entry, args):
-    """(VM fast, VM reference, sim fast, sim reference) observations."""
+def _engine_sweep(source, entry, args):
+    """Per-engine VM and simulator observations for one program."""
     bytecode, _ = emit_module(lower_checked(source))
-    observations = []
+    vm_obs = {}
     for engine in ENGINES:
         vm = VM(bytecode, engine=engine)
-        observations.append((repr(vm.call(entry, args)),
-                             vm.instructions_executed))
+        vm_obs[engine] = (repr(vm.call(entry, args)),
+                          vm.instructions_executed)
     artifact = offline_compile(source)
     compiled = deploy(artifact, X86, "split")
+    sim_obs = {}
     for engine in ENGINES:
         result = Simulator(compiled, Memory(), engine=engine).run(
             entry, args)
-        observations.append((repr(result.value), result.instructions,
-                             result.cycles))
-    return observations
+        sim_obs[engine] = (repr(result.value), result.instructions,
+                           result.cycles)
+    return vm_obs, sim_obs
 
 
 class TestRandomizedSweep:
@@ -649,11 +671,11 @@ class TestRandomizedSweep:
            b=st.integers(-1000, 1000), c=st.integers(-1000, 1000))
     def test_random_expressions(self, expr, a, b, c):
         source = f"int f(int a, int b, int c) {{ return {expr}; }}"
-        vm_fast, vm_ref, sim_fast, sim_ref = _four_way(
-            source, "f", [a, b, c])
-        assert vm_fast == vm_ref
-        assert sim_fast == sim_ref
-        assert vm_fast[0] == sim_fast[0]      # VM vs simulator value
+        vm_obs, sim_obs = _engine_sweep(source, "f", [a, b, c])
+        assert_engines_agree(vm_obs)
+        assert_engines_agree(sim_obs)
+        # VM vs simulator value
+        assert vm_obs[REFERENCE][0] == sim_obs[REFERENCE][0]
 
     @settings(max_examples=15, deadline=None)
     @given(body=statement_list(), a=st.integers(-100, 100),
@@ -664,11 +686,10 @@ class TestRandomizedSweep:
             {body}
             return a ^ b ^ c;
         }}"""
-        vm_fast, vm_ref, sim_fast, sim_ref = _four_way(
-            source, "f", [a, b, c])
-        assert vm_fast == vm_ref
-        assert sim_fast == sim_ref
-        assert vm_fast[0] == sim_fast[0]
+        vm_obs, sim_obs = _engine_sweep(source, "f", [a, b, c])
+        assert_engines_agree(vm_obs)
+        assert_engines_agree(sim_obs)
+        assert vm_obs[REFERENCE][0] == sim_obs[REFERENCE][0]
 
     @settings(max_examples=10, deadline=None)
     @given(expr=int_expr(), n=st.integers(0, 12),
@@ -687,13 +708,248 @@ class TestRandomizedSweep:
             return s;
         }}"""
         bytecode, _ = emit_module(lower_checked(source))
-        outcomes = []
+        outcomes = {}
         for engine in ENGINES:
             vm = VM(bytecode, engine=engine, fuel=fuel)
             try:
-                outcomes.append(("ok", repr(vm.call("f", [seed, n])),
-                                 vm.instructions_executed))
+                outcomes[engine] = ("ok", repr(vm.call("f", [seed, n])),
+                                    vm.instructions_executed)
             except TrapError as exc:
-                outcomes.append(("trap", str(exc),
-                                 vm.instructions_executed))
-        assert outcomes[0] == outcomes[1]
+                outcomes[engine] = ("trap", str(exc),
+                                    vm.instructions_executed)
+        assert_engines_agree(outcomes, f"fuel={fuel}")
+
+
+# ---------------------------------------------------------------------------
+# tier-2 whole-function translation
+# ---------------------------------------------------------------------------
+
+HOT_LOOP = (
+    "int helper(int x) { return x * x + 1; }"
+    "int f(int n) { int s = 0;"
+    "  for (int i = 0; i < n; i++) s += helper(i) - (s >> 2);"
+    "  return s; }"
+)
+
+
+class TestTier2Promotion:
+    """Who gets whole-function translation, and when it is built."""
+
+    def test_vm_promotes_only_hot_annotated_functions(self):
+        from repro.vm.threaded import _TIER2_UNBUILT
+
+        cold = offline_compile(HOT_LOOP, "cold")
+        hot = offline_compile(HOT_LOOP, "hot", hotness={"f": 5})
+        vm = VM(cold.bytecode, engine=FAST)
+        assert vm.call("f", [10]) == VM(cold.bytecode,
+                                        engine=REFERENCE).call("f", [10])
+        pre = cold.bytecode.functions["f"]._predecode_cache[2]
+        assert not pre.tier2_hot
+        assert pre._tier2 is _TIER2_UNBUILT, \
+            "unprofiled function must stay on the block tier"
+
+        vm = VM(hot.bytecode, engine=FAST)
+        assert vm.call("f", [10]) == VM(hot.bytecode,
+                                        engine=REFERENCE).call("f", [10])
+        pre_f = hot.bytecode.functions["f"]._predecode_cache[2]
+        assert pre_f.tier2_hot
+        assert pre_f._tier2 is not _TIER2_UNBUILT
+        assert pre_f._tier2 is not None, "build must succeed"
+        # the unannotated callee rides along on the block tier
+        pre_h = hot.bytecode.functions["helper"]._predecode_cache[2]
+        assert not pre_h.tier2_hot
+        assert pre_h._tier2 is _TIER2_UNBUILT
+
+    def test_tier2_engine_promotes_everything(self):
+        from repro.vm.threaded import _TIER2_UNBUILT
+
+        artifact = offline_compile(HOT_LOOP, "cold2")
+        vm = VM(artifact.bytecode, engine=TIER2)
+        assert vm.call("f", [10]) == VM(
+            artifact.bytecode, engine=REFERENCE).call("f", [10])
+        for name in ("f", "helper"):
+            pre = artifact.bytecode.functions[name]._predecode_cache[2]
+            assert pre._tier2 is not _TIER2_UNBUILT
+            assert pre._tier2 is not None
+
+    def test_sim_promotion_follows_jit_hint(self):
+        from repro.flows import Flow
+        from repro.jit import JITOptions
+        from repro.targets.dispatch import _TIER2_UNBUILT
+
+        artifact = offline_compile(HOT_LOOP)
+        # no hotness profile, default gate: nothing is hinted
+        plain = deploy(artifact, X86, "split")
+        assert not any(f.tier2_hint for f in plain.functions.values())
+        # explicit JITOptions(tier2=True) promotes every function
+        forced = deploy(artifact, X86,
+                        Flow("tier2-on", jit=JITOptions(tier2=True)))
+        assert all(f.tier2_hint for f in forced.functions.values())
+        sim = Simulator(forced, Memory(), engine=FAST)
+        want = Simulator(plain, Memory(),
+                         engine=REFERENCE).run("f", [9])
+        got = sim.run("f", [9])
+        assert (got.value, got.cycles, got.instructions) == \
+            (want.value, want.cycles, want.instructions)
+        pre = forced.functions["f"]._predecode_cache[2]
+        assert pre.tier2_hint and pre._tier2 is not _TIER2_UNBUILT
+        assert pre._tier2 is not None
+
+    def test_sim_hint_from_hotness_and_explicit_off(self):
+        from repro.flows import Flow
+        from repro.jit import JITOptions
+
+        hot = offline_compile(HOT_LOOP, "hot", hotness={"f": 5})
+        hinted = deploy(hot, X86, "split")
+        assert hinted.functions["f"].tier2_hint
+        assert not hinted.functions["helper"].tier2_hint
+        vetoed = deploy(hot, X86,
+                        Flow("tier2-off", jit=JITOptions(tier2=False)))
+        assert not any(f.tier2_hint for f in vetoed.functions.values())
+
+    def test_warm_module_builds_hinted_tier2(self):
+        from repro.targets import warm_module
+        from repro.targets.dispatch import _TIER2_UNBUILT
+
+        hot = offline_compile(HOT_LOOP, "hot", hotness={"f": 5})
+        compiled = deploy(hot, X86, "split")
+        warm_module(compiled)
+        pre_f = compiled.functions["f"]._predecode_cache[2]
+        assert pre_f._tier2 is not _TIER2_UNBUILT
+        assert pre_f._tier2 is not None
+        pre_h = compiled.functions["helper"]._predecode_cache[2]
+        assert pre_h._tier2 is _TIER2_UNBUILT
+
+    def test_tier2_rides_the_predecode_content_token(self):
+        """An in-place code edit invalidates the predecode and with it
+        the cached tier-2 code object; the rebuilt one sees the edit."""
+        bytecode, _ = emit_module(lower_checked(
+            "int f(int a) { return a + 5; }"))
+        vm = VM(bytecode, verify=False, engine=TIER2)
+        assert vm.call("f", [1]) == 6
+        func = bytecode.functions["f"]
+        first = func._predecode_cache[2]
+        const = next(i for i in func.code if i.op == "const")
+        const.arg = 9
+        assert vm.call("f", [1]) == 10
+        assert func._predecode_cache[2] is not first
+
+
+class TestTier2DeoptParity:
+    """Deopt back to the metered block engine: fuel boundaries and
+    traps must land on the same instruction with the same message."""
+
+    TRAP_AT_LEADER = """
+        int f(int a, int b) {
+            int s = a + 1;
+            if (s > 3) { s = s / b; }
+            return s + a;
+        }"""
+
+    def test_trap_on_first_instruction_after_fuel_boundary(self):
+        """Brute-force sweep: every fuel value from 0 to beyond the
+        trap, so some value lands the exhaustion exactly on the block
+        leader whose first real instruction traps — the deopt path must
+        pin the same instruction index as the reference either way."""
+        for fuel in range(0, 40):
+            outcomes = {engine: _vm_trap(self.TRAP_AT_LEADER, "f",
+                                         [7, 0], engine, fuel=fuel)
+                        for engine in ENGINES}
+            assert_engines_agree(outcomes, f"fuel={fuel}")
+
+    def test_fuel_pinned_at_every_block_leader(self):
+        """For each block leader L, run with ``fuel == L`` so the
+        debit of the block starting at L is the one that trips — the
+        instruction count and trap must match the reference exactly."""
+        from repro.engine import fuel_blocks
+
+        bytecode, _ = emit_module(lower_checked(self.TRAP_AT_LEADER))
+        leaders = sorted(fuel_blocks(bytecode.functions["f"].code))
+        assert len(leaders) > 2, "test program must be multi-block"
+        for leader in leaders:
+            outcomes = {engine: _vm_trap(self.TRAP_AT_LEADER, "f",
+                                         [7, 1], engine, fuel=leader)
+                        for engine in ENGINES}
+            assert_engines_agree(outcomes, f"fuel==leader {leader}")
+
+    def test_sim_dense_fuel_sweep_with_calls_and_trap(self):
+        """Simulator side: caller/callee debit interleaving plus a
+        trapping callee, swept densely across fuel values; executed
+        counts must match even when the run ends in a trap."""
+        source = (
+            "int helper(int x, int d) { return x / d; }"
+            "int f(int n, int d) { int s = 0;"
+            "  for (int i = 0; i < n; i++) s += helper(i + 1, d);"
+            "  return s; }"
+        )
+        artifact = offline_compile(source)
+        compiled = deploy(artifact, X86, "split")
+        for d in (1, 0):                      # clean run and mid-loop trap
+            for fuel in range(0, 90, 1):
+                outcomes = {}
+                for engine in ENGINES:
+                    sim = Simulator(compiled, Memory(), engine=engine,
+                                    fuel=fuel)
+                    try:
+                        result = sim.run("f", [20, d])
+                        outcomes[engine] = (
+                            "ok", repr(result.value), result.cycles,
+                            result.instructions, sim._executed)
+                    except TrapError as exc:
+                        outcomes[engine] = ("trap", str(exc),
+                                            sim._executed)
+                assert_engines_agree(outcomes, f"d={d} fuel={fuel}")
+
+    @settings(max_examples=12, deadline=None)
+    @given(n=st.integers(0, 15), d=st.integers(0, 3),
+           fuel=st.integers(1, 500))
+    def test_random_fuel_three_way_with_calls(self, n, d, fuel):
+        """Hypothesis: random fuel against a call-heavy program with a
+        possible division trap — values, traps and executed counts
+        agree across all three engines on both the VM and the
+        simulator."""
+        source = (
+            "int helper(int x, int d) { return x / d; }"
+            "int f(int n, int d) { int s = 0;"
+            "  for (int i = 0; i < n; i++) s += helper(i + 1, d);"
+            "  return s; }"
+        )
+        outcomes = {engine: _vm_trap(source, "f", [n, d], engine,
+                                     fuel=fuel)
+                    for engine in ENGINES}
+        assert_engines_agree(outcomes, f"VM n={n} d={d} fuel={fuel}")
+        artifact = offline_compile(source)
+        compiled = deploy(artifact, X86, "split")
+        sim_outcomes = {}
+        for engine in ENGINES:
+            sim = Simulator(compiled, Memory(), engine=engine,
+                            fuel=fuel)
+            try:
+                result = sim.run("f", [n, d])
+                sim_outcomes[engine] = ("ok", repr(result.value),
+                                        result.cycles,
+                                        result.instructions,
+                                        sim._executed)
+            except TrapError as exc:
+                sim_outcomes[engine] = ("trap", str(exc), sim._executed)
+        assert_engines_agree(sim_outcomes,
+                             f"sim n={n} d={d} fuel={fuel}")
+
+    def test_reused_vm_after_tier2_deopt_keeps_fuel_parity(self):
+        """Deopt mid-function (fuel), catch the trap, keep calling on
+        the same engine instance: remaining fuel must agree."""
+        bytecode, _ = emit_module(lower_checked(HOT_LOOP))
+        trails = {}
+        for engine in ENGINES:
+            vm = VM(bytecode, engine=engine, fuel=200)
+            trail = []
+            with pytest.raises(TrapError):
+                vm.call("f", [10_000])          # exhausts mid-loop
+            trail.append(vm.instructions_executed)
+            try:
+                trail.append(("ok", vm.call("f", [3])))
+            except TrapError as exc:
+                trail.append(("trap", str(exc)))
+            trail.append(vm.instructions_executed)
+            trails[engine] = trail
+        assert_engines_agree(trails)

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import pathlib
 import threading
+import time
 
 import pytest
 
@@ -143,6 +145,59 @@ class TestPersistence:
         finally:
             svc.shutdown()
 
+    def test_unreadable_entry_is_io_error_not_corruption(
+            self, tmp_path, monkeypatch):
+        """A persist entry that cannot be *read* (permissions, I/O)
+        says nothing about its content: it must degrade to a miss,
+        count as an ``io_error`` — never as corruption — and must not
+        be self-heal-deleted (the bytes may be perfectly fine)."""
+        svc = CompilationService(cache_capacity=1, persist_dir=tmp_path)
+        try:
+            svc.compile(SAXPY, "one")
+            entry = next(tmp_path.rglob("*.pvia"))
+            svc.cache.clear()
+            # Tests run as root, so chmod(0o000) would not deny the
+            # read; fail it at the Path layer instead.
+            monkeypatch.setattr(
+                pathlib.Path, "read_bytes",
+                lambda self: (_ for _ in ()).throw(
+                    PermissionError(13, "denied", str(self))))
+            outcome = svc.compile(SAXPY, "one")     # recompiles
+            assert not outcome.cache_hit
+            stats = svc.cache.stats
+            assert stats.io_errors >= 1
+            assert stats.corrupt_entries == 0
+            assert entry.exists(), "read failure must not unlink"
+            # surfaced through the service snapshot too
+            snapshot = svc.stats()
+            assert snapshot.artifact_io_errors == stats.io_errors
+            assert snapshot.as_dict()["artifact"]["io_errors"] == \
+                stats.io_errors
+        finally:
+            svc.shutdown()
+
+    def test_read_only_persist_dir_does_not_miss_loop(
+            self, tmp_path, monkeypatch):
+        """An unwritable persist dir must not fail the compile, and —
+        since the in-memory store still works — repeated compiles must
+        be cache hits, not a silent recompile loop."""
+        monkeypatch.setattr(
+            pathlib.Path, "write_bytes",
+            lambda self, data: (_ for _ in ()).throw(
+                PermissionError(13, "denied", str(self))))
+        svc = CompilationService(cache_capacity=4, persist_dir=tmp_path)
+        try:
+            first = svc.compile(SAXPY, "ro")
+            assert not first.cache_hit
+            assert svc.cache.stats.io_errors >= 1
+            assert svc.cache.stats.corrupt_entries == 0
+            # the failed persist left the in-memory entry intact
+            for _ in range(3):
+                assert svc.compile(SAXPY, "ro").cache_hit
+            assert svc.cache.stats.misses == 1
+        finally:
+            svc.shutdown()
+
     def test_disk_revival_after_eviction(self, tmp_path):
         svc = CompilationService(cache_capacity=1, persist_dir=tmp_path)
         try:
@@ -212,6 +267,73 @@ class TestService:
         ])
         assert len(results) == 2
         assert results[1].fully_cached
+
+
+# ---------------------------------------------------------------------------
+# latency accounting for coalesced requests
+# ---------------------------------------------------------------------------
+
+class TestCoalescedWait:
+    def test_joiners_add_wait_not_compile_latency(self, monkeypatch):
+        """N requests coalescing onto one in-flight compile must leave
+        the offline latency total at ~one compile's worth; the
+        joiners' wall clock lands in ``coalesced_wait`` instead."""
+        import repro.service as service_mod
+        real = service_mod.offline_compile
+        svc = CompilationService(cache_capacity=4)
+        joiners = 4
+
+        def slow(source, name="module", **options):
+            # Hold the compile open until every joiner has actually
+            # joined the in-flight future, so each one's measured
+            # latency covers a real wait.
+            deadline = time.monotonic() + 5.0
+            while svc._coalesced < joiners and \
+                    time.monotonic() < deadline:
+                time.sleep(0.002)
+            return real(source, name, **options)
+
+        monkeypatch.setattr(service_mod, "offline_compile", slow)
+        try:
+            outcomes = []
+            barrier = threading.Barrier(joiners + 1)
+
+            def worker():
+                barrier.wait()
+                outcomes.append(svc.compile(SAXPY, "herd"))
+
+            threads = [threading.Thread(target=worker)
+                       for _ in range(joiners + 1)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = svc.stats()
+            assert stats.coalesced_requests == joiners
+            assert sum(1 for o in outcomes if not o.cache_hit) == 1
+            # every joiner waited for (most of) the compile, so the
+            # wait bucket dwarfs the single compile charged to the
+            # offline total
+            assert stats.total_coalesced_wait > \
+                stats.total_offline_latency
+            assert stats.as_dict()["latency"]["coalesced_wait_s"] == \
+                stats.total_coalesced_wait
+        finally:
+            svc.shutdown()
+
+    def test_fully_memoized_submit_charges_wait(self, service):
+        """A repeat submit whose every target rides the deployment
+        memo did no JIT work: its fan-out wall clock belongs to
+        ``coalesced_wait``, not the deploy latency total."""
+        request = CompileRequest(source=SAXPY, name="m",
+                                 targets=[X86], flow="split")
+        service.submit(request)
+        before = service.stats()
+        second = service.submit(request)
+        assert second.fully_cached
+        after = service.stats()
+        assert after.total_deploy_latency == before.total_deploy_latency
+        assert after.total_coalesced_wait > before.total_coalesced_wait
 
 
 # ---------------------------------------------------------------------------
