@@ -9,7 +9,10 @@ Three engines execute everything in this reproduction:
   :mod:`repro.semantics.kernels`.  Functions carrying a hotness
   annotation that clears the adaptive threshold (or an explicit
   ``JITOptions(tier2=True)`` hint) are additionally promoted to the
-  tier-2 whole-function compiler below.
+  tier-2 whole-function compiler below.  Independently of call-entry
+  promotion, on-stack replacement (``PVI_OSR``, on by default) lets a
+  call already spinning in the block tier enter the tier-2
+  translation at a hot loop header — see DESIGN.md §2c.
 * ``tier2`` — whole-function translation: the fuel blocks of a
   function are lowered into one generated Python function (virtual
   stack / register file in Python locals, block transfers as real
@@ -46,6 +49,15 @@ ENGINE_ENV = "PVI_ENGINE"
 #: environment gate for predecoding JIT output eagerly at compile time
 JIT_PREDECODE_ENV = "PVI_JIT_PREDECODE"
 
+#: environment gate for on-stack replacement (default: enabled)
+OSR_ENV = "PVI_OSR"
+
+#: environment override for the OSR back-edge promotion threshold
+OSR_THRESHOLD_ENV = "PVI_OSR_THRESHOLD"
+
+#: back-edge visits at one leader before a call is promoted mid-loop
+DEFAULT_OSR_THRESHOLD = 64
+
 
 def default_engine() -> str:
     """The engine named by ``PVI_ENGINE`` (``fast`` when unset)."""
@@ -77,6 +89,34 @@ def predecode_at_jit() -> bool:
     first dispatch opt in, or call ``repro.targets.warm_module``)."""
     value = os.environ.get(JIT_PREDECODE_ENV, "").strip().lower()
     return value in ("1", "true", "yes", "on")
+
+
+def osr_enabled() -> bool:
+    """Is on-stack replacement on for the fast engines?  On by
+    default: a call spinning in the block-threaded tier promotes into
+    the tier-2 translation at a hot loop header instead of finishing
+    the whole call there (and a deopted call can re-enter the same
+    way).  ``PVI_OSR=0`` turns the policy off process-wide;
+    ``VM(..., osr=...)`` / ``Simulator(..., osr=...)`` override per
+    instance.  Purely a speed policy — instruction/cycle counts and
+    traps are identical either way."""
+    value = os.environ.get(OSR_ENV, "").strip().lower()
+    return value not in ("0", "false", "no", "off")
+
+
+def osr_threshold() -> int:
+    """Back-edge visits at a single loop header before the running
+    call enters tier-2 there.  Counters reset on every entry, so a
+    loop that keeps deopting re-pays the threshold between attempts —
+    bounding ping-pong overhead to ``1/threshold``."""
+    value = os.environ.get(OSR_THRESHOLD_ENV, "").strip()
+    if not value:
+        return DEFAULT_OSR_THRESHOLD
+    threshold = int(value)
+    if threshold < 1:
+        raise ValueError(f"{OSR_THRESHOLD_ENV} must be >= 1, "
+                         f"got {threshold}")
+    return threshold
 
 
 class MeterTrip(Exception):
@@ -128,6 +168,18 @@ def fuel_blocks(code) -> dict:
         end = ordered[position + 1] if position + 1 < len(ordered) else n
         lengths[leader] = end - leader
     return lengths
+
+
+def backedge_targets(code, blocks) -> frozenset:
+    """Block leaders targeted by a backward branch — the loop headers
+    a running call may on-stack-replace at.  Shared by both fast
+    engines so the candidate sets can never drift."""
+    targets = set()
+    for src, instr in enumerate(code):
+        if instr.op in ("br", "brif") and isinstance(instr.arg, int) \
+                and 0 <= instr.arg <= src:
+            targets.add(instr.arg)
+    return frozenset(targets & set(blocks))
 
 
 class CodegenEnv:

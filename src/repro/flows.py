@@ -307,9 +307,13 @@ register_flow(Flow(
 register_flow(Flow(
     "adaptive",
     jit=JITOptions(use_annotations=True, online_vectorize=True,
-                   hotness_threshold=ADAPTIVE_HOTNESS_THRESHOLD),
+                   hotness_threshold=ADAPTIVE_HOTNESS_THRESHOLD,
+                   osr=True),
     bytecode="scalar",
     description="hotness-gated online vectorization: the JIT spends "
                 "its analysis budget only on functions profiled hot; "
                 "the same hotness annotations drive the engines' "
-                "tier-2 whole-function promotion"))
+                "tier-2 whole-function promotion, and long-running "
+                "loops enter tier-2 mid-call via on-stack replacement "
+                "(osr=True makes the default engine policy explicit "
+                "for the flow that exists to tier adaptively)"))

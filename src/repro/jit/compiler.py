@@ -64,6 +64,12 @@ class JITOptions:
     #: evidence).  Advisory only: execution results are byte-identical
     #: either way.
     tier2: Optional[bool] = None
+    #: on-stack replacement hint: ``False`` opts every emitted
+    #: function out of mid-call promotion (the execution tier never
+    #: counts its back edges), ``True``/``None`` (default) leave the
+    #: engine-level ``PVI_OSR`` policy in charge.  Advisory only, like
+    #: ``tier2``.
+    osr: Optional[bool] = None
 
     @classmethod
     def flow(cls, name: str) -> "JITOptions":
@@ -154,6 +160,8 @@ class JITCompiler:
         compiled.jit_pass_work = pass_work
         compiled.jit_time = time.perf_counter() - start
         compiled.tier2_hint = self._wants_tier2(module, name)
+        compiled.osr_hint = (True if self.options.osr is None
+                             else bool(self.options.osr))
         return compiled
 
     def _wants_tier2(self, module: BytecodeModule, name: str) -> bool:

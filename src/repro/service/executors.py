@@ -62,6 +62,10 @@ class ExecutorStats:
     submitted: int = 0
     completed: int = 0
     failed: int = 0
+    #: images re-warmed on return from a worker (predecode + tier-2
+    #: translation prepaid before the image is served), so a bench can
+    #: assert that served calls never compile in-request
+    warmed: int = 0
 
     @property
     def in_flight(self) -> int:
@@ -70,7 +74,7 @@ class ExecutorStats:
     def as_dict(self) -> Dict[str, object]:
         return {"name": self.name, "submitted": self.submitted,
                 "completed": self.completed, "failed": self.failed,
-                "in_flight": self.in_flight}
+                "warmed": self.warmed, "in_flight": self.in_flight}
 
 
 class DeployExecutor:
@@ -328,6 +332,9 @@ class ProcessExecutor(DeployExecutor):
                     backend_for(target).warm(image)
                 except Exception:
                     pass   # warming is an optimization, never correctness
+                else:
+                    with self._stats_lock:
+                        self.stats.warmed += 1
             outer.set_result(image)
 
         def _relay(done: Future) -> None:

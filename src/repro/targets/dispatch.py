@@ -44,8 +44,8 @@ from typing import Callable, List
 
 from repro.engine import (
     CodegenEnv, MASK64_LITERAL, MeterTrip, _ARITH_SYMS, _F32_QUAD,
-    fuel_blocks, inline_binop, inline_cast, inline_cmp, inline_unop,
-    normalize_branch_target,
+    backedge_targets, fuel_blocks, inline_binop, inline_cast,
+    inline_cmp, inline_unop, normalize_branch_target,
 )
 from repro.lang import types as ty
 from repro.semantics.errors import TrapError
@@ -72,15 +72,35 @@ Handler = Callable
 #: and failed — don't retry per call)
 _TIER2_UNBUILT = object()
 
+#: tier-2 build-site accounting: ``warm`` builds happen off the hot
+#: path (``warm_module`` — the backend ``warm`` hook); ``request``
+#: builds happen inside a serving call.  A warmed image keeps the
+#: request bucket at zero — the stat that proves warming prepays
+#: whole-function codegen (see the service executors' warm-on-return
+#: path).
+TIER2_BUILDS = {"warm": 0, "request": 0}
+
+
+def tier2_build_stats() -> dict:
+    """Copy of the tier-2 build-site counters (see TIER2_BUILDS)."""
+    return dict(TIER2_BUILDS)
+
+
+def reset_tier2_build_stats() -> None:
+    TIER2_BUILDS["warm"] = 0
+    TIER2_BUILDS["request"] = 0
+
 
 class PredecodedMachine:
     """One compiled function's decoded form."""
 
     __slots__ = ("token", "handlers", "raw", "reg_counts", "param_locs",
-                 "frame_bytes", "tier2_hint", "_tier2", "_tier2_args")
+                 "frame_bytes", "tier2_hint", "osr_leaders", "_tier2",
+                 "_tier2_args")
 
     def __init__(self, token, handlers, raw, reg_counts, param_locs,
-                 frame_bytes, tier2_hint=False, tier2_args=(None, None)):
+                 frame_bytes, tier2_hint=False,
+                 osr_leaders=frozenset(), tier2_args=(None, None)):
         self.token = token
         self.handlers = handlers
         self.raw = raw
@@ -91,18 +111,28 @@ class PredecodedMachine:
         #: (hotness annotation cleared the threshold, or an explicit
         #: ``JITOptions(tier2=True)``)
         self.tier2_hint = tier2_hint
+        #: back-edge target leaders — candidate on-stack replacement
+        #: entry points (empty when the JIT's ``osr_hint`` opted the
+        #: function out).  The generated ``_t2`` carries its own entry
+        #: whitelist and validates the snapshot itself.
+        self.osr_leaders = osr_leaders
         self._tier2 = _TIER2_UNBUILT
         self._tier2_args = tier2_args
 
-    def tier2(self):
+    def tier2(self, warm: bool = False):
         """The whole-function tier-2 translation, built lazily on
         first request and cached here (so it rides the predecode
-        cache); ``None`` when translation failed."""
+        cache); ``None`` when translation failed.  ``warm`` marks a
+        build happening off the serving path, for the build-site
+        stats."""
         t2 = self._tier2
         if t2 is _TIER2_UNBUILT:
             func, binding = self._tier2_args
-            t2 = self._tier2 = None if func is None \
-                else _build_tier2(func, binding)
+            if func is None:
+                t2 = self._tier2 = None
+            else:
+                TIER2_BUILDS["warm" if warm else "request"] += 1
+                t2 = self._tier2 = _build_tier2(func, binding)
             self._tier2_args = (None, None)
         return t2
 
@@ -131,13 +161,17 @@ def predecode_machine(func: CompiledFunction,
 def warm_module(module: CompiledModule) -> CompiledModule:
     """Predecode every function of an image (JIT/service warm hook).
 
-    Functions the JIT hinted for tier-2 also get their whole-function
-    translation built here, so warmed deployments dispatch straight
-    into tier-2 code with no first-call compile pause."""
+    Functions the JIT hinted for tier-2 — and every on-stack
+    replacement candidate (any function with a loop header, which a
+    long-running call may promote mid-loop) — also get their
+    whole-function translation built here, so warmed deployments
+    dispatch straight into tier-2 code with no in-request compile
+    pause (:func:`tier2_build_stats` proves it: serving calls on a
+    warmed image leave the ``request`` bucket untouched)."""
     for func in module.functions.values():
         pre = predecode_machine(func, module)
-        if pre.tier2_hint:
-            pre.tier2()
+        if pre.tier2_hint or pre.osr_leaders:
+            pre.tier2(warm=True)
     return module
 
 
@@ -202,10 +236,17 @@ def _build(func: CompiledFunction, token,
 
     reg_counts, param_locs = _register_layout(func)
 
+    # The JIT's ``osr_hint`` (JITOptions.osr) can opt a function out
+    # of mid-call promotion entirely; the candidate set stays empty
+    # and the trampoline never counts its back edges.
+    osr_leaders = backedge_targets(code, blocks) \
+        if getattr(func, "osr_hint", True) else frozenset()
+
     return PredecodedMachine(token, handlers, raw, reg_counts,
                              param_locs, func.frame_bytes,
                              tier2_hint=getattr(func, "tier2_hint",
                                                 False),
+                             osr_leaders=osr_leaders,
                              tier2_args=(func, binding))
 
 
@@ -740,14 +781,17 @@ def _build_tier2(func: CompiledFunction, binding=None):
     try:
         source, env = _gen_tier2(func, binding)
         exec(compile(source, f"<pvi-sim-t2:{func.name}>", "exec"), env)
-        return env["_t2"]
+        t2 = env["_t2"]
+        #: the per-leader entry whitelist, for introspection/tests
+        t2.osr_entries = env.get("_OSR_ENTRIES", frozenset())
+        return t2
     except Exception:
         return None
 
 
 def _block_successors(code, blocks, n: int) -> dict:
-    """leader -> leaders reachable by the block's terminator (within
-    ``_t2``: entry is always pc 0, deopts never re-enter)."""
+    """leader -> leaders reachable by the block's terminator (the
+    internal edges of ``_t2``)."""
     succs = {}
     for leader, length in blocks.items():
         term = code[leader + length - 1]
@@ -774,9 +818,12 @@ def _written_at_block_entry(code, blocks, n: int,
 
     Sound because a block either runs to its terminator or exits
     ``_t2`` entirely — a mid-block trap propagates out and a fuel
-    deopt returns to the block trampoline, which never re-enters —
-    so along any *internal* edge the whole predecessor block has
-    executed and all its destinations are written."""
+    deopt returns to the block trampoline — so along any *internal*
+    edge the whole predecessor block has executed and all its
+    destinations are written.  Re-entry happens only through the OSR
+    entry points, whose prologue re-establishes this analysis' facts
+    from the live snapshot (every register assumed written at the
+    entry leader is ``_UNSET``-checked) before any block runs."""
     gen = {}
     for leader, length in blocks.items():
         gen[leader] = {instr.dst
@@ -853,18 +900,6 @@ def _gen_tier2(func: CompiledFunction, binding=None):
     def w(line: str, indent: int = 0) -> None:
         out.append(" " * indent + line)
 
-    w("def _t2(ri, rf, rv, slots, fb, mem, sim, res):")
-    w("fuel = sim.fuel", 4)
-    w("_md = mem.data; _ms = mem.size", 4)
-    if load_regs:
-        w(load_regs, 4)
-    if not has_calls:
-        w("executed = sim._executed", 4)
-        if res_load:
-            w(res_load, 4)
-    w("pc = 0", 4)
-    w("while 1:", 4)
-
     # Loop blocks head the dispatch ladder: every block inside a
     # back-edge span is checked before the straight-line entry/exit
     # blocks, so iterations match on the first arms instead of
@@ -929,6 +964,49 @@ def _gen_tier2(func: CompiledFunction, binding=None):
              if header not in {e[0] for e in loops.values()}
              and entry[0] not in loops}
     fused_latches = {entry[0] for entry in loops.values()}
+
+    # On-stack replacement entry points: translated back-edge targets
+    # (loop headers) outside fused latches.  The trampoline may call
+    # ``_t2`` with ``pc`` at one of these, handing over the live
+    # block-tier register files mid-call.
+    osr_entries = sorted(t for t in backedge_targets(code, blocks)
+                         if bodies.get(t) and t not in fused_latches)
+    env_dict["_OSR_ENTRIES"] = frozenset(osr_entries)
+
+    w("def _t2(ri, rf, rv, slots, fb, mem, sim, res, pc=0):")
+    w("fuel = sim.fuel", 4)
+    w("_md = mem.data; _ms = mem.size", 4)
+    if load_regs:
+        w(load_regs, 4)
+    # OSR entry guard: only whitelisted leaders may enter mid-call,
+    # and the entered-once dataflow facts are re-established from the
+    # snapshot — every register the must-written analysis assumed
+    # live at that leader (beyond the always-written parameter homes)
+    # is checked against ``_UNSET``, and a failed check declines the
+    # entry by returning ``pc`` untouched (nothing debited, nothing
+    # written — the block tier just continues).
+    if osr_entries:
+        osr_name = env.bind(frozenset(osr_entries), "osr")
+        w("if pc:", 4)
+        w(f"if pc not in {osr_name}:", 8)
+        w("return pc", 12)
+        for leader in osr_entries:
+            assumed = entry_written.get(leader, param_regs) - param_regs
+            names = sorted(f"{_REG_FILES[kind]}{index}"
+                           for kind, index in assumed)
+            if not names:
+                continue
+            unset = " or ".join(f"{reg} is _UNSET" for reg in names)
+            w(f"if pc == {leader} and ({unset}):", 8)
+            w("return pc", 12)
+    else:
+        w("if pc:", 4)
+        w("return pc", 8)
+    if not has_calls:
+        w("executed = sim._executed", 4)
+        if res_load:
+            w(res_load, 4)
+    w("while 1:", 4)
 
     def emit_block(leader: int, base: int, body) -> None:
         """Fuel/counter debits + (possibly metered) body at indent

@@ -100,6 +100,12 @@ class CompiledFunction:
     #: or an explicit ``JITOptions(tier2=True)``); advisory — not part
     #: of the modeled image, so excluded from equality
     tier2_hint: bool = field(default=False, compare=False)
+    #: the JIT allows mid-call (on-stack) promotion of this function;
+    #: ``JITOptions(osr=False)`` clears it.  Advisory like
+    #: ``tier2_hint`` and likewise excluded from equality, but — unlike
+    #: ``tier2_hint`` — baked into the predecode (it decides the OSR
+    #: entry-point set), so it participates in ``content_token``.
+    osr_hint: bool = field(default=True, compare=False)
 
     # -- predecode cache hook -------------------------------------------------
     #
@@ -109,11 +115,18 @@ class CompiledFunction:
     # by content.  The JIT warms this at compile time, so images
     # served from the deployment memo dispatch with no decode cost.
 
+    #: bumped whenever the predecode payload shape changes (e.g. the
+    #: OSR entry-point set added alongside the handler table), so
+    #: externally persisted tokens from older schemas never validate
+    PREDECODE_SCHEMA = 2
+
     def content_token(self) -> List:
         """Structural identity of everything the predecode bakes in:
         the code plus the parameter homes and frame size it sizes the
-        register files and stack frame from."""
-        return [tuple(self.param_locs), self.frame_bytes, self.ret_void,
+        register files and stack frame from, the OSR eligibility that
+        decides the entry-point set, and the payload schema version."""
+        return [self.PREDECODE_SCHEMA, self.osr_hint,
+                tuple(self.param_locs), self.frame_bytes, self.ret_void,
                 [(i.op, i.ty, i.dst, tuple(i.srcs), i.arg, i.cost)
                  for i in self.code]]
 

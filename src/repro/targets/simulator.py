@@ -20,7 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.engine import REFERENCE, TIER2, resolve_engine
+from repro.engine import (
+    REFERENCE, TIER2, osr_enabled, resolve_engine,
+    osr_threshold as engine_osr_threshold,
+)
 from repro.lang import types as ty
 from repro.semantics import (
     Memory, TrapError, eval_binop, eval_cast, eval_cmp, eval_unop,
@@ -58,7 +61,9 @@ class Simulator:
     def __init__(self, module: CompiledModule,
                  memory: Optional[Memory] = None,
                  fuel: int = DEFAULT_FUEL,
-                 engine: Optional[str] = None):
+                 engine: Optional[str] = None,
+                 osr: Optional[bool] = None,
+                 osr_threshold: Optional[int] = None):
         self.module = module
         self.memory = memory if memory is not None else Memory()
         self.fuel = fuel
@@ -68,9 +73,30 @@ class Simulator:
         #: whole-function compiler for every function; the default
         #: ``fast`` engine promotes only JIT-hinted functions
         self._tier2_all = self.engine == TIER2
+        #: on-stack replacement: a call spinning in the block tier
+        #: enters tier-2 at a hot loop header (and a deopted call may
+        #: re-enter the same way).  ``None`` defers to ``PVI_OSR``.
+        self._osr = self.engine != REFERENCE and \
+            (osr_enabled() if osr is None else bool(osr))
+        self._osr_threshold = engine_osr_threshold() \
+            if osr_threshold is None else max(1, int(osr_threshold))
+        #: tiering observability: calls entered via tier-2 at pc 0,
+        #: successful mid-call OSR entries, and the subset of OSR
+        #: entries that re-entered after an earlier tier-2 deopt in
+        #: the same call
+        self.tier2_promotions = 0
+        self.osr_entries = 0
+        self.deopt_reentries = 0
         #: per-simulator memo of validated predecodes, by function name
         self._predecoded: Dict[str, dispatch.PredecodedMachine] = {}
         self._ret = None
+
+    def tiering_stats(self) -> Dict[str, int]:
+        """The tiering counters in machine-readable form (bench JSON
+        attaches these so BENCH files prove the policy fired)."""
+        return {"tier2_promotions": self.tier2_promotions,
+                "osr_entries": self.osr_entries,
+                "deopt_reentries": self.deopt_reentries}
 
     def run(self, name: str, args: List) -> SimulationResult:
         """Call function ``name``; returns result + counters."""
@@ -116,6 +142,8 @@ class Simulator:
             if pre.frame_bytes else 0
         handlers = pre.handlers
         pc = 0
+        deopted = False
+        t2 = None
         try:
             if self._tier2_all or pre.tier2_hint:
                 t2 = pre.tier2()
@@ -125,8 +153,13 @@ class Simulator:
                     # for the block-threaded trampoline below to
                     # continue from (which re-debits and meters the
                     # fuel trap exactly as usual).
+                    self.tier2_promotions += 1
                     pc = t2(ri, rf, rv, slots, frame_base, memory,
                             self, counters)
+                    deopted = pc >= 0
+            if pc >= 0 and self._osr and pre.osr_leaders:
+                pc = self._run_osr(pre, t2, pc, deopted, ri, rf, rv,
+                                   slots, frame_base, counters)
             while pc >= 0:
                 try:
                     pc = handlers[pc](ri, rf, rv, slots, frame_base,
@@ -138,6 +171,65 @@ class Simulator:
             if pre.frame_bytes:
                 memory.pop_frame(frame_base, pre.frame_bytes)
         return self._ret
+
+    #: per-call counter value that retires an OSR leader (a declined
+    #: entry can never succeed later in the same call — the counter is
+    #: parked so far negative it cannot re-cross the threshold)
+    _OSR_DISABLED = -(1 << 62)
+
+    def _run_osr(self, pre, t2, pc: int, deopted: bool, ri, rf, rv,
+                 slots, frame_base, counters) -> int:
+        """Block-tier trampoline with back-edge hotness counters.
+
+        Identical to the plain loop in :meth:`_call_fast` except that
+        every backward transfer to a candidate loop header is counted;
+        at the threshold the live register files — plus the spill
+        slots and the fuel/cycle counters — *are* the snapshot, and
+        ``_t2`` is entered at that leader (on-stack replacement).  The
+        tier-2 prologue revalidates its must-written facts from the
+        snapshot and declines by returning the entry pc untouched, in
+        which case that leader is retired for the rest of the call.  A
+        deopted call keeps counting, so hot deopt sites re-enter
+        ``_t2`` instead of finishing the call in the block tier.
+        Entries and deopts are undebited: instruction/cycle counts and
+        traps stay byte-identical to the plain loop."""
+        memory = self.memory
+        handlers = pre.handlers
+        threshold = self._osr_threshold
+        leaders = pre.osr_leaders
+        counts: Dict[int, int] = {}
+        while pc >= 0:
+            try:
+                new_pc = handlers[pc](ri, rf, rv, slots, frame_base,
+                                      memory, self, counters)
+            except dispatch.MeterTrip as trip:
+                new_pc = self._run_metered(trip.pc, pre.raw, ri, rf,
+                                           rv, slots, frame_base,
+                                           counters)
+            if 0 <= new_pc <= pc and new_pc in leaders:
+                count = counts.get(new_pc, 0) + 1
+                if count < threshold:
+                    counts[new_pc] = count
+                else:
+                    counts[new_pc] = 0
+                    if t2 is None:
+                        t2 = pre.tier2()
+                        if t2 is None:      # build declined: the call
+                            leaders = ()    # stops counting entirely
+                            pc = new_pc
+                            continue
+                    entered = new_pc
+                    new_pc = t2(ri, rf, rv, slots, frame_base, memory,
+                                self, counters, entered)
+                    if new_pc == entered:
+                        counts[entered] = self._OSR_DISABLED
+                    else:
+                        self.osr_entries += 1
+                        if deopted:
+                            self.deopt_reentries += 1
+                        deopted = new_pc >= 0
+            pc = new_pc
+        return pc
 
     def _run_metered(self, pc: int, raw, ri, rf, rv, slots, frame_base,
                      counters) -> int:

@@ -58,8 +58,8 @@ from repro.bytecode.module import (
 from repro.bytecode.opcodes import BIN_OPS, UN_OPS, type_of
 from repro.engine import (
     CodegenEnv, MASK64_LITERAL, MeterTrip, _ARITH_SYMS, _F32_QUAD,
-    fuel_blocks, inline_binop, inline_cast, inline_cmp, inline_unop,
-    normalize_branch_target,
+    backedge_targets, fuel_blocks, inline_binop, inline_cast,
+    inline_cmp, inline_unop, normalize_branch_target,
 )
 from repro.lang import types as ty
 from repro.semantics.errors import TrapError
@@ -81,6 +81,24 @@ Handler = Callable
 #: failed or declined; stay block-threaded")
 _TIER2_UNBUILT = object()
 
+#: tier-2 build-site accounting: ``warm`` builds happen off the hot
+#: path (``warm_bytecode_module`` / the backend ``warm`` hook twin in
+#: :mod:`repro.targets.dispatch`); ``request`` builds happen inside a
+#: serving call.  A warmed image should keep the request bucket at
+#: zero — the bench/CI stat that proves warming actually prepays
+#: whole-function codegen.
+TIER2_BUILDS = {"warm": 0, "request": 0}
+
+
+def tier2_build_stats() -> dict:
+    """Copy of the tier-2 build-site counters (see TIER2_BUILDS)."""
+    return dict(TIER2_BUILDS)
+
+
+def reset_tier2_build_stats() -> None:
+    TIER2_BUILDS["warm"] = 0
+    TIER2_BUILDS["request"] = 0
+
 
 class PredecodedFunction:
     """One function's decoded form: block-compiled handlers at fuel
@@ -90,11 +108,12 @@ class PredecodedFunction:
 
     __slots__ = ("token", "handlers", "raw", "frame_size",
                  "scalar_defaults", "vector_locals", "has_ret",
-                 "tier2_hot", "_tier2", "_tier2_args")
+                 "tier2_hot", "osr_leaders", "_tier2", "_tier2_args")
 
     def __init__(self, token, handlers, raw, frame_size,
                  scalar_defaults, vector_locals, has_ret,
-                 tier2_hot=False, tier2_args=(None, None)):
+                 tier2_hot=False, osr_leaders=frozenset(),
+                 tier2_args=(None, None)):
         self.token = token
         self.handlers = handlers
         self.raw = raw
@@ -106,19 +125,30 @@ class PredecodedFunction:
         #: adaptive threshold for this function?  (the default engine's
         #: tier-2 promotion gate; ``engine="tier2"`` ignores it)
         self.tier2_hot = tier2_hot
+        #: back-edge target leaders — the candidate on-stack
+        #: replacement entry points the trampoline counts visits at.
+        #: The generated ``_t2`` carries its own (possibly narrower)
+        #: entry whitelist and validates the snapshot itself; this set
+        #: only gates whether counting is worth doing at all.
+        self.osr_leaders = osr_leaders
         self._tier2 = _TIER2_UNBUILT
         self._tier2_args = tier2_args
 
-    def tier2(self):
+    def tier2(self, warm: bool = False):
         """The whole-function tier-2 translation, built on first
         request and cached with the predecode (so it rides the same
         content-token invalidation).  ``None`` means the build failed
-        or was declined — callers stay on the block-threaded tier."""
+        or was declined — callers stay on the block-threaded tier.
+        ``warm`` marks a build happening off the serving path (the
+        warm hooks), for the build-site stats."""
         t2 = self._tier2
         if t2 is _TIER2_UNBUILT:
             func, binding = self._tier2_args
-            t2 = self._tier2 = None if func is None \
-                else _build_tier2(func, binding)
+            if func is None:
+                t2 = self._tier2 = None
+            else:
+                TIER2_BUILDS["warm" if warm else "request"] += 1
+                t2 = self._tier2 = _build_tier2(func, binding)
             self._tier2_args = (None, None)
         return t2
 
@@ -214,7 +244,22 @@ def _build(func: BytecodeFunction, token, binding=None,
         token, handlers, raw, func.frame_size(), scalar_defaults,
         vector_locals, func.ret_type is not None,
         tier2_hot=_tier2_hot(func, module),
+        osr_leaders=backedge_targets(code, blocks),
         tier2_args=(func, binding))
+
+
+def warm_bytecode_module(module) -> None:
+    """Predecode every function of a bytecode module and pre-build the
+    tier-2 translation wherever a serving call could want it — the
+    hotness-promoted functions and every OSR candidate (any function
+    with a loop header).  The VM twin of
+    :func:`repro.targets.dispatch.warm_module`: after this, calls
+    never run whole-function codegen in-request
+    (:func:`tier2_build_stats` proves it)."""
+    for func in module.functions.values():
+        pre = predecode(func, module)
+        if pre.tier2_hot or pre.osr_leaders:
+            pre.tier2(warm=True)
 
 
 def _tier2_hot(func, module) -> bool:
@@ -991,7 +1036,10 @@ def _build_tier2(func: BytecodeFunction, binding=None):
     try:
         source, env = _gen_tier2(func, binding)
         exec(compile(source, f"<pvi-t2:{func.name}>", "exec"), env)
-        return env["_t2"]
+        t2 = env["_t2"]
+        #: the per-leader entry whitelist, for introspection/tests
+        t2.osr_entries = env.get("_OSR_ENTRIES", frozenset())
+        return t2
     except Exception:
         return None
 
@@ -1046,12 +1094,14 @@ def _gen_tier2(func: BytecodeFunction, binding=None):
     # grow monotonically: once a local is tuple-bearing, every ldloc
     # of it — in every block — must treat the value as maybe-tuple,
     # which can in turn surface new tuple stores.  Lane facts shrink
-    # monotonically: ``_t2`` is entered exactly once, at pc 0, with
-    # every vector local freshly initialized to ``[0] * lanes`` (and
-    # deopts never re-enter), so a vector local provably keeps its
-    # lane count as long as every ``stloc`` to it anywhere stores a
-    # value with that proven count — a store that cannot be proven
-    # drops the local from the set, which can cascade.  A pass
+    # monotonically: ``_t2`` is entered at pc 0 with every vector
+    # local freshly initialized to ``[0] * lanes`` (an OSR entry at a
+    # loop header instead re-checks each proven local against the
+    # snapshot in the prologue, or declines), so a vector local
+    # provably keeps its lane count as long as every ``stloc`` to it
+    # anywhere stores a value with that proven count — a store that
+    # cannot be proven drops the local from the set, which can
+    # cascade.  A pass
     # regenerates all blocks under the current sets and the loop
     # stops when both are stable (env.bind names accumulated by
     # discarded passes stay in the exec environment, unused).
@@ -1130,7 +1180,19 @@ def _gen_tier2(func: BytecodeFunction, binding=None):
              and entry[0] not in loops}
     fused_latches = {entry[0] for entry in loops.values()}
 
-    w("def _t2(s, lo, ar, fb, mem, vm):")
+    # On-stack replacement entry points: translated back-edge targets
+    # (loop headers) outside fused latches.  The trampoline may call
+    # ``_t2`` with ``pc`` at one of these, handing over the live
+    # block-tier frame mid-call; the prologue below re-establishes
+    # every entered-once fact from that snapshot or declines the
+    # entry by returning ``pc`` untouched (nothing debited, nothing
+    # written — the block tier just continues).
+    osr_entries = frozenset(
+        t for t in backedge_targets(code, blocks)
+        if bodies.get(t) and t not in fused_latches)
+    env_dict["_OSR_ENTRIES"] = osr_entries
+
+    w("def _t2(s, lo, ar, fb, mem, vm, pc=0):")
     if num_params:
         # Entry arity guard: deopt (undebited, before touching any
         # state) when the caller passed fewer args than the signature
@@ -1139,7 +1201,7 @@ def _gen_tier2(func: BytecodeFunction, binding=None):
         # in-signature ``ar[k]`` read is provably safe, which lets the
         # emitter defer them as pure expressions.
         w(f"if len(ar) < {num_params}:", 4)
-        w("return 0", 8)
+        w("return pc", 8)
         w("; ".join(f"a{k} = ar[{k}]" for k in range(num_params)), 4)
     w("fuel = vm.fuel", 4)
     w("_md = mem.data; _ms = mem.size", 4)
@@ -1151,9 +1213,27 @@ def _gen_tier2(func: BytecodeFunction, binding=None):
         w("; ".join(f"_ms{n} = _ms - {n}" for n in bounds_sizes), 4)
     if load_locals:
         w(load_locals, 4)
+    # OSR entry guard: only whitelisted leaders may enter mid-call,
+    # and the fresh-locals lane facts (proven under "entered once at
+    # pc 0") are re-checked against the snapshot — the block tier
+    # stores plain lists, so a lane-proven local must arrive as a
+    # list of exactly the proven count or the entry is declined.
+    if osr_entries:
+        osr_name = env.bind(osr_entries, "osr")
+        lane_checks = " and ".join(
+            f"type(l{index}) is list and len(l{index}) == {lanes}"
+            for index, lanes in sorted(lane_locals.items()))
+        w("if pc:", 4)
+        if lane_checks:
+            w(f"if pc not in {osr_name} or not ({lane_checks}):", 8)
+        else:
+            w(f"if pc not in {osr_name}:", 8)
+        w("return pc", 12)
+    else:
+        w("if pc:", 4)
+        w("return pc", 8)
     if not has_calls:
         w("executed = vm.instructions_executed", 4)
-    w("pc = 0", 4)
     w("while 1:", 4)
 
     def emit_deopt(leader: int, base: int) -> None:

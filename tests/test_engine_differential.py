@@ -953,3 +953,328 @@ class TestTier2DeoptParity:
             trail.append(vm.instructions_executed)
             trails[engine] = trail
         assert_engines_agree(trails)
+
+
+# ---------------------------------------------------------------------------
+# on-stack replacement
+# ---------------------------------------------------------------------------
+
+class TestOSR:
+    """Mid-call tiering: a call spinning in the block tier enters
+    tier-2 at a hot loop header, and a deopted call re-enters the same
+    way — all of it held to exact value/instruction/trap parity with
+    the reference ladder."""
+
+    #: single long loop, no hotness annotation: starts on the block
+    #: tier and can only reach tier-2 through OSR
+    LONG_LOOP = (
+        "int f(int n) { int s = 0;"
+        "  for (int i = 0; i < n; i++) s += i * 3 - (s >> 2);"
+        "  return s; }"
+    )
+
+    #: multi-block loop body (branchy), so the loop carries interior
+    #: leaders distinct from the header — deopt points for the forced
+    #: re-entry tests and extra fuel boundaries for the sweeps
+    BRANCHY_LOOP = (
+        "int f(int n) { int s = 0;"
+        "  for (int i = 0; i < n; i++) {"
+        "    if (i & 1) { s += i * 3; } else { s -= i; }"
+        "    s = s ^ (s >> 2);"
+        "  }"
+        "  return s; }"
+    )
+
+    # -- entry parity and counters ----------------------------------------
+
+    def test_vm_osr_entry_matches_reference(self):
+        bytecode, _ = emit_module(lower_checked(self.LONG_LOOP))
+        want = VM(bytecode, engine=REFERENCE)
+        want_value = want.call("f", [1_000])
+        vm = VM(bytecode, engine=FAST, osr=True, osr_threshold=8)
+        assert vm.call("f", [1_000]) == want_value
+        assert vm.instructions_executed == want.instructions_executed
+        stats = vm.tiering_stats()
+        assert stats["osr_entries"] >= 1, \
+            "an unannotated hot loop must tier up mid-call"
+        assert stats["tier2_promotions"] == 0, \
+            "no hotness hint: the call must not start in tier-2"
+        assert stats["deopt_reentries"] == 0
+
+    def test_sim_osr_entry_matches_reference(self):
+        artifact = offline_compile(self.LONG_LOOP)
+        compiled = deploy(artifact, X86, "split")
+        want = Simulator(compiled, Memory(),
+                         engine=REFERENCE).run("f", [1_000])
+        sim = Simulator(compiled, Memory(), engine=FAST,
+                        osr=True, osr_threshold=8)
+        got = sim.run("f", [1_000])
+        assert (got.value, got.instructions, got.cycles,
+                got.branches) == (want.value, want.instructions,
+                                  want.cycles, want.branches)
+        stats = sim.tiering_stats()
+        assert stats["osr_entries"] >= 1
+        assert stats["tier2_promotions"] == 0
+
+    def test_vm_osr_off_knob(self):
+        bytecode, _ = emit_module(lower_checked(self.LONG_LOOP))
+        want = VM(bytecode, engine=REFERENCE).call("f", [1_000])
+        vm = VM(bytecode, engine=FAST, osr=False, osr_threshold=8)
+        assert vm.call("f", [1_000]) == want
+        assert vm.tiering_stats()["osr_entries"] == 0
+
+    def test_osr_env_knob(self, monkeypatch):
+        from repro.engine import OSR_ENV
+
+        bytecode, _ = emit_module(lower_checked(self.LONG_LOOP))
+        monkeypatch.setenv(OSR_ENV, "0")
+        off = VM(bytecode, engine=FAST, osr_threshold=8)
+        off.call("f", [1_000])
+        assert off.tiering_stats()["osr_entries"] == 0
+        monkeypatch.setenv(OSR_ENV, "1")
+        on = VM(bytecode, engine=FAST, osr_threshold=8)
+        on.call("f", [1_000])
+        assert on.tiering_stats()["osr_entries"] >= 1
+
+    # -- fuel boundaries across OSR entries --------------------------------
+
+    def test_vm_fuel_sweep_across_osr_boundaries(self):
+        """Dense fuel sweep with a tiny OSR threshold: some fuel value
+        lands the exhaustion on every block leader — including the
+        snapshot leaders OSR enters at — and the trap must pin the same
+        instruction as the reference every time."""
+        bytecode, _ = emit_module(lower_checked(self.BRANCHY_LOOP))
+        for fuel in range(0, 260):
+            outcomes = {}
+            for engine in ENGINES:
+                vm = VM(bytecode, engine=engine, fuel=fuel,
+                        osr=True, osr_threshold=3)
+                try:
+                    outcomes[engine] = ("ok", repr(vm.call("f", [40])),
+                                        vm.instructions_executed)
+                except TrapError as exc:
+                    outcomes[engine] = ("trap", str(exc),
+                                        vm.instructions_executed)
+            assert_engines_agree(outcomes, f"fuel={fuel}")
+
+    def test_sim_fuel_sweep_across_osr_boundaries(self):
+        artifact = offline_compile(self.BRANCHY_LOOP)
+        compiled = deploy(artifact, X86, "split")
+        for fuel in range(0, 300, 2):
+            outcomes = {}
+            for engine in ENGINES:
+                sim = Simulator(compiled, Memory(), engine=engine,
+                                fuel=fuel, osr=True, osr_threshold=3)
+                try:
+                    result = sim.run("f", [40])
+                    outcomes[engine] = ("ok", repr(result.value),
+                                        result.cycles,
+                                        result.instructions,
+                                        sim._executed)
+                except TrapError as exc:
+                    outcomes[engine] = ("trap", str(exc), sim._executed)
+            assert_engines_agree(outcomes, f"fuel={fuel}")
+
+    @settings(max_examples=12, deadline=None)
+    @given(n=st.integers(0, 40), fuel=st.integers(1, 600),
+           threshold=st.integers(1, 6))
+    def test_random_fuel_with_osr(self, n, fuel, threshold):
+        """Hypothesis: random fuel x random (low) OSR threshold, so
+        entries land at arbitrary loop trip counts — values, traps and
+        executed counts agree three ways on both machines."""
+        bytecode, _ = emit_module(lower_checked(self.BRANCHY_LOOP))
+        outcomes = {}
+        for engine in ENGINES:
+            vm = VM(bytecode, engine=engine, fuel=fuel,
+                    osr=True, osr_threshold=threshold)
+            try:
+                outcomes[engine] = ("ok", repr(vm.call("f", [n])),
+                                    vm.instructions_executed)
+            except TrapError as exc:
+                outcomes[engine] = ("trap", str(exc),
+                                    vm.instructions_executed)
+        assert_engines_agree(outcomes,
+                             f"VM n={n} fuel={fuel} thr={threshold}")
+        artifact = offline_compile(self.BRANCHY_LOOP)
+        compiled = deploy(artifact, X86, "split")
+        sim_outcomes = {}
+        for engine in ENGINES:
+            sim = Simulator(compiled, Memory(), engine=engine,
+                            fuel=fuel, osr=True, osr_threshold=threshold)
+            try:
+                result = sim.run("f", [n])
+                sim_outcomes[engine] = ("ok", repr(result.value),
+                                        result.cycles,
+                                        result.instructions,
+                                        sim._executed)
+            except TrapError as exc:
+                sim_outcomes[engine] = ("trap", str(exc),
+                                        sim._executed)
+        assert_engines_agree(sim_outcomes,
+                             f"sim n={n} fuel={fuel} thr={threshold}")
+
+    # -- deopt re-entry -----------------------------------------------------
+
+    def test_vm_deopt_reentry_at_hot_site(self, monkeypatch):
+        """Force every non-header block untranslatable in tier-2: each
+        entered iteration deopts at the first interior leader, counting
+        continues, and the hot header re-enters ``_t2`` — the
+        ``deopt_reentries`` counter must fire and parity must hold."""
+        from repro.engine import backedge_targets, fuel_blocks
+        from repro.vm import threaded
+
+        bytecode, _ = emit_module(lower_checked(self.BRANCHY_LOOP))
+        code = bytecode.functions["f"].code
+        keep = backedge_targets(code, fuel_blocks(code))
+        assert keep, "test program must have a loop header"
+        real = threaded._gen_block_lines
+
+        def failing(code_, leader, length, frame_offsets, env,
+                    binding=None, **kwargs):
+            if kwargs.get("tier2") and leader not in keep:
+                raise RuntimeError("forced untranslatable (test)")
+            return real(code_, leader, length, frame_offsets, env,
+                        binding, **kwargs)
+
+        monkeypatch.setattr(threaded, "_gen_block_lines", failing)
+        want = VM(bytecode, engine=REFERENCE)
+        want_value = want.call("f", [200])
+        vm = VM(bytecode, engine=TIER2, osr=True, osr_threshold=4)
+        assert vm.call("f", [200]) == want_value
+        assert vm.instructions_executed == want.instructions_executed
+        stats = vm.tiering_stats()
+        assert stats["osr_entries"] >= 2
+        assert stats["deopt_reentries"] >= 1, \
+            "a hot deopt site must re-enter tier-2"
+
+    def test_sim_deopt_reentry_at_hot_site(self, monkeypatch):
+        from repro.engine import backedge_targets, fuel_blocks
+        from repro.targets import dispatch
+
+        artifact = offline_compile(self.BRANCHY_LOOP)
+        compiled = deploy(artifact, X86, "split")
+        code = compiled.functions["f"].code
+        keep = backedge_targets(code, fuel_blocks(code))
+        assert keep, "test program must have a loop header"
+        real = dispatch._gen_block_lines
+
+        def failing(name, code_, leader, length, env, written_at_entry,
+                    binding=None, **kwargs):
+            if kwargs.get("tier2") and leader not in keep:
+                raise RuntimeError("forced untranslatable (test)")
+            return real(name, code_, leader, length, env,
+                        written_at_entry, binding, **kwargs)
+
+        monkeypatch.setattr(dispatch, "_gen_block_lines", failing)
+        want = Simulator(compiled, Memory(),
+                         engine=REFERENCE).run("f", [200])
+        sim = Simulator(compiled, Memory(), engine=TIER2,
+                        osr=True, osr_threshold=4)
+        got = sim.run("f", [200])
+        assert (got.value, got.instructions, got.cycles) == \
+            (want.value, want.instructions, want.cycles)
+        stats = sim.tiering_stats()
+        assert stats["osr_entries"] >= 2
+        assert stats["deopt_reentries"] >= 1
+
+    def test_vm_declined_entry_is_retired(self):
+        """A ``_t2`` that declines the snapshot (returns the entry pc
+        untouched) must be asked at most once per leader per call: the
+        counter is parked, the call finishes on the block tier, and
+        nothing is counted as an entry."""
+        bytecode, _ = emit_module(lower_checked(self.LONG_LOOP))
+        want = VM(bytecode, engine=REFERENCE).call("f", [1_000])
+        vm = VM(bytecode, engine=FAST, osr=True, osr_threshold=8)
+        pre = vm._predecode(bytecode.functions["f"])
+        attempts = []
+
+        def declining(s, lo, ar, fb, mem, vm_, pc=0):
+            attempts.append(pc)
+            return pc                      # decline: state untouched
+
+        pre._tier2 = declining
+        pre._tier2_args = (None, None)
+        assert vm.call("f", [1_000]) == want
+        assert vm.tiering_stats()["osr_entries"] == 0
+        leaders = set(pre.osr_leaders)
+        assert attempts and set(attempts) <= leaders
+        assert len(attempts) == len(set(attempts)), \
+            "a declined leader must be retired for the rest of the call"
+
+    # -- the JIT-level opt-out and its cache identity -----------------------
+
+    def test_jit_osr_hint_opt_out(self):
+        from repro.flows import Flow
+        from repro.jit import JITOptions
+
+        artifact = offline_compile(self.LONG_LOOP)
+        vetoed = deploy(artifact, X86,
+                        Flow("osr-off", jit=JITOptions(osr=False)))
+        assert not any(f.osr_hint for f in vetoed.functions.values())
+        want = Simulator(vetoed, Memory(),
+                         engine=REFERENCE).run("f", [1_000])
+        sim = Simulator(vetoed, Memory(), engine=FAST, osr=True,
+                        osr_threshold=8)
+        got = sim.run("f", [1_000])
+        assert (got.value, got.instructions) == (want.value,
+                                                 want.instructions)
+        assert sim.tiering_stats()["osr_entries"] == 0
+        pre = vetoed.functions["f"]._predecode_cache[2]
+        assert not pre.osr_leaders
+
+    def test_osr_hint_rides_the_content_token(self):
+        """Flipping ``osr_hint`` in place must invalidate the machine
+        predecode — the entry-point set is baked into the payload."""
+        from repro.targets.dispatch import predecode_machine
+
+        artifact = offline_compile(self.LONG_LOOP)
+        compiled = deploy(artifact, X86, "split")
+        func = compiled.functions["f"]
+        with_osr = predecode_machine(func, compiled)
+        assert with_osr.osr_leaders
+        func.osr_hint = False
+        without = predecode_machine(func, compiled)
+        assert without is not with_osr
+        assert not without.osr_leaders
+
+    # -- warming: tier-2 is never built in-request --------------------------
+
+    def test_warm_bytecode_module_prebuilds_osr_tier2(self):
+        from repro.vm.threaded import (
+            reset_tier2_build_stats, tier2_build_stats,
+            warm_bytecode_module,
+        )
+
+        bytecode, _ = emit_module(lower_checked(self.LONG_LOOP))
+        reset_tier2_build_stats()
+        warm_bytecode_module(bytecode)
+        warmed = tier2_build_stats()
+        assert warmed["warm"] >= 1, \
+            "an OSR candidate must be translated by the warm hook"
+        vm = VM(bytecode, engine=FAST, osr=True, osr_threshold=8)
+        want = VM(bytecode, engine=REFERENCE).call("f", [1_000])
+        assert vm.call("f", [1_000]) == want
+        assert vm.tiering_stats()["osr_entries"] >= 1
+        assert tier2_build_stats()["request"] == warmed["request"], \
+            "a warmed module must never build tier-2 in-request"
+
+    def test_warm_module_prebuilds_osr_tier2(self):
+        from repro.targets import warm_module
+        from repro.targets.dispatch import (
+            reset_tier2_build_stats, tier2_build_stats,
+        )
+
+        artifact = offline_compile(self.LONG_LOOP)
+        compiled = deploy(artifact, X86, "split")
+        reset_tier2_build_stats()
+        warm_module(compiled)
+        warmed = tier2_build_stats()
+        assert warmed["warm"] >= 1
+        sim = Simulator(compiled, Memory(), engine=FAST,
+                        osr=True, osr_threshold=8)
+        want = Simulator(compiled, Memory(),
+                         engine=REFERENCE).run("f", [1_000])
+        got = sim.run("f", [1_000])
+        assert got.value == want.value
+        assert sim.tiering_stats()["osr_entries"] >= 1
+        assert tier2_build_stats()["request"] == warmed["request"]

@@ -154,6 +154,34 @@ class TestExecutorEquivalence:
         finally:
             svc.shutdown()
 
+    def test_process_executor_warms_images_before_serving(self):
+        """Images returned from worker processes are re-warmed —
+        predecode plus tier-2 translation — *before* the future
+        settles: the ``warmed`` stat counts them, and serving the
+        image never builds tier-2 in-request."""
+        from repro.targets.dispatch import (
+            reset_tier2_build_stats, tier2_build_stats,
+        )
+
+        executor = ProcessExecutor(max_workers=1)
+        svc = CompilationService(executor=executor)
+        try:
+            artifact = svc.artifact(SAXPY, "k")
+            reset_tier2_build_stats()
+            image = svc.deploy(artifact, X86, "split")
+            assert executor.stats.warmed == 1
+            assert executor.stats.as_dict()["warmed"] == 1
+            warmed = tier2_build_stats()
+            assert warmed["warm"] >= 1, \
+                "saxpy has a loop header: the warm hook must " \
+                "pre-translate the OSR candidate"
+            simulate("saxpy_fp", image)
+            assert tier2_build_stats()["request"] == \
+                warmed["request"], \
+                "a warmed image must never compile tier-2 in-request"
+        finally:
+            svc.shutdown()
+
 
 # ---------------------------------------------------------------------------
 # failure accounting (the fully_cached fix)
