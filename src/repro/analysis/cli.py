@@ -1,0 +1,127 @@
+"""``pvi-lint``: render admission-lint findings with disassembly context.
+
+Usage::
+
+    pvi-lint prog.pvi [more.pvi ...]     # lint DSL source files
+    pvi-lint --workloads                 # lint every bundled kernel
+    pvi-lint --json prog.pvi             # machine-readable findings
+    pvi-lint --strict prog.pvi           # exit 1 on warnings too
+
+Exit status: 0 clean (or info-only), 1 findings at the failing
+severity (``error`` by default, ``warn``+ with ``--strict``), 2 a
+source failed to compile at all.  CI runs this over ``examples/`` and
+the workload kernels and fails the build on ``error`` findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.lint import LintFinding, lint_bytecode_module
+from repro.bytecode.disasm import disassemble_function
+
+#: disassembly lines shown around a finding's pc
+_CONTEXT = 2
+
+
+def _pc_context(func, pc: int) -> List[str]:
+    """Disassembly lines around ``pc``, the finding's line marked."""
+    lines = disassemble_function(func).splitlines()
+    header = 1 + (1 if func.local_types else 0) + len(func.frame_slots)
+    index = header + pc
+    if not (header <= index < len(lines)):
+        return []
+    lo = max(header, index - _CONTEXT)
+    hi = min(len(lines), index + _CONTEXT + 1)
+    out = []
+    for i in range(lo, hi):
+        marker = ">>" if i == index else "  "
+        out.append(f"    {marker}{lines[i]}")
+    return out
+
+
+def _render(module, findings: List[LintFinding]) -> str:
+    out: List[str] = []
+    for finding in findings:
+        out.append(str(finding))
+        func = module.functions.get(finding.function)
+        if func is not None and finding.pc is not None:
+            out.extend(_pc_context(func, finding.pc))
+    return "\n".join(out)
+
+
+def _lint_source(source: str, name: str):
+    """``(module, findings)`` for one DSL program; compile errors are
+    reported as a single error finding on a ``None`` module."""
+    from repro.core.offline import offline_compile
+
+    try:
+        artifact = offline_compile(source, name)
+    except Exception as exc:
+        return None, [LintFinding("error", "compile", name, None,
+                                  f"offline compile failed: {exc}")]
+    return artifact.bytecode, lint_bytecode_module(artifact.bytecode)
+
+
+def _targets(args) -> List:
+    """``(name, source)`` pairs to lint."""
+    pairs = []
+    for path in args.sources:
+        with open(path, "r", encoding="utf-8") as handle:
+            pairs.append((path, handle.read()))
+    if args.workloads:
+        from repro.workloads.kernels import ALL_KERNELS
+        pairs.extend((f"kernel:{k.name}", k.source)
+                     for k in ALL_KERNELS.values())
+    return pairs
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pvi-lint", description=__doc__.splitlines()[0])
+    parser.add_argument("sources", nargs="*",
+                        help="PVI DSL source files to lint")
+    parser.add_argument("--workloads", action="store_true",
+                        help="also lint every bundled workload kernel")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on warnings, not just errors")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit findings as a JSON array")
+    args = parser.parse_args(argv)
+    pairs = _targets(args)
+    if not pairs:
+        parser.error("no sources given (pass files or --workloads)")
+
+    failing = ("error", "warn") if args.strict else ("error",)
+    all_findings: List[LintFinding] = []
+    rendered: List[str] = []
+    for name, source in pairs:
+        module, findings = _lint_source(source, name)
+        all_findings.extend(findings)
+        if findings and not args.as_json:
+            rendered.append(f"== {name} ==")
+            if module is not None:
+                rendered.append(_render(module, findings))
+            else:
+                rendered.extend(str(f) for f in findings)
+
+    if args.as_json:
+        print(json.dumps([f.as_dict() for f in all_findings], indent=2))
+    else:
+        if rendered:
+            print("\n".join(rendered))
+        counts = {s: sum(1 for f in all_findings if f.severity == s)
+                  for s in ("error", "warn", "info")}
+        print(f"pvi-lint: {len(pairs)} module(s), "
+              f"{counts['error']} error(s), {counts['warn']} warning(s), "
+              f"{counts['info']} note(s)")
+    if any(f.code == "compile" for f in all_findings):
+        return 2
+    return 1 if any(f.severity in failing for f in all_findings) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

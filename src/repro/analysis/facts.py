@@ -1,0 +1,179 @@
+"""Proven-facts tables: the cacheable product of the dataflow plane.
+
+The paper's split puts expensive analysis on the offline side and
+leaves the runtime a cheap consumer; :class:`FunctionFacts` is the
+interface between the two.  One analysis run per function produces a
+plain-data, picklable record of everything the tier-2 emitters and
+the lint plane need:
+
+* the fuel-block map and which leaders are reachable,
+* the VM lane/tuple fixpoint (``tuple_locals``/``lane_locals``) and
+  every memory access width (``access_widths``, the superset codegen
+  hoists ``_ms - width`` limits from),
+* the machine must-written register sets per leader
+  (``written_at_entry``/``param_regs``),
+* lint-plane facts: integer value ranges, maybe-uninitialized reads,
+  dead stores, and range-derived findings (null-page accesses,
+  constant branches).
+
+Facts ride the function object as ``_pvi_facts_cache = (token,
+facts)`` keyed by ``[FACTS_SCHEMA] + content_token()`` — the same
+invalidate-by-content discipline as the predecode cache, and like the
+predecode schema, :data:`FACTS_SCHEMA` participates so persisted
+tables from an older analysis plane never validate.  Unlike the
+predecode (whose closures must be stripped at process seams), facts
+are pure data and survive pickling through ``ProcessExecutor``.
+
+A function the analysis cannot finish (the abstract interpreter
+itself raising outside a block walk) caches ``None``: callers treat
+that as "no proofs available" — tier-2 declines and stays on the
+always-correct block tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.cfg import BlockCFG
+from repro.analysis import passes
+
+#: bumped whenever the facts payload shape or any producing analysis
+#: changes meaning, so stale cached tables never validate
+FACTS_SCHEMA = 1
+
+
+@dataclass
+class FunctionFacts:
+    """Plain-data analysis results for one function (either form)."""
+    kind: str                       # "bytecode" | "machine"
+    name: str
+    blocks: Dict[int, int] = field(default_factory=dict)
+    reachable: frozenset = frozenset()
+    # -- VM tier-2 facts ----------------------------------------------------
+    tuple_locals: frozenset = frozenset()
+    lane_locals: Dict[int, int] = field(default_factory=dict)
+    access_widths: frozenset = frozenset()
+    # -- machine tier-2 facts -----------------------------------------------
+    param_regs: frozenset = frozenset()
+    written_at_entry: Dict[int, frozenset] = field(default_factory=dict)
+    # -- lint-plane facts ---------------------------------------------------
+    ranges: Dict[int, Dict[int, Tuple]] = field(default_factory=dict)
+    range_notes: List[Tuple] = field(default_factory=list)
+    maybe_uninit: List[Tuple[int, int]] = field(default_factory=list)
+    dead_stores: List[Tuple[int, int]] = field(default_factory=list)
+
+    def dead_blocks(self) -> List[int]:
+        """Leaders no internal edge from the entry reaches."""
+        return sorted(set(self.blocks) - set(self.reachable))
+
+
+@dataclass
+class FactsTable:
+    """Facts for every function of a module, by name.  ``None`` marks
+    a function the analysis declined (no proofs; tier-2 stays off)."""
+    kind: str
+    functions: Dict[str, Optional[FunctionFacts]] = field(
+        default_factory=dict)
+
+    def get(self, name: str) -> Optional[FunctionFacts]:
+        return self.functions.get(name)
+
+
+def _facts_token(func) -> List:
+    return [FACTS_SCHEMA] + func.content_token()
+
+
+def _cached(func, token):
+    cached = getattr(func, "_pvi_facts_cache", None)
+    if cached is not None and cached[0] == token:
+        return cached
+    return None
+
+
+def analyze_bytecode_function(func, binding=None) -> Optional[FunctionFacts]:
+    """Run every bytecode-side analysis; ``None`` if the plane itself
+    fails (never for ordinary malformed blocks — those just abort
+    their own block walk and leave partial, still-sound facts)."""
+    try:
+        cfg = BlockCFG(func.code)
+        tuple_locals, lane_locals, widths = \
+            passes.lane_fixpoint(func, binding)
+        ranges = int_ranges_safe(func, cfg)
+        stored = passes.must_stored_at_entry(func, cfg)
+        live = passes.live_at_block_exit(func, cfg)
+        return FunctionFacts(
+            kind="bytecode",
+            name=func.name,
+            blocks=dict(cfg.blocks),
+            reachable=cfg.reachable(),
+            tuple_locals=tuple_locals,
+            lane_locals=lane_locals,
+            access_widths=widths,
+            ranges=ranges,
+            range_notes=passes.range_findings(func, cfg, ranges),
+            maybe_uninit=passes.maybe_uninit_reads(func, cfg, stored),
+            dead_stores=passes.dead_stores(func, cfg, live),
+        )
+    except Exception:
+        return None
+
+
+def int_ranges_safe(func, cfg) -> Dict[int, Dict[int, Tuple]]:
+    """Value ranges are lint-only; never let them sink the table."""
+    try:
+        return passes.int_value_ranges(func, cfg)
+    except Exception:
+        return {}
+
+
+def analyze_machine_function(func) -> Optional[FunctionFacts]:
+    try:
+        cfg = BlockCFG(func.code)
+        param_regs = passes.machine_param_regs(func)
+        return FunctionFacts(
+            kind="machine",
+            name=func.name,
+            blocks=dict(cfg.blocks),
+            reachable=cfg.reachable(),
+            param_regs=param_regs,
+            written_at_entry=passes.written_at_block_entry(
+                func.code, cfg, param_regs),
+        )
+    except Exception:
+        return None
+
+
+def bytecode_facts(func, binding=None):
+    """``(facts_or_None, fresh)`` for a ``BytecodeFunction``, cached on
+    the function keyed by content token.  Facts are binding-
+    independent (``call`` terminates its fuel block, so resolution
+    affects nothing the analyses record), so one entry serves every
+    module the function appears in."""
+    token = _facts_token(func)
+    cached = _cached(func, token)
+    if cached is not None:
+        return cached[1], False
+    facts = analyze_bytecode_function(func, binding)
+    func._pvi_facts_cache = (token, facts)
+    return facts, True
+
+
+def machine_facts(func):
+    """``(facts_or_None, fresh)`` for a ``CompiledFunction``."""
+    token = _facts_token(func)
+    cached = _cached(func, token)
+    if cached is not None:
+        return cached[1], False
+    facts = analyze_machine_function(func)
+    func._pvi_facts_cache = (token, facts)
+    return facts, True
+
+
+def module_facts(module, binding=None) -> FactsTable:
+    """Facts for every function of a ``BytecodeModule`` (the shape the
+    admission gate and ``pvi-lint`` consume)."""
+    table = FactsTable(kind="bytecode")
+    for func in module.functions.values():
+        table.functions[func.name], _ = bytecode_facts(func, binding)
+    return table

@@ -1,0 +1,82 @@
+"""Generic worklist dataflow solver over :class:`~repro.analysis.cfg.BlockCFG`.
+
+One solver drives every concrete analysis in this package.  A problem
+is three functions:
+
+* ``transfer(leader, fact) -> fact`` — push one block's entry fact to
+  its exit fact;
+* ``join(old, new) -> (merged, changed)`` — combine an incoming edge
+  fact with a node's current entry fact (meet for must-analyses, union
+  for may-analyses; widening belongs here too);
+* an ``entry`` fact seeding the CFG entry (forward) or every exit
+  node (backward).
+
+Facts are opaque to the solver; it only re-queues a node when ``join``
+reports a change, so termination is the problem's responsibility
+(finite-height lattice + monotone join).  Unreachable blocks get no
+entry in the result map — callers choose their own bottom.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.analysis.cfg import BlockCFG
+
+
+def solve_forward(cfg: BlockCFG, entry_fact,
+                  transfer: Callable, join: Callable) -> Dict:
+    """leader -> entry fact, propagated along internal edges from the
+    CFG entry.  Matches the tier-2 emitters' reachability exactly:
+    facts flow only over edges the generated dispatcher can take."""
+    if cfg.entry not in cfg.blocks:
+        return {}
+    entry = {cfg.entry: entry_fact}
+    work = [cfg.entry]
+    while work:
+        leader = work.pop()
+        out = transfer(leader, entry[leader])
+        for succ in cfg.successors.get(leader, ()):
+            if succ not in cfg.blocks:
+                continue
+            current = entry.get(succ, _ABSENT)
+            if current is _ABSENT:
+                entry[succ] = out
+                work.append(succ)
+            else:
+                merged, changed = join(current, out)
+                if changed:
+                    entry[succ] = merged
+                    work.append(succ)
+    return entry
+
+
+def solve_backward(cfg: BlockCFG, exit_fact,
+                   transfer: Callable, join: Callable) -> Dict:
+    """leader -> *exit* fact, propagated against the edges.  Every
+    block that can leave the function (``ret``, fall-off, or an edge
+    to the out-of-graph tail) is seeded with ``exit_fact``."""
+    out_facts: Dict = {}
+    work = []
+    for leader in cfg.blocks:
+        succs = cfg.successors.get(leader, ())
+        if not succs or any(s not in cfg.blocks for s in succs):
+            out_facts[leader] = exit_fact
+            work.append(leader)
+    while work:
+        leader = work.pop()
+        in_fact = transfer(leader, out_facts[leader])
+        for pred in cfg.predecessors.get(leader, ()):
+            current = out_facts.get(pred, _ABSENT)
+            if current is _ABSENT:
+                out_facts[pred] = in_fact
+                work.append(pred)
+            else:
+                merged, changed = join(current, in_fact)
+                if changed:
+                    out_facts[pred] = merged
+                    work.append(pred)
+    return out_facts
+
+
+_ABSENT = object()

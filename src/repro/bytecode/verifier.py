@@ -1,17 +1,28 @@
 """PVI bytecode verifier.
 
 Abstract interpretation over stack *types*: every reachable pc gets a
-stack state; control-flow merges require identical states; operations
-check their operand types.  This is the load-time safety net the paper
-counts among the offline/online division of labour ("verification and
-code compaction are typically assigned to offline compilation" — here
-it runs at load time, before the interpreter or any JIT touches the
-code).
+stack state; operations check their operand types.  This is the
+load-time safety net the paper counts among the offline/online
+division of labour ("verification and code compaction are typically
+assigned to offline compilation" — here it runs at load time, before
+the interpreter or any JIT touches the code).
+
+Merge states form a proper lattice: each stack slot is a *set* of
+possible tags, and a control-flow merge joins slot-wise by union (the
+widening for conflicting numeric tags).  A merge is rejected outright
+only when genuinely incompatible — differing stack depths, which no
+join can repair.  Conflicting tags instead flow onward as the union
+and fail only at an operation whose operand set they don't fit, so a
+diamond producing ``i64`` on one arm and ``u64`` on the other may
+still feed an address pop (both are address tags) — the old
+identical-states rule spuriously rejected that.  The join is monotone
+over a finite lattice (slot sets only grow, bounded by the tag
+universe), so the worklist terminates.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.bytecode.module import (
     BytecodeFunction, BytecodeModule, is_vector_local, vector_elem_tag,
@@ -34,12 +45,8 @@ def verify_module(module: BytecodeModule) -> None:
         _verify_function(module, func)
 
 
-class _State:
-    """Immutable-ish stack state: a tuple of type tags."""
-    __slots__ = ("stack",)
-
-    def __init__(self, stack: Tuple[str, ...] = ()):
-        self.stack = stack
+#: one abstract stack slot: the set of tags the value may carry
+_Slot = FrozenSet[str]
 
 
 def _verify_function(module: BytecodeModule,
@@ -51,7 +58,7 @@ def _verify_function(module: BytecodeModule,
     if not code:
         raise BytecodeVerifyError(f"{func.name}: empty body")
 
-    states: Dict[int, Tuple[str, ...]] = {0: ()}
+    states: Dict[int, Tuple[_Slot, ...]] = {0: ()}
     worklist: List[int] = [0]
     seen_ret = False
 
@@ -70,14 +77,16 @@ def _verify_function(module: BytecodeModule,
             if len(next_pcs) == 1 and next_pcs[0] == pc + 1:
                 pc += 1
                 if pc in states:
-                    _merge(states[pc], tuple(stack), func, pc)
+                    if _join(states, pc, tuple(stack), func):
+                        worklist.append(pc)
                     break
                 continue
             for target in next_pcs:
                 if not 0 <= target < len(code):
                     fail(pc, f"branch target {target} out of range")
                 if target in states:
-                    _merge(states[target], tuple(stack), func, target)
+                    if _join(states, target, tuple(stack), func):
+                        worklist.append(target)
                 else:
                     states[target] = tuple(stack)
                     worklist.append(target)
@@ -86,28 +95,38 @@ def _verify_function(module: BytecodeModule,
         raise BytecodeVerifyError(f"{func.name}: no reachable ret")
 
 
-def _merge(old: Tuple[str, ...], new: Tuple[str, ...],
-           func: BytecodeFunction, pc: int) -> None:
-    if old != new:
+def _join(states: Dict[int, Tuple[_Slot, ...]], pc: int,
+          new: Tuple[_Slot, ...], func: BytecodeFunction) -> bool:
+    """Slot-wise union of ``new`` into ``states[pc]``; True when the
+    state grew (the verifier re-queues the target).  Depth mismatch is
+    the one unjoinable merge — the stack discipline itself differs."""
+    old = states[pc]
+    if len(old) != len(new):
         raise BytecodeVerifyError(
             f"{func.name}@{pc}: inconsistent stack at merge "
-            f"({list(old)} vs {list(new)})")
+            f"(depth {len(old)} vs {len(new)})")
+    joined = tuple(o | n for o, n in zip(old, new))
+    if joined != old:
+        states[pc] = joined
+        return True
+    return False
 
 
-def _step(module, func, pc, instr: BCInstr, stack: List[str], fail):
+def _step(module, func, pc, instr: BCInstr, stack: List[_Slot], fail):
     op = instr.op
 
-    def pop(expected: Optional[set] = None, what: str = "operand") -> str:
+    def pop(expected: Optional[set] = None,
+            what: str = "operand") -> FrozenSet[str]:
         if not stack:
             fail(pc, f"stack underflow popping {what}")
-        tag = stack.pop()
-        if expected is not None and tag not in expected:
-            fail(pc, f"{what} has type {tag}, expected one of "
+        slot = stack.pop()
+        if expected is not None and not slot <= expected:
+            fail(pc, f"{what} has type {sorted(slot)}, expected one of "
                      f"{sorted(expected)}")
-        return tag
+        return slot
 
     def push(tag: str) -> None:
-        stack.append(tag)
+        stack.append(frozenset((tag,)))
 
     if op == "const":
         if instr.ty not in TYPE_TAGS:
@@ -127,10 +146,7 @@ def _step(module, func, pc, instr: BCInstr, stack: List[str], fail):
         index = instr.arg
         if not isinstance(index, int) or index >= len(func.local_types):
             fail(pc, f"stloc index {index} out of range")
-        tag = pop(what="stloc value")
-        if tag != func.local_types[index]:
-            fail(pc, f"stloc type {tag} != local type "
-                     f"{func.local_types[index]}")
+        pop({func.local_types[index]}, "stloc value")
     elif op == "frame":
         if not isinstance(instr.arg, int) or \
                 instr.arg >= len(func.frame_slots):

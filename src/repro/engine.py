@@ -55,6 +55,10 @@ OSR_ENV = "PVI_OSR"
 #: environment override for the OSR back-edge promotion threshold
 OSR_THRESHOLD_ENV = "PVI_OSR_THRESHOLD"
 
+#: environment gate forcing the tier-2 OSR prologues to keep the
+#: per-entry fact guards the static analysis has proven redundant
+OSR_GUARDS_ENV = "PVI_OSR_GUARDS"
+
 #: back-edge visits at one leader before a call is promoted mid-loop
 DEFAULT_OSR_THRESHOLD = 64
 
@@ -102,6 +106,21 @@ def osr_enabled() -> bool:
     traps are identical either way."""
     value = os.environ.get(OSR_ENV, "").strip().lower()
     return value not in ("0", "false", "no", "off")
+
+
+def keep_osr_guards() -> bool:
+    """Should tier-2 OSR prologues keep the per-entry fact guards?
+
+    Off by default: the dataflow plane (:mod:`repro.analysis`) proves
+    the facts those guards re-checked — vector-local lane counts for
+    the VM, must-written registers for the simulator — hold at *every*
+    block-tier program point, so the checks are always true and the
+    prologue elides them (counted in ``tier2_build_stats()`` as
+    ``guards_elided``).  ``PVI_OSR_GUARDS=1`` keeps the guards
+    (counted as ``guards_kept``) — a differential escape hatch: both
+    modes must produce byte-identical observations."""
+    value = os.environ.get(OSR_GUARDS_ENV, "").strip().lower()
+    return value in ("1", "true", "yes", "on", "keep")
 
 
 def osr_threshold() -> int:

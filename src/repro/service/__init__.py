@@ -42,6 +42,7 @@ from concurrent.futures import Future
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.lint import AdmissionError, check_admission
 from repro.core.offline import OfflineArtifact, offline_compile
 from repro.flows import DEFAULT_PIPELINE, Flow, as_flow
 from repro.service.cache import (
@@ -72,6 +73,7 @@ __all__ = [
     "CompileRequest", "CompileOutcome", "DeployResult",
     "TargetDeployment", "ServiceStats",
     "CompilationService", "AsyncCompilationService",
+    "AdmissionError",
     "default_service", "reset_default_service",
 ]
 
@@ -92,18 +94,25 @@ class CompilationService:
                  persist_dir: Optional[Path] = None,
                  max_workers: Optional[int] = None,
                  executor: Executorish = None,
-                 cache_shards: Optional[int] = None):
+                 cache_shards: Optional[int] = None,
+                 lint: bool = True):
         """``executor`` picks the deployment substrate (name or
         :class:`DeployExecutor` instance; default thread pool) and
         ``cache_shards`` the artifact-cache shard count (default
         ``min(8, capacity)``).  ``max_workers`` is deprecated: it
         only sizes the worker pool when the service constructs the
-        executor itself — pass a configured executor instead."""
+        executor itself — pass a configured executor instead.
+        ``lint=False`` disables the deploy-time admission gate (the
+        dataflow-plane lint every artifact passes before any target
+        compiles; see :mod:`repro.analysis.lint`)."""
         self.cache = cache if cache is not None else \
             ArtifactCache(cache_capacity, persist_dir,
                           shards=cache_shards)
         self.pool = DeploymentPool(max_workers=max_workers,
                                    executor=executor)
+        self.lint = lint
+        self._lint_findings: List[Dict[str, object]] = []
+        self._lint_rejections = 0
         self._counter_lock = threading.Lock()
         self._requests = 0
         self._coalesced = 0
@@ -208,11 +217,33 @@ class CompilationService:
 
     # -- online half --------------------------------------------------------
 
+    def _admit(self, artifact: OfflineArtifact) -> None:
+        """The deploy-time admission gate: verify + lint the artifact
+        before any target compiles.  ``error`` findings raise
+        :class:`AdmissionError` (the structured diagnostic carries the
+        findings); ``warn`` findings are surfaced once per artifact in
+        ``ServiceStats.lint_findings``.  Findings are memoized on the
+        artifact, so repeat deployments re-check nothing."""
+        if not self.lint:
+            return
+        try:
+            findings = check_admission(artifact)
+        except AdmissionError:
+            with self._counter_lock:
+                self._lint_rejections += 1
+            raise
+        warns = [f.as_dict() for f in findings if f.severity == "warn"]
+        if warns and not getattr(artifact, "_pvi_lint_surfaced", False):
+            artifact._pvi_lint_surfaced = True
+            with self._counter_lock:
+                self._lint_findings.extend(warns)
+
     def deploy(self, artifact: OfflineArtifact, target: Targetish,
                flow="split"):
         """Compile (or reuse) one image for one target (descriptor or
         registered name); the compile runs on the pool's executor
         through the target's backend."""
+        self._admit(artifact)
         start = time.perf_counter()
         image = self.pool.deploy_one(artifact, target, flow)
         with self._counter_lock:
@@ -224,6 +255,7 @@ class CompilationService:
                     concurrent: bool = True) -> Dict[str, object]:
         """Fan one artifact out over a target catalog (descriptors or
         registered names, mixed freely)."""
+        self._admit(artifact)
         start = time.perf_counter()
         images = self.pool.deploy_many(artifact, targets, flow,
                                        concurrent=concurrent)
@@ -246,6 +278,7 @@ class CompilationService:
         start = time.perf_counter()
         flow, options = self._begin(request)
         outcome = self.compile(request.source, request.name, **options)
+        self._admit(outcome.artifact)
         deploy_start = time.perf_counter()
         futures = self.pool.submit_many(outcome.artifact,
                                         request.targets, flow)
@@ -363,6 +396,8 @@ class CompilationService:
             total_offline_latency=self._offline_latency,
             total_deploy_latency=self._deploy_latency,
             total_coalesced_wait=self._coalesced_wait,
+            lint_findings=list(self._lint_findings),
+            lint_rejections=self._lint_rejections,
             deploy_by_flow={
                 name: {"compiles": entry.compiles,
                        "memo_hits": entry.memo_hits}

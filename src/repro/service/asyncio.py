@@ -116,6 +116,7 @@ class AsyncCompilationService:
                          target: Targetish, flow="split"):
         """Compile (or reuse) one image, awaiting the pool's future
         instead of blocking a thread on it."""
+        self.service._admit(artifact)
         start = time.perf_counter()
         futures = self.service.pool.submit_many(artifact, [target], flow)
         ((future, _),) = futures.values()
@@ -130,6 +131,7 @@ class AsyncCompilationService:
                           flow="split") -> Dict[str, object]:
         """Fan one artifact out over a catalog; one gather, no
         blocked threads."""
+        self.service._admit(artifact)
         start = time.perf_counter()
         futures = self.service.pool.submit_many(artifact, targets, flow)
         names = list(futures)
@@ -203,6 +205,7 @@ class AsyncCompilationService:
         outcome = await loop.run_in_executor(
             None, functools.partial(core.compile, request.source,
                                     request.name, **options))
+        core._admit(outcome.artifact)
         deploy_start = time.perf_counter()
         futures = core.pool.submit_many(outcome.artifact,
                                         request.targets, flow)

@@ -149,6 +149,15 @@ class ServiceStats:
     #: other request was already doing — kept out of the latency
     #: totals above so those reflect real compilation effort
     total_coalesced_wait: float = 0.0
+    #: warn-severity admission-lint findings surfaced at deploy time
+    #: (one entry per finding, ``LintFinding.as_dict()`` form; each
+    #: artifact's findings are recorded once, however many targets it
+    #: fans out to).  ``error`` findings never appear here — they
+    #: reject the deployment with ``AdmissionError`` and are counted
+    #: in ``lint_rejections``.
+    lint_findings: List[Dict[str, object]] = field(default_factory=list)
+    #: deployments refused by the admission gate (error findings)
+    lint_rejections: int = 0
     #: deployment traffic per flow name: {flow: {"compiles": n,
     #: "memo_hits": m}} — registered custom flows appear here the
     #: moment they are first deployed
@@ -200,6 +209,11 @@ class ServiceStats:
                             in self.deploy_by_flow.items()},
                 "executors": {name: dict(entry) for name, entry
                               in self.deploy_executors.items()},
+            },
+            "lint": {
+                "findings": [dict(entry) for entry in
+                             self.lint_findings],
+                "rejections": self.lint_rejections,
             },
             "latency": {
                 "offline_s": self.total_offline_latency,

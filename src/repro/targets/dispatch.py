@@ -42,10 +42,11 @@ from __future__ import annotations
 import re
 from typing import Callable, List
 
+from repro.analysis.facts import machine_facts
 from repro.engine import (
     CodegenEnv, MASK64_LITERAL, MeterTrip, _ARITH_SYMS, _F32_QUAD,
     backedge_targets, fuel_blocks, inline_binop, inline_cast,
-    inline_cmp, inline_unop, normalize_branch_target,
+    inline_cmp, inline_unop, keep_osr_guards, normalize_branch_target,
 )
 from repro.lang import types as ty
 from repro.semantics.errors import TrapError
@@ -77,8 +78,14 @@ _TIER2_UNBUILT = object()
 #: builds happen inside a serving call.  A warmed image keeps the
 #: request bucket at zero — the stat that proves warming prepays
 #: whole-function codegen (see the service executors' warm-on-return
-#: path).
-TIER2_BUILDS = {"warm": 0, "request": 0}
+#: path).  ``facts_warm``/``facts_request`` count fresh dataflow-plane
+#: analyses by the same split (facts provenance), and
+#: ``guards_elided``/``guards_kept`` count OSR prologue ``_UNSET``
+#: guards the must-written analysis proved redundant (kept only under
+#: ``PVI_OSR_GUARDS=1``).
+TIER2_BUILDS = {"warm": 0, "request": 0,
+                "facts_warm": 0, "facts_request": 0,
+                "guards_elided": 0, "guards_kept": 0}
 
 
 def tier2_build_stats() -> dict:
@@ -87,8 +94,8 @@ def tier2_build_stats() -> dict:
 
 
 def reset_tier2_build_stats() -> None:
-    TIER2_BUILDS["warm"] = 0
-    TIER2_BUILDS["request"] = 0
+    for key in TIER2_BUILDS:
+        TIER2_BUILDS[key] = 0
 
 
 class PredecodedMachine:
@@ -132,7 +139,8 @@ class PredecodedMachine:
                 t2 = self._tier2 = None
             else:
                 TIER2_BUILDS["warm" if warm else "request"] += 1
-                t2 = self._tier2 = _build_tier2(func, binding)
+                t2 = self._tier2 = _build_tier2(func, binding,
+                                                warm=warm)
             self._tier2_args = (None, None)
         return t2
 
@@ -777,81 +785,33 @@ def _gen_block_lines(name: str, code, leader: int, length: int,
 # local and flush it on every exit path.  The res counters are debited
 # per block either way — they are only read after the run completes.
 
-def _build_tier2(func: CompiledFunction, binding=None):
+def _build_tier2(func: CompiledFunction, binding=None,
+                 warm: bool = False):
+    """The must-written register facts come proven from the dataflow
+    plane (:func:`repro.analysis.facts.machine_facts`, the worklist
+    solve that used to live here as ``_written_at_block_entry``); a
+    function the plane declines gets no tier-2 at all."""
+    facts, fresh = machine_facts(func)
+    if fresh:
+        TIER2_BUILDS["facts_warm" if warm else "facts_request"] += 1
+    if facts is None:
+        return None
     try:
-        source, env = _gen_tier2(func, binding)
+        source, env = _gen_tier2(func, binding, facts)
         exec(compile(source, f"<pvi-sim-t2:{func.name}>", "exec"), env)
         t2 = env["_t2"]
         #: the per-leader entry whitelist, for introspection/tests
         t2.osr_entries = env.get("_OSR_ENTRIES", frozenset())
+        t2.guards_elided = env.get("_GUARDS_ELIDED", 0)
+        t2.guards_kept = env.get("_GUARDS_KEPT", 0)
+        TIER2_BUILDS["guards_elided"] += t2.guards_elided
+        TIER2_BUILDS["guards_kept"] += t2.guards_kept
         return t2
     except Exception:
         return None
 
 
-def _block_successors(code, blocks, n: int) -> dict:
-    """leader -> leaders reachable by the block's terminator (the
-    internal edges of ``_t2``)."""
-    succs = {}
-    for leader, length in blocks.items():
-        term = code[leader + length - 1]
-        exit_pc = leader + length
-        op = term.op
-        if op == "br":
-            target = normalize_branch_target(term.arg, n)
-            succs[leader] = [target] if isinstance(target, int) else []
-        elif op == "brif":
-            target = normalize_branch_target(term.arg, n)
-            succs[leader] = ([target] if isinstance(target, int)
-                             else []) + [exit_pc]
-        elif op == "ret":
-            succs[leader] = []
-        else:                       # call or plain fall-through
-            succs[leader] = [exit_pc]
-    return succs
-
-
-def _written_at_block_entry(code, blocks, n: int,
-                            param_regs: set) -> dict:
-    """leader -> registers definitely written on every ``_t2`` path
-    reaching it (forward must-dataflow from block 0).
-
-    Sound because a block either runs to its terminator or exits
-    ``_t2`` entirely — a mid-block trap propagates out and a fuel
-    deopt returns to the block trampoline — so along any *internal*
-    edge the whole predecessor block has executed and all its
-    destinations are written.  Re-entry happens only through the OSR
-    entry points, whose prologue re-establishes this analysis' facts
-    from the live snapshot (every register assumed written at the
-    entry leader is ``_UNSET``-checked) before any block runs."""
-    gen = {}
-    for leader, length in blocks.items():
-        gen[leader] = {instr.dst
-                       for instr in code[leader:leader + length]
-                       if instr.dst is not None
-                       and instr.dst[0] in _CLS_INDEX}
-    succs = _block_successors(code, blocks, n)
-    entry = {0: frozenset(param_regs)}
-    work = [0]
-    while work:
-        leader = work.pop()
-        out = entry[leader] | gen[leader]
-        for succ in succs.get(leader, ()):
-            if succ not in blocks:
-                continue
-            current = entry.get(succ)
-            if current is None:
-                entry[succ] = frozenset(out)
-                work.append(succ)
-            else:
-                met = current & out
-                if met != current:
-                    entry[succ] = met
-                    work.append(succ)
-    return entry
-
-
-def _gen_tier2(func: CompiledFunction, binding=None):
+def _gen_tier2(func: CompiledFunction, binding=None, facts=None):
     code = func.code
     n = len(code)
     name = func.name
@@ -915,8 +875,19 @@ def _gen_tier2(func: CompiledFunction, binding=None):
     # Pre-translate every block under the whole-function dataflow
     # facts; an untranslatable block keeps no dispatch arm — its
     # leader falls through to the else arm, a per-block deopt point.
-    entry_written = _written_at_block_entry(code, blocks, n,
-                                            param_regs)
+    # The per-leader must-written register sets come proven from the
+    # dataflow plane (``repro.analysis.passes.written_at_block_entry``
+    # — the same forward must-solve this module used to run
+    # privately): along any internal edge the whole predecessor block
+    # executed (a mid-block trap propagates out, a fuel deopt returns
+    # to the block trampoline), so every destination it names is
+    # written.
+    if facts is None:
+        facts, _ = machine_facts(func)
+        if facts is None:
+            raise ValueError(
+                f"analysis declined {func.name!r}; no tier-2 facts")
+    entry_written = facts.written_at_entry
     bodies = {}
     for leader in blocks:
         try:
@@ -978,24 +949,33 @@ def _gen_tier2(func: CompiledFunction, binding=None):
     w("_md = mem.data; _ms = mem.size", 4)
     if load_regs:
         w(load_regs, 4)
-    # OSR entry guard: only whitelisted leaders may enter mid-call,
-    # and the entered-once dataflow facts are re-established from the
-    # snapshot — every register the must-written analysis assumed
-    # live at that leader (beyond the always-written parameter homes)
-    # is checked against ``_UNSET``, and a failed check declines the
-    # entry by returning ``pc`` untouched (nothing debited, nothing
-    # written — the block tier just continues).
+    # OSR entry guard: only whitelisted leaders may enter mid-call.
+    # The must-written facts hold for the block tier's register files
+    # too (same block graph, same all-or-nothing block execution), so
+    # the per-entry ``_UNSET`` re-checks of every register assumed
+    # written at the leader are always false on a handed-over
+    # snapshot and are elided; ``PVI_OSR_GUARDS=1`` keeps them
+    # (differential escape hatch — both modes must observe
+    # byte-identical runs).  Either way the counts are surfaced in
+    # ``tier2_build_stats()``.
     if osr_entries:
         osr_name = env.bind(frozenset(osr_entries), "osr")
         w("if pc:", 4)
         w(f"if pc not in {osr_name}:", 8)
         w("return pc", 12)
+        keep = keep_osr_guards()
         for leader in osr_entries:
             assumed = entry_written.get(leader, param_regs) - param_regs
             names = sorted(f"{_REG_FILES[kind]}{index}"
                            for kind, index in assumed)
             if not names:
                 continue
+            if not keep:
+                env_dict["_GUARDS_ELIDED"] = \
+                    env_dict.get("_GUARDS_ELIDED", 0) + len(names)
+                continue
+            env_dict["_GUARDS_KEPT"] = \
+                env_dict.get("_GUARDS_KEPT", 0) + len(names)
             unset = " or ".join(f"{reg} is _UNSET" for reg in names)
             w(f"if pc == {leader} and ({unset}):", 8)
             w("return pc", 12)

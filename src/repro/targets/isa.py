@@ -116,9 +116,12 @@ class CompiledFunction:
     # served from the deployment memo dispatch with no decode cost.
 
     #: bumped whenever the predecode payload shape changes (e.g. the
-    #: OSR entry-point set added alongside the handler table), so
-    #: externally persisted tokens from older schemas never validate
-    PREDECODE_SCHEMA = 2
+    #: OSR entry-point set added alongside the handler table, or the
+    #: dataflow-plane facts the tier-2 translation is generated
+    #: under), so externally persisted tokens from older schemas never
+    #: validate.  The analysis plane's facts cache keys through this
+    #: token too (``[FACTS_SCHEMA] + content_token()``).
+    PREDECODE_SCHEMA = 3
 
     def content_token(self) -> List:
         """Structural identity of everything the predecode bakes in:

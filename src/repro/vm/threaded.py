@@ -52,6 +52,7 @@ from __future__ import annotations
 import re
 from typing import Callable, List
 
+from repro.analysis.facts import bytecode_facts
 from repro.bytecode.module import (
     BytecodeFunction, is_vector_local, vector_elem_tag,
 )
@@ -59,7 +60,7 @@ from repro.bytecode.opcodes import BIN_OPS, UN_OPS, type_of
 from repro.engine import (
     CodegenEnv, MASK64_LITERAL, MeterTrip, _ARITH_SYMS, _F32_QUAD,
     backedge_targets, fuel_blocks, inline_binop, inline_cast,
-    inline_cmp, inline_unop, normalize_branch_target,
+    inline_cmp, inline_unop, keep_osr_guards, normalize_branch_target,
 )
 from repro.lang import types as ty
 from repro.semantics.errors import TrapError
@@ -86,8 +87,15 @@ _TIER2_UNBUILT = object()
 #: :mod:`repro.targets.dispatch`); ``request`` builds happen inside a
 #: serving call.  A warmed image should keep the request bucket at
 #: zero — the bench/CI stat that proves warming actually prepays
-#: whole-function codegen.
-TIER2_BUILDS = {"warm": 0, "request": 0}
+#: whole-function codegen.  ``facts_warm``/``facts_request`` count
+#: fresh dataflow-plane analyses by the same build-site split (facts
+#: provenance: a warmed image should also have its facts prepaid),
+#: and ``guards_elided``/``guards_kept`` count OSR prologue fact
+#: guards the analysis proved redundant (kept only under
+#: ``PVI_OSR_GUARDS=1``).
+TIER2_BUILDS = {"warm": 0, "request": 0,
+                "facts_warm": 0, "facts_request": 0,
+                "guards_elided": 0, "guards_kept": 0}
 
 
 def tier2_build_stats() -> dict:
@@ -96,8 +104,8 @@ def tier2_build_stats() -> dict:
 
 
 def reset_tier2_build_stats() -> None:
-    TIER2_BUILDS["warm"] = 0
-    TIER2_BUILDS["request"] = 0
+    for key in TIER2_BUILDS:
+        TIER2_BUILDS[key] = 0
 
 
 class PredecodedFunction:
@@ -148,7 +156,8 @@ class PredecodedFunction:
                 t2 = self._tier2 = None
             else:
                 TIER2_BUILDS["warm" if warm else "request"] += 1
-                t2 = self._tier2 = _build_tier2(func, binding)
+                t2 = self._tier2 = _build_tier2(func, binding,
+                                                warm=warm)
             self._tier2_args = (None, None)
         return t2
 
@@ -1029,23 +1038,39 @@ def _gen_block_lines(code, leader: int, length: int, frame_offsets,
 # per-instruction accounting would), while call-free functions carry
 # the counter in a local and flush it on every exit path.
 
-def _build_tier2(func: BytecodeFunction, binding=None):
+def _build_tier2(func: BytecodeFunction, binding=None,
+                 warm: bool = False):
     """Compile the whole-function tier-2 form of ``func``, or ``None``
     when the translation fails to build — a build failure is never an
-    execution failure, callers just stay on the block-threaded tier."""
+    execution failure, callers just stay on the block-threaded tier.
+
+    The lane/tuple/bounds facts come from the dataflow plane
+    (:func:`repro.analysis.facts.bytecode_facts`); a function the
+    plane declines gets no tier-2 at all."""
+    facts, fresh = bytecode_facts(func, binding)
+    if fresh:
+        TIER2_BUILDS["facts_warm" if warm else "facts_request"] += 1
+    if facts is None:
+        return None
     try:
-        source, env = _gen_tier2(func, binding)
+        source, env = _gen_tier2(func, binding, facts)
         exec(compile(source, f"<pvi-t2:{func.name}>", "exec"), env)
         t2 = env["_t2"]
         #: the per-leader entry whitelist, for introspection/tests
         t2.osr_entries = env.get("_OSR_ENTRIES", frozenset())
+        t2.guards_elided = env.get("_GUARDS_ELIDED", 0)
+        t2.guards_kept = env.get("_GUARDS_KEPT", 0)
+        TIER2_BUILDS["guards_elided"] += t2.guards_elided
+        TIER2_BUILDS["guards_kept"] += t2.guards_kept
         return t2
     except Exception:
         return None
 
 
-def _gen_tier2(func: BytecodeFunction, binding=None):
-    """Source + exec environment for the tier-2 translation."""
+def _gen_tier2(func: BytecodeFunction, binding=None, facts=None):
+    """Source + exec environment for the tier-2 translation, under the
+    proven facts of the dataflow plane (computed here when the caller
+    has none; raises if the plane declines the function)."""
     code = func.code
     n = len(code)
     frame_offsets = func.frame_offsets()
@@ -1088,50 +1113,41 @@ def _gen_tier2(func: BytecodeFunction, binding=None):
 
     # Pre-translate every block; an untranslatable block keeps no
     # dispatch arm — its leader falls through to the else arm, a
-    # per-block deopt point.  Two whole-function facts are discovered
-    # to a fixed point across passes.  Locals that ever receive a
-    # deferred vector *tuple* (a stloc of an unmaterialized vec value)
-    # grow monotonically: once a local is tuple-bearing, every ldloc
-    # of it — in every block — must treat the value as maybe-tuple,
-    # which can in turn surface new tuple stores.  Lane facts shrink
-    # monotonically: ``_t2`` is entered at pc 0 with every vector
-    # local freshly initialized to ``[0] * lanes`` (an OSR entry at a
-    # loop header instead re-checks each proven local against the
-    # snapshot in the prologue, or declines), so a vector local
-    # provably keeps its lane count as long as every ``stloc`` to it
-    # anywhere stores a value with that proven count — a store that
-    # cannot be proven drops the local from the set, which can
-    # cascade.  A pass
-    # regenerates all blocks under the current sets and the loop
-    # stops when both are stable (env.bind names accumulated by
-    # discarded passes stay in the exec environment, unused).
-    tuple_locals = frozenset()
-    lane_locals = {}
-    for index, tag in enumerate(func.local_types):
-        if is_vector_local(tag):
-            elem = type_of(vector_elem_tag(tag))
-            lane_locals[index] = 16 // ty.sizeof(elem)
-    while True:
-        bodies = {}
-        marks_by = {}
-        info = {"tuple_stores": set(), "lane_breaks": set()}
-        for leader in blocks:
-            try:
-                bodies[leader] = _gen_block_lines(
-                    code, leader, blocks[leader], frame_offsets, env,
-                    binding, local_fmt="l{0}", goto_fmt="pc = {0}",
-                    ret_lines=ret_lines, tier2=True,
-                    safe_args=num_params, tuple_locals=tuple_locals,
-                    lane_locals=lane_locals, info=info)
-            except Exception:
-                bodies[leader] = None
-            marks_by[leader] = info.pop("marks", [])
-        grown = tuple_locals | info["tuple_stores"]
-        if grown == tuple_locals and not info["lane_breaks"]:
-            break
-        tuple_locals = frozenset(grown)
-        for index in info["lane_breaks"]:
-            lane_locals.pop(index, None)
+    # per-block deopt point.  The two whole-function facts the blocks
+    # are generated under — locals that may ever hold a deferred vec
+    # *tuple*, and vector locals whose lane count every ``stloc``
+    # provably preserves — used to be re-discovered here by
+    # regenerating all blocks to a fixed point; they now come proven
+    # from the dataflow plane (``repro.analysis.passes.lane_fixpoint``
+    # runs the same abstract meta rules to the same fixpoint), so one
+    # generation pass suffices.  The pass still records what it sees,
+    # and any disagreement with the facts (a drift bug between emitter
+    # and analysis) aborts the build rather than risk a miscompile.
+    if facts is None:
+        facts, _ = bytecode_facts(func, binding)
+        if facts is None:
+            raise ValueError(
+                f"analysis declined {func.name!r}; no tier-2 facts")
+    tuple_locals = facts.tuple_locals
+    lane_locals = dict(facts.lane_locals)
+    bodies = {}
+    marks_by = {}
+    info = {"tuple_stores": set(), "lane_breaks": set()}
+    for leader in blocks:
+        try:
+            bodies[leader] = _gen_block_lines(
+                code, leader, blocks[leader], frame_offsets, env,
+                binding, local_fmt="l{0}", goto_fmt="pc = {0}",
+                ret_lines=ret_lines, tier2=True,
+                safe_args=num_params, tuple_locals=tuple_locals,
+                lane_locals=lane_locals, info=info)
+        except Exception:
+            bodies[leader] = None
+        marks_by[leader] = info.pop("marks", [])
+    if info["lane_breaks"] or not info["tuple_stores"] <= tuple_locals \
+            or not info.get("bounds_sizes", set()) <= facts.access_widths:
+        raise ValueError(
+            f"dataflow facts for {func.name!r} disagree with codegen")
 
     # Deopt writeback: tuple-bearing locals normalize back to lists
     # at every engine-observable boundary — the block tier and the
@@ -1205,24 +1221,37 @@ def _gen_tier2(func: BytecodeFunction, binding=None):
         w("; ".join(f"a{k} = ar[{k}]" for k in range(num_params)), 4)
     w("fuel = vm.fuel", 4)
     w("_md = mem.data; _ms = mem.size", 4)
-    bounds_sizes = sorted(info.get("bounds_sizes", ()))
+    bounds_sizes = sorted(facts.access_widths)
     if bounds_sizes:
         # Bounds-check upper limits, hoisted: ``mem.size`` is already
         # proven loop-invariant across ``_t2`` (``_ms``), so each
-        # access width's limit folds to one compare per check.
+        # access width's limit folds to one compare per check.  The
+        # widths are the analysis plane's ``access_widths`` fact — a
+        # superset of what this pass's checks reference (proven
+        # ``vec.store`` forms skip the re-check entirely).
         w("; ".join(f"_ms{n} = _ms - {n}" for n in bounds_sizes), 4)
     if load_locals:
         w(load_locals, 4)
-    # OSR entry guard: only whitelisted leaders may enter mid-call,
-    # and the fresh-locals lane facts (proven under "entered once at
-    # pc 0") are re-checked against the snapshot — the block tier
-    # stores plain lists, so a lane-proven local must arrive as a
-    # list of exactly the proven count or the entry is declined.
+    # OSR entry guard: only whitelisted leaders may enter mid-call.
+    # The lane facts are whole-function invariants over *every*
+    # ``stloc`` — the analysis proves them for any state the block
+    # tier can hand over (it only ever stores plain lists, and a
+    # partially executed block ends the call rather than reach a
+    # leader) — so the per-entry re-checks the prologue used to emit
+    # are always true and are elided.  ``PVI_OSR_GUARDS=1`` keeps
+    # them (differential escape hatch: both modes must observe
+    # byte-identical runs); either way the counts are surfaced in
+    # ``tier2_build_stats()``.
     if osr_entries:
         osr_name = env.bind(osr_entries, "osr")
         lane_checks = " and ".join(
             f"type(l{index}) is list and len(l{index}) == {lanes}"
             for index, lanes in sorted(lane_locals.items()))
+        if lane_checks and keep_osr_guards():
+            env_dict["_GUARDS_KEPT"] = len(lane_locals)
+        elif lane_checks:
+            env_dict["_GUARDS_ELIDED"] = len(lane_locals)
+            lane_checks = ""
         w("if pc:", 4)
         if lane_checks:
             w(f"if pc not in {osr_name} or not ({lane_checks}):", 8)

@@ -263,6 +263,52 @@ class TestVerifier:
         with pytest.raises(BytecodeVerifyError):
             self.verify(self.make_func(code))
 
+    def test_accepts_diamond_with_joinable_tags(self):
+        # One arm produces i64, the other u64; the merged value feeds
+        # an address pop, which both tags satisfy.  The old
+        # identical-states merge rule spuriously rejected this.
+        code = [
+            BCInstr("ldarg", None, 0),         # 0: condition
+            BCInstr("brif", None, 4),          # 1
+            BCInstr("const", "i64", 8),        # 2
+            BCInstr("br", None, 5),            # 3
+            BCInstr("const", "u64", 8),        # 4
+            BCInstr("load", "i32"),            # 5: {i64,u64} as address
+            BCInstr("ret"),                    # 6
+        ]
+        self.verify(self.make_func(code, params=["i32"]))
+
+    def test_rejects_diamond_with_incompatible_use(self):
+        # The join itself is fine ({i32,f32}), but the merged value
+        # cannot satisfy an i32-typed add.
+        code = [
+            BCInstr("ldarg", None, 0),         # 0
+            BCInstr("brif", None, 4),          # 1
+            BCInstr("const", "i32", 1),        # 2
+            BCInstr("br", None, 5),            # 3
+            BCInstr("const", "f32", 1.0),      # 4
+            BCInstr("const", "i32", 2),        # 5
+            BCInstr("add", "i32"),             # 6: lhs may be f32
+            BCInstr("ret"),                    # 7
+        ]
+        with pytest.raises(BytecodeVerifyError):
+            self.verify(self.make_func(code, params=["i32"]))
+
+    def test_loop_merge_requeues_to_fixpoint(self):
+        # A loop whose back edge widens the header's slot from {i64}
+        # to {i64,u64}: the verifier must re-queue the header and
+        # still accept (the slot only ever feeds an address pop).
+        code = [
+            BCInstr("const", "i64", 16),       # 0
+            BCInstr("load", "i32"),            # 1: header; addr pop
+            BCInstr("brif", None, 5),          # 2: exit loop
+            BCInstr("const", "u64", 16),       # 3: widen the slot
+            BCInstr("br", None, 1),            # 4: back edge
+            BCInstr("const", "i32", 0),        # 5
+            BCInstr("ret"),                    # 6
+        ]
+        self.verify(self.make_func(code))
+
     def test_rejects_stack_left_at_ret(self):
         with pytest.raises(BytecodeVerifyError):
             self.verify(self.make_func([
