@@ -1,0 +1,278 @@
+"""The serving edge under load: admission, coalescing, routing.
+
+A live in-process :class:`EdgeServer` (real sockets, real HTTP) is
+driven at three offered-load points plus two traffic mixes, and the
+edge's three claims are measured:
+
+* **admission control bounds latency**: below the queue bound nothing
+  is shed; past it, excess load gets structured 503s while the
+  *accepted* requests keep a p99 bounded by queue depth — not by
+  offered load;
+* **coalescing absorbs herds**: a thundering herd of identical
+  requests collapses onto one queue slot and one compilation;
+* **adaptive routing matches substrate to temperature**: cold
+  fan-outs land on the process route, warm residual compiles on the
+  thread route (asserted on the full run; the smoke run uses inline
+  executors for speed).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+
+import pytest
+
+from repro.bench import format_table
+from repro.service.edge import (
+    EdgeClient, EdgeConfig, EdgeServer, Tenant, TenantTable,
+)
+from repro.workloads import TABLE1
+
+from conftest import SMOKE, register_report
+
+SAXPY = TABLE1["saxpy_fp"].source
+SUM_U8 = TABLE1["sum_u8"].source
+
+WORKERS = 4
+QUEUE_DEPTH = 8
+API_KEY = "bench-key"
+
+#: offered-load ladder: below the admission threshold (light), around
+#: it (saturated), far past it (overload)
+POINTS = [("light", 4), ("saturated", 12), ("overload", 24 if SMOKE
+                                            else 64)]
+HERD = 8 if SMOKE else 32
+ZIPF_REQUESTS = 16 if SMOKE else 48
+ZIPF_MODULES = 4 if SMOKE else 8
+
+#: smoke runs trade the process pool for inline executors — boots in
+#: milliseconds, still exercises the whole admission/coalescing path
+COLD_EXECUTOR = "inline" if SMOKE else "process"
+WARM_EXECUTOR = "inline" if SMOKE else "thread"
+
+
+def edge_config(**overrides) -> EdgeConfig:
+    tenants = TenantTable([Tenant("bench", api_key=API_KEY,
+                                  rate=100000, burst=100000)])
+    defaults = dict(port=0, workers=WORKERS, queue_depth=QUEUE_DEPTH,
+                    max_wait_s=None, cold_executor=COLD_EXECUTOR,
+                    warm_executor=WARM_EXECUTOR, tenants=tenants)
+    defaults.update(overrides)
+    return EdgeConfig(**defaults)
+
+
+async def _one_deploy(port, name, targets=("x86",)):
+    """One request on its own connection -> (status, latency_s)."""
+    async with EdgeClient("127.0.0.1", port, api_key=API_KEY) as c:
+        start = time.perf_counter()
+        status, _, _ = await c.deploy(SAXPY, list(targets), name=name)
+        return status, time.perf_counter() - start
+
+
+def _percentile(samples, p):
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(p * len(ordered)))
+    return ordered[index]
+
+
+def _summarize(results, stats):
+    accepted = [lat for status, lat in results if status == 200]
+    shed = [lat for status, lat in results if status == 503]
+    edge = stats["edge"]
+    return {
+        "offered": len(results),
+        "accepted": len(accepted),
+        "shed": edge["shed"]["total"],
+        "shed_queue_full": edge["shed"]["queue_full"],
+        "shed_overload": edge["shed"]["overload"],
+        "coalesced": edge["coalesced"],
+        "accepted_p50_ms": round(
+            _percentile(accepted, 0.50) * 1e3, 3),
+        "accepted_p99_ms": round(
+            _percentile(accepted, 0.99) * 1e3, 3),
+        "shed_p99_ms": round(_percentile(shed, 0.99) * 1e3, 3),
+        "ewma_service_ms": edge["queue"]["ewma_service_ms"],
+    }
+
+
+async def _run_point(offered: int) -> dict:
+    """One offered-load point on a fresh server: ``offered``
+    concurrent distinct deploys arriving simultaneously."""
+    async with EdgeServer(edge_config()) as edge:
+        results = await asyncio.gather(
+            *(_one_deploy(edge.port, f"m{i}") for i in range(offered)))
+        async with EdgeClient("127.0.0.1", edge.port,
+                              api_key=API_KEY) as c:
+            _, _, stats = await c.stats()
+    return _summarize(results, stats)
+
+
+async def _run_herd() -> dict:
+    """HERD identical concurrent requests: one queue slot, one
+    compile, every caller served."""
+    async with EdgeServer(edge_config()) as edge:
+        results = await asyncio.gather(
+            *(_one_deploy(edge.port, "herd") for _ in range(HERD)))
+        async with EdgeClient("127.0.0.1", edge.port,
+                              api_key=API_KEY) as c:
+            _, _, stats = await c.stats()
+    summary = _summarize(results, stats)
+    summary["service_coalesced"] = \
+        stats["service"]["coalesced_requests"]
+    return summary
+
+
+async def _run_zipf() -> dict:
+    """A zipf-weighted mix over ZIPF_MODULES distinct modules: the
+    popular head coalesces and hits caches, the tail stays cold."""
+    rng = random.Random(1009)
+    weights = [1.0 / rank for rank in range(1, ZIPF_MODULES + 1)]
+    names = rng.choices([f"z{i}" for i in range(ZIPF_MODULES)],
+                        weights=weights, k=ZIPF_REQUESTS)
+    gate = asyncio.Semaphore(2 * WORKERS)
+
+    async def one(name):
+        async with gate:
+            return await _one_deploy(edge.port, name)
+
+    async with EdgeServer(edge_config()) as edge:
+        results = await asyncio.gather(*(one(n) for n in names))
+        async with EdgeClient("127.0.0.1", edge.port,
+                              api_key=API_KEY) as c:
+            _, _, stats = await c.stats()
+    summary = _summarize(results, stats)
+    summary["distinct_modules"] = ZIPF_MODULES
+    return summary
+
+
+async def _run_routing() -> dict:
+    """Cold fan-outs, then new targets on the same (now warm)
+    artifacts: the per-route counters are the policy's proof."""
+    async with EdgeServer(edge_config()) as edge:
+        async with EdgeClient("127.0.0.1", edge.port,
+                              api_key=API_KEY) as c:
+            # phase 1: two cold fan-outs
+            for name, source in (("r0", SAXPY), ("r1", SUM_U8)):
+                await c.deploy(source, ["x86", "arm"], name=name)
+            # phase 2: the same artifacts onto fresh targets — not
+            # memoized, artifact already warm
+            for name, source in (("r0", SAXPY), ("r1", SUM_U8)):
+                await c.deploy(source, ["dsp", "ppc"], name=name)
+            _, _, stats = await c.stats()
+    return stats["edge"]["routes"]
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    points = {name: asyncio.run(_run_point(offered))
+              for name, offered in POINTS}
+    herd = asyncio.run(_run_herd())
+    zipf = asyncio.run(_run_zipf())
+    routes = asyncio.run(_run_routing())
+    return points, herd, zipf, routes
+
+
+@pytest.fixture(scope="module")
+def report(measurements):
+    points, herd, zipf, routes = measurements
+    rows = [(name, p["offered"], p["accepted"], p["shed"],
+             p["coalesced"], f"{p['accepted_p50_ms']:.1f}",
+             f"{p['accepted_p99_ms']:.1f}")
+            for name, p in points.items()]
+    rows.append(("herd (identical)", herd["offered"],
+                 herd["accepted"], herd["shed"], herd["coalesced"],
+                 f"{herd['accepted_p50_ms']:.1f}",
+                 f"{herd['accepted_p99_ms']:.1f}"))
+    rows.append((f"zipf ({zipf['distinct_modules']} modules)",
+                 zipf["offered"], zipf["accepted"], zipf["shed"],
+                 zipf["coalesced"], f"{zipf['accepted_p50_ms']:.1f}",
+                 f"{zipf['accepted_p99_ms']:.1f}"))
+    table = format_table(
+        ["load point", "offered", "accepted", "shed", "coalesced",
+         "p50 ms", "p99 ms"],
+        rows,
+        title=f"Serving edge — workers={WORKERS} "
+              f"queue={QUEUE_DEPTH} routing="
+              f"{COLD_EXECUTOR}/{WARM_EXECUTOR}")
+    register_report("service_edge", table, data={
+        "config": {"workers": WORKERS, "queue_depth": QUEUE_DEPTH,
+                   "cold_executor": COLD_EXECUTOR,
+                   "warm_executor": WARM_EXECUTOR},
+        "points": points,
+        "herd": herd,
+        "zipf": zipf,
+        "routes": routes,
+    })
+    return table
+
+
+class TestServingEdge:
+    def test_no_shedding_below_admission_threshold(self, measurements,
+                                                   report):
+        """Light load (offered < workers + queue bound) is never
+        shed — admission control must be invisible until needed."""
+        points = measurements[0]
+        assert points["light"]["shed"] == 0
+        assert points["light"]["accepted"] == \
+            points["light"]["offered"]
+
+    def test_overload_sheds_and_bounds_accepted_p99(
+            self, measurements):
+        """Past the bound the edge sheds — and the requests it *did*
+        accept see latency bounded by queue depth, not offered load:
+        accepted p99 stays under what serving the whole offered herd
+        serially would have cost."""
+        overload = measurements[0]["overload"]
+        assert overload["shed"] > 0
+        assert overload["accepted"] >= 1
+        assert overload["accepted"] + overload["shed"] == \
+            overload["offered"]
+        backlog_bound_ms = (QUEUE_DEPTH + WORKERS + 1) * \
+            max(overload["ewma_service_ms"], 1.0) / WORKERS * 4
+        herd_serial_ms = overload["offered"] * \
+            max(overload["ewma_service_ms"], 1.0) / WORKERS
+        assert overload["accepted_p99_ms"] < \
+            max(backlog_bound_ms, herd_serial_ms)
+        # shed requests were turned away fast — no queue time at all
+        assert overload["shed_p99_ms"] < \
+            overload["accepted_p99_ms"] + 1000
+
+    def test_herd_coalesces(self, measurements):
+        """Identical concurrent requests ride one queue slot: the
+        coalescing rate is (offered - 1) / offered and nothing is
+        shed even though offered >> queue bound."""
+        herd = measurements[1]
+        assert herd["accepted"] == herd["offered"] == HERD
+        assert herd["coalesced"] == HERD - 1
+        assert herd["shed"] == 0
+
+    def test_zipf_mix_coalesces_the_head(self, measurements):
+        zipf = measurements[2]
+        assert zipf["accepted"] + zipf["shed"] == zipf["offered"]
+        # the popular head repeats: repeats either coalesce (in
+        # flight) or hit caches (after) — some of each in practice
+        assert zipf["coalesced"] >= 0
+
+    @pytest.mark.skipif(SMOKE, reason="smoke runs use inline "
+                        "executors; routing proof needs the real "
+                        "process/thread split")
+    def test_cold_routes_process_warm_routes_thread(
+            self, measurements):
+        routes = measurements[3]
+        assert routes["policy"] == "first-fanout-cold"
+        assert routes["cold"]["executor"] == "process"
+        assert routes["warm"]["executor"] == "thread"
+        assert routes["cold"]["submitted"] >= 2
+        assert routes["warm"]["submitted"] >= 2
+
+    def test_routing_counters_cover_all_submissions(
+            self, measurements):
+        routes = measurements[3]
+        total = routes["cold"]["submitted"] + \
+            routes["warm"]["submitted"]
+        # 2 artifacts x 4 targets, nothing memoized twice
+        assert total == 8

@@ -4,6 +4,7 @@ setup(
     entry_points={
         "console_scripts": [
             "pvi-lint=repro.analysis.cli:main",
+            "pvi-serve=repro.service.edge.server:main",
         ],
     },
 )

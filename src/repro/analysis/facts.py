@@ -177,3 +177,64 @@ def module_facts(module, binding=None) -> FactsTable:
     for func in module.functions.values():
         table.functions[func.name], _ = bytecode_facts(func, binding)
     return table
+
+
+# ---------------------------------------------------------------------------
+# wire form (artifact-cache persistence)
+# ---------------------------------------------------------------------------
+#
+# Facts ride persisted artifacts so a warm service start skips the
+# analysis plane entirely.  The encoding is *canonical* JSON-able
+# data — every set sorted, every mapping emitted in key order — so
+# serializing the same facts twice (or facts revived from disk) is
+# byte-for-byte deterministic, which the artifact cache's roundtrip
+# identity relies on.  ``±inf`` range bounds survive as JSON
+# Infinity literals (the stdlib encoder emits and re-reads them).
+
+def facts_to_wire(facts: Optional[FunctionFacts]) -> Optional[Dict]:
+    """Canonical plain-data form of one function's facts (``None``
+    marks a declined function and round-trips as such)."""
+    if facts is None:
+        return None
+    return {
+        "kind": facts.kind,
+        "name": facts.name,
+        "blocks": [[k, v] for k, v in sorted(facts.blocks.items())],
+        "reachable": sorted(facts.reachable),
+        "tuple_locals": sorted(facts.tuple_locals),
+        "lane_locals": [[k, v]
+                        for k, v in sorted(facts.lane_locals.items())],
+        "access_widths": sorted(facts.access_widths),
+        "param_regs": sorted(facts.param_regs),
+        "written_at_entry": [[k, sorted(v)] for k, v in
+                             sorted(facts.written_at_entry.items())],
+        "ranges": [[leader, [[i, list(bounds)] for i, bounds in
+                             sorted(entry.items())]]
+                   for leader, entry in sorted(facts.ranges.items())],
+        "range_notes": [list(note) for note in facts.range_notes],
+        "maybe_uninit": [list(p) for p in facts.maybe_uninit],
+        "dead_stores": [list(p) for p in facts.dead_stores],
+    }
+
+
+def facts_from_wire(wire: Optional[Dict]) -> Optional[FunctionFacts]:
+    if wire is None:
+        return None
+    return FunctionFacts(
+        kind=wire["kind"],
+        name=wire["name"],
+        blocks={int(k): int(v) for k, v in wire["blocks"]},
+        reachable=frozenset(wire["reachable"]),
+        tuple_locals=frozenset(wire["tuple_locals"]),
+        lane_locals={int(k): int(v) for k, v in wire["lane_locals"]},
+        access_widths=frozenset(wire["access_widths"]),
+        param_regs=frozenset(wire["param_regs"]),
+        written_at_entry={int(k): frozenset(v)
+                          for k, v in wire["written_at_entry"]},
+        ranges={int(leader): {int(i): tuple(bounds)
+                              for i, bounds in entry}
+                for leader, entry in wire["ranges"]},
+        range_notes=[tuple(note) for note in wire["range_notes"]],
+        maybe_uninit=[tuple(p) for p in wire["maybe_uninit"]],
+        dead_stores=[tuple(p) for p in wire["dead_stores"]],
+    )

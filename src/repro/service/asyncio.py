@@ -153,6 +153,16 @@ class AsyncCompilationService:
         while it is in flight await the *same* task (and are counted
         as coalesced), so a thundering herd of identical requests
         costs one offline compile and one fan-out.
+
+        Two requests coalesce only when their *entire* identity
+        matches — see :meth:`request_key`.  In particular the failure
+        policy is part of the identity: a ``tolerate_failures=True``
+        request must never join a strict request's serving task (the
+        strict task raises on the first failing target, while the
+        tolerant caller was promised a partial result — and vice
+        versa, a strict caller must not receive a degraded result a
+        tolerant task recorded).  Identical requests differing only
+        in ``tolerate_failures`` are therefore served independently.
         """
         flow = as_flow(request.flow)
         key = self._request_key(request, flow)
@@ -182,6 +192,26 @@ class AsyncCompilationService:
         whole batch shares caches, dedup and coalescing."""
         return await asyncio.gather(
             *(self.submit(request) for request in requests))
+
+    # -- introspection ------------------------------------------------------
+
+    def request_key(self, request: CompileRequest) -> RequestKey:
+        """The request's coalescing identity: artifact cache key x
+        flow identity x sorted target set x failure policy.  Two
+        concurrent :meth:`submit` calls share one serving task iff
+        their keys are equal; anything that can change the served
+        result — including ``tolerate_failures``, whose two settings
+        promise different failure semantics — keeps them apart.  A
+        serving edge uses this to detect joins before they happen
+        (``request_key(r) in service.inflight_keys()``)."""
+        return self._request_key(request, as_flow(request.flow))
+
+    def inflight_keys(self):
+        """Snapshot of the request keys currently being served (the
+        coalescing map's keys).  Checking membership and then calling
+        :meth:`submit` with no intervening ``await`` is join-exact:
+        the map only changes from the event loop."""
+        return set(self._inflight)
 
     # -- internals ----------------------------------------------------------
 

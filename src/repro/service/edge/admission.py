@@ -1,0 +1,171 @@
+"""Admission control: the edge says no *before* the system says ouch.
+
+A serving tier absorbing "millions of users" protects its latency by
+bounding the work it lets in: a bounded queue in front of the worker
+pool, plus an estimated-wait gate derived from an EWMA of recent
+service times.  Everything past the gate gets predictable latency;
+everything shed gets an immediate, structured 503 with a honest
+``Retry-After`` — the overload story of the separation-kernel papers
+(fail loudly at the boundary, never degrade everyone a little).
+
+The controller is pure bookkeeping — the actual ``asyncio.Queue``
+lives in the server; this module decides and accounts.  Latency
+observability is a log-bucketed histogram good enough for p50/p99 at
+a few dozen buckets, cheap enough to keep per tenant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["LatencyHistogram", "AdmissionDecision",
+           "AdmissionController"]
+
+
+class LatencyHistogram:
+    """Log-spaced latency histogram with percentile estimation.
+
+    Buckets double from 100 µs up to ~200 s (22 buckets), with an
+    overflow bucket above; percentiles interpolate linearly inside the
+    winning bucket, which is plenty for p50/p99 dashboards (the error
+    is bounded by the 2x bucket ratio).
+    """
+
+    BASE_S = 1e-4
+    BUCKETS = 22
+
+    def __init__(self):
+        self.counts: List[int] = [0] * (self.BUCKETS + 1)
+        self.total = 0
+        self.sum_s = 0.0
+        self.max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(0.0, seconds)
+        index = 0
+        upper = self.BASE_S
+        while seconds > upper and index < self.BUCKETS:
+            upper *= 2.0
+            index += 1
+        self.counts[index] += 1
+        self.total += 1
+        self.sum_s += seconds
+        self.max_s = max(self.max_s, seconds)
+
+    def percentile(self, p: float) -> float:
+        """p in [0, 1] -> estimated seconds (0.0 when empty)."""
+        if self.total == 0:
+            return 0.0
+        threshold = p * self.total
+        seen = 0
+        lower, upper = 0.0, self.BASE_S
+        for index, count in enumerate(self.counts):
+            if seen + count >= threshold:
+                if count == 0:
+                    return upper
+                fraction = (threshold - seen) / count
+                return lower + fraction * (upper - lower)
+            seen += count
+            lower = upper
+            upper = upper * 2.0 if index < self.BUCKETS else upper
+        return self.max_s
+
+    @property
+    def mean_s(self) -> float:
+        return self.sum_s / self.total if self.total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.total,
+            "mean_ms": round(self.mean_s * 1e3, 3),
+            "p50_ms": round(self.percentile(0.50) * 1e3, 3),
+            "p99_ms": round(self.percentile(0.99) * 1e3, 3),
+            "max_ms": round(self.max_s * 1e3, 3),
+        }
+
+
+@dataclass
+class AdmissionDecision:
+    """What the gate said, and why — the 503 body is built from it."""
+    admitted: bool
+    reason: Optional[str] = None          # "queue_full" | "overload"
+    queue_depth: int = 0
+    estimated_wait_s: float = 0.0
+
+
+class AdmissionController:
+    """Bounded-queue admission with an estimated-wait overload gate.
+
+    ``capacity`` bounds how many admitted requests may be queued
+    (in-service requests are tracked separately); ``max_wait_s``
+    bounds the *estimated* time a newly admitted request would wait
+    before service starts — ``(queued + in_service) * ewma / workers``
+    — so under a sustained overload the edge sheds by latency promise,
+    not just by memory bound.  The EWMA (``alpha=0.2``) tracks the
+    recent service-time mix; until the first completion it is 0 and
+    only the depth bound applies.
+    """
+
+    def __init__(self, capacity: int, max_wait_s: float,
+                 workers: int):
+        if capacity < 1:
+            raise ValueError("admission capacity must be >= 1")
+        if workers < 1:
+            raise ValueError("worker count must be >= 1")
+        self.capacity = capacity
+        self.max_wait_s = max_wait_s
+        self.workers = workers
+        self.queued = 0
+        self.in_service = 0
+        self.ewma_service_s = 0.0
+        self._alpha = 0.2
+
+    # -- the gate -----------------------------------------------------------
+
+    def estimated_wait_s(self) -> float:
+        backlog = self.queued + self.in_service
+        if backlog == 0 or self.ewma_service_s == 0.0:
+            return 0.0
+        return backlog * self.ewma_service_s / self.workers
+
+    def evaluate(self) -> AdmissionDecision:
+        """Decide one arrival (does not enqueue — the caller does,
+        then reports through ``on_enqueue``)."""
+        wait = self.estimated_wait_s()
+        if self.queued >= self.capacity:
+            return AdmissionDecision(False, "queue_full",
+                                     self.queued, wait)
+        if self.max_wait_s is not None and wait > self.max_wait_s:
+            return AdmissionDecision(False, "overload",
+                                     self.queued, wait)
+        return AdmissionDecision(True, None, self.queued, wait)
+
+    # -- lifecycle accounting ----------------------------------------------
+
+    def on_enqueue(self) -> None:
+        self.queued += 1
+
+    def on_start(self) -> None:
+        self.queued -= 1
+        self.in_service += 1
+
+    def on_finish(self, elapsed_s: float) -> None:
+        self.in_service -= 1
+        if self.ewma_service_s == 0.0:
+            self.ewma_service_s = elapsed_s
+        else:
+            self.ewma_service_s += self._alpha * \
+                (elapsed_s - self.ewma_service_s)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "depth": self.queued,
+            "capacity": self.capacity,
+            "in_service": self.in_service,
+            "workers": self.workers,
+            "max_wait_s": self.max_wait_s,
+            "ewma_service_ms": round(self.ewma_service_s * 1e3, 3),
+            "estimated_wait_ms": round(
+                self.estimated_wait_s() * 1e3, 3),
+        }

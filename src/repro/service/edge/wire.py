@@ -1,0 +1,203 @@
+"""Wire schema of the serving edge: JSON bodies in, JSON bodies out.
+
+Everything a remote client can say to the edge is validated *here*,
+up front, into the same :class:`~repro.service.requests.CompileRequest`
+the in-process facades consume — the edge adds transport, auth and
+admission around the service, never a second request model.  Every
+rejection is a structured error body with a machine-readable ``code``
+(and HTTP status), so load generators and clients can assert on shed
+reasons instead of scraping messages.
+
+The schema is strict: unknown fields are a 400, not a shrug — a
+serving tier that silently ignores a misspelled ``tolerate_failures``
+would be changing a client's failure semantics behind its back.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.flows import UnknownFlowError, as_flow, flow_names
+from repro.service.requests import CompileRequest, DeployResult
+from repro.targets.registry import (
+    UnknownTargetError, as_target, target_names,
+)
+
+__all__ = [
+    "WireError", "error_wire", "parse_deploy_request",
+    "parse_compile_request", "deploy_result_wire",
+]
+
+#: fields a ``/deploy`` body may carry (the CompileRequest surface)
+DEPLOY_FIELDS = frozenset(
+    {"source", "name", "targets", "flow", "options",
+     "tolerate_failures"})
+
+#: fields a ``/compile`` body may carry (the offline half only)
+COMPILE_FIELDS = frozenset({"source", "name", "options"})
+
+
+class WireError(Exception):
+    """A request the edge refuses, with everything the response needs:
+    HTTP status, stable error ``code``, human message, and optional
+    ``retry_after`` seconds (429/503 set it so well-behaved clients
+    back off instead of hammering)."""
+
+    def __init__(self, status: int, code: str, message: str,
+                 retry_after: Optional[float] = None,
+                 detail: Optional[Dict[str, object]] = None):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+        self.detail = detail or {}
+
+    def body(self) -> Dict[str, object]:
+        return error_wire(self.code, self.message,
+                          retry_after=self.retry_after, **self.detail)
+
+
+def error_wire(code: str, message: str,
+               retry_after: Optional[float] = None,
+               **detail) -> Dict[str, object]:
+    """The one error envelope every non-2xx response uses."""
+    error: Dict[str, object] = {"code": code, "message": message}
+    if retry_after is not None:
+        error["retry_after_s"] = round(retry_after, 3)
+    error.update(detail)
+    return {"error": error}
+
+
+def _bad(message: str, **detail) -> WireError:
+    return WireError(400, "bad_request", message, detail=detail)
+
+
+def _require_object(payload) -> Dict:
+    if not isinstance(payload, dict):
+        raise _bad("request body must be a JSON object")
+    return payload
+
+
+def _source_of(payload: Dict) -> str:
+    source = payload.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise _bad("'source' is required and must be a non-empty "
+                   "string of PVI DSL text")
+    return source
+
+
+def _name_of(payload: Dict) -> str:
+    name = payload.get("name", "module")
+    if not isinstance(name, str) or not name:
+        raise _bad("'name' must be a non-empty string")
+    return name
+
+
+def _options_of(payload: Dict) -> Optional[Dict[str, object]]:
+    options = payload.get("options")
+    if options is None:
+        return None
+    if not isinstance(options, dict):
+        raise _bad("'options' must be an object of offline-compile "
+                   "options")
+    return options
+
+
+def parse_compile_request(payload) -> Dict[str, object]:
+    """Validate a ``/compile`` body -> ``{source, name, options}``."""
+    payload = _require_object(payload)
+    unknown = set(payload) - COMPILE_FIELDS
+    if unknown:
+        raise _bad(f"unknown fields {sorted(unknown)}; /compile "
+                   f"accepts {sorted(COMPILE_FIELDS)}")
+    return {"source": _source_of(payload), "name": _name_of(payload),
+            "options": _options_of(payload)}
+
+
+def parse_deploy_request(payload) -> CompileRequest:
+    """Validate a ``/deploy`` body into a :class:`CompileRequest`.
+
+    Targets must be *registered names* (the wire carries no target
+    descriptors — a tenant deploys onto the catalog the operator
+    registered), and the flow a registered flow name; both resolve
+    through the same registries as in-process callers, so an unknown
+    name fails with the catalog in the message, here as a 400.
+    """
+    payload = _require_object(payload)
+    unknown = set(payload) - DEPLOY_FIELDS
+    if unknown:
+        raise _bad(f"unknown fields {sorted(unknown)}; /deploy "
+                   f"accepts {sorted(DEPLOY_FIELDS)}")
+    source = _source_of(payload)
+    name = _name_of(payload)
+    options = _options_of(payload)
+    targets = payload.get("targets")
+    if not isinstance(targets, list) or not targets or \
+            not all(isinstance(t, str) for t in targets):
+        raise _bad("'targets' must be a non-empty list of registered "
+                   f"target names; available: {sorted(target_names())}")
+    for target in targets:
+        try:
+            as_target(target)
+        except UnknownTargetError as exc:
+            raise WireError(400, "unknown_target", str(exc),
+                            detail={"target": target})
+    flow = payload.get("flow", "split")
+    if not isinstance(flow, str):
+        raise _bad("'flow' must be a registered flow name; "
+                   f"available: {sorted(flow_names())}")
+    try:
+        as_flow(flow)
+    except UnknownFlowError as exc:
+        raise WireError(400, "unknown_flow", str(exc),
+                        detail={"flow": flow})
+    tolerate = payload.get("tolerate_failures", False)
+    if not isinstance(tolerate, bool):
+        raise _bad("'tolerate_failures' must be a boolean")
+    return CompileRequest(source=source, name=name, targets=targets,
+                          flow=flow, options=options,
+                          tolerate_failures=tolerate)
+
+
+def deploy_result_wire(result: DeployResult) -> Dict[str, object]:
+    """A :class:`DeployResult` as JSON: everything observable about
+    the deployment except the images themselves (images are process
+    objects; remote consumers read their *metadata* and run against
+    the serving process that holds them)."""
+    deployments = {}
+    for name, d in result.deployments.items():
+        entry: Dict[str, object] = {
+            "ok": d.ok,
+            "memo_hit": d.memo_hit,
+            "latency_s": d.latency,
+        }
+        if d.compiled is not None:
+            entry["code_bytes"] = getattr(d.compiled,
+                                          "total_code_bytes", None)
+            entry["jit_work"] = getattr(d.compiled,
+                                        "total_jit_work", None)
+        if d.error is not None:
+            entry["error"] = {"type": type(d.error).__name__,
+                              "message": str(d.error)}
+        deployments[name] = entry
+    return {
+        "name": result.name,
+        "artifact_key": result.artifact_key,
+        "artifact_cache_hit": result.artifact_cache_hit,
+        "fully_cached": result.fully_cached,
+        "flow": result.flow,
+        "offline_latency_s": result.offline_latency,
+        "total_latency_s": result.total_latency,
+        "offline_pass_work": dict(result.offline_pass_work),
+        "deployments": deployments,
+    }
+
+
+def retry_after_header(seconds: Optional[float]) -> int:
+    """``Retry-After`` wants integral seconds; round up so a client
+    that obeys it exactly never arrives early."""
+    if seconds is None or seconds <= 0:
+        return 1
+    return max(1, math.ceil(seconds))

@@ -125,6 +125,54 @@ class TestPersistence:
             artifact.vectorized_functions
         assert serialize_artifact(revived) == serialize_artifact(artifact)
 
+    def test_facts_tables_persist_with_the_artifact(self):
+        """Revived artifacts carry their dataflow facts: every
+        bytecode function answers ``fresh=False`` — the analysis ran
+        once, offline, and the wire carried its results."""
+        from repro.analysis.facts import bytecode_facts
+        artifact = offline_compile(SAXPY, "facts")
+        # populate the analysis caches, then roundtrip
+        for func in artifact.bytecode.functions.values():
+            bytecode_facts(func)
+        revived = deserialize_artifact(serialize_artifact(artifact))
+        for func in revived.bytecode.functions.values():
+            facts, fresh = bytecode_facts(func)
+            assert not fresh
+        # and the restored tables match a from-scratch analysis
+        for name, func in revived.bytecode.functions.items():
+            restored, _ = bytecode_facts(func)
+            computed, _ = bytecode_facts(
+                artifact.bytecode.functions[name])
+            assert restored == computed
+
+    def test_facts_roundtrip_is_byte_identical(self):
+        """The facts sidecar must not break the byte-identity
+        contract (canonical JSON, not pickle: set order is pinned)."""
+        artifact = offline_compile(SAXPY, "facts-bytes")
+        blob = serialize_artifact(artifact)
+        revived = deserialize_artifact(blob)
+        assert serialize_artifact(revived) == blob
+
+    def test_warm_start_counts_facts_warm(self, tmp_path):
+        """A second service over the same persist dir revives facts
+        from disk and surfaces the count in its stats."""
+        cold = CompilationService(cache_capacity=4,
+                                  persist_dir=tmp_path)
+        try:
+            cold.compile(SAXPY, "w")
+        finally:
+            cold.shutdown()
+        warm = CompilationService(cache_capacity=4,
+                                  persist_dir=tmp_path)
+        try:
+            warm.compile(SAXPY, "w")
+            stats = warm.stats()
+            assert stats.artifact_disk_hits == 1
+            assert stats.artifact_facts_warm > 0
+            assert stats.as_dict()["artifact"]["facts_warm"] > 0
+        finally:
+            warm.shutdown()
+
     def test_bad_magic_rejected(self):
         with pytest.raises(ValueError, match="bad magic"):
             deserialize_artifact(b"NOPE" + b"\x00" * 16)

@@ -322,6 +322,56 @@ class TestAsyncFacade:
         assert stats.artifact_stores == 1
         assert stats.deploy_compiles == len(CATALOG)
 
+    def test_failure_policy_is_part_of_coalescing_identity(self):
+        """Two concurrent requests identical except for
+        ``tolerate_failures`` must NOT coalesce: the strict one is
+        promised an exception on the first failing target, the
+        tolerant one a partial result with the error recorded — one
+        serving task cannot honor both contracts."""
+        core = CompilationService(executor="inline")
+        original = core.pool._compile
+
+        def flaky(artifact, target, flow):
+            raise MemoryError("JIT always fails in this test")
+
+        core.pool._compile = flaky
+        strict = CompileRequest(source=SAXPY, name="m", targets=[X86],
+                                tolerate_failures=False)
+        tolerant = CompileRequest(source=SAXPY, name="m",
+                                  targets=[X86],
+                                  tolerate_failures=True)
+
+        async def main():
+            async with AsyncCompilationService(core) as service:
+                assert service.request_key(strict) != \
+                    service.request_key(tolerant)
+                strict_task = asyncio.ensure_future(
+                    service.submit(strict))
+                tolerant_task = asyncio.ensure_future(
+                    service.submit(tolerant))
+                results = await asyncio.gather(
+                    strict_task, tolerant_task,
+                    return_exceptions=True)
+                return results, service.stats()
+
+        (strict_result, tolerant_result), stats = asyncio.run(main())
+        core.shutdown()
+        core.pool._compile = original
+        # the strict caller got its promised exception...
+        assert isinstance(strict_result, MemoryError)
+        # ...the tolerant caller its promised partial result...
+        assert tolerant_result.failed_targets == ["x86"]
+        assert isinstance(
+            tolerant_result.deployments["x86"].error, MemoryError)
+        # ...which is only possible because the *requests* never
+        # coalesced: each ran its own fan-out (two executor
+        # submissions, two failures).  The offline halves still
+        # share one artifact compile — identical sources should —
+        # so the artifact was stored once.
+        assert stats.deploy_executors["inline"]["submitted"] == 2
+        assert stats.deploy_executors["inline"]["failed"] == 2
+        assert stats.artifact_stores == 1
+
     def test_deploy_one_and_many_await_pool_futures(self):
         async def main():
             async with AsyncCompilationService(executor="inline") \

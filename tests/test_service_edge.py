@@ -1,0 +1,524 @@
+"""The serving edge: wire schema, tenancy, admission, routing.
+
+Unit tests cover the pure pieces (token buckets with an injected
+clock, the admission gate's arithmetic, the latency histogram, wire
+validation); integration tests boot a real :class:`EdgeServer` on an
+ephemeral port and talk to it with :class:`EdgeClient`, asserting on
+the exact HTTP statuses and structured error codes remote clients
+would see — 401 vs 403 vs 429 vs 503 are the edge's contract, not
+implementation detail.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.edge import (
+    AdaptiveExecutor, AdmissionController, EdgeClient, EdgeConfig,
+    EdgeServer, LatencyHistogram, Tenant, TenantTable, TokenBucket,
+    WireError, parse_compile_request, parse_deploy_request,
+)
+from repro.workloads import TABLE1
+
+SAXPY = TABLE1["saxpy_fp"].source
+SUM_U8 = TABLE1["sum_u8"].source
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ---------------------------------------------------------------------------
+# token buckets
+# ---------------------------------------------------------------------------
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert [bucket.try_take() for _ in range(4)] == \
+            [True, True, True, False]
+
+    def test_refill_timing_is_exact(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        assert bucket.try_take() and bucket.try_take()
+        assert not bucket.try_take()
+        # 2 tokens/s: after 0.4s there is still < 1 token
+        clock.advance(0.4)
+        assert not bucket.try_take()
+        # ...and at 0.5s exactly one token has accrued
+        clock.advance(0.1)
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(3600)
+        assert bucket.available == pytest.approx(2.0)
+
+    def test_retry_after_names_the_deficit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4.0, burst=1, clock=clock)
+        assert bucket.try_take()
+        # empty; one token accrues in 1/4 s
+        assert bucket.retry_after() == pytest.approx(0.25)
+        clock.advance(0.25)
+        assert bucket.retry_after() == pytest.approx(0.0)
+
+    def test_unlimited_bucket_never_refuses(self):
+        bucket = TokenBucket(rate=None)
+        assert all(bucket.try_take() for _ in range(1000))
+        assert bucket.retry_after() == 0.0
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+# ---------------------------------------------------------------------------
+# admission arithmetic
+# ---------------------------------------------------------------------------
+
+class TestAdmissionController:
+    def test_queue_bound(self):
+        gate = AdmissionController(capacity=2, max_wait_s=None,
+                                   workers=1)
+        assert gate.evaluate().admitted
+        gate.on_enqueue()
+        gate.on_enqueue()
+        decision = gate.evaluate()
+        assert not decision.admitted
+        assert decision.reason == "queue_full"
+        assert decision.queue_depth == 2
+
+    def test_estimated_wait_gate(self):
+        gate = AdmissionController(capacity=100, max_wait_s=1.0,
+                                   workers=2)
+        # no completions yet: EWMA is 0, only the depth bound applies
+        gate.on_enqueue()
+        assert gate.evaluate().admitted
+        # one completion at 0.5s seeds the EWMA
+        gate.on_start()
+        gate.on_finish(0.5)
+        # backlog of 3 queued + 1 in service at 0.5s each over 2
+        # workers -> 1.0s estimated wait, still admitted (gate is >)
+        for _ in range(4):
+            gate.on_enqueue()
+        gate.on_start()
+        assert gate.estimated_wait_s() == pytest.approx(1.0)
+        assert gate.evaluate().admitted
+        gate.on_enqueue()
+        decision = gate.evaluate()
+        assert not decision.admitted
+        assert decision.reason == "overload"
+        assert decision.estimated_wait_s > 1.0
+
+    def test_ewma_tracks_recent_service_times(self):
+        gate = AdmissionController(capacity=10, max_wait_s=5.0,
+                                   workers=1)
+        gate.on_enqueue(); gate.on_start(); gate.on_finish(1.0)
+        assert gate.ewma_service_s == pytest.approx(1.0)
+        gate.on_enqueue(); gate.on_start(); gate.on_finish(2.0)
+        assert gate.ewma_service_s == pytest.approx(1.2)
+
+
+class TestLatencyHistogram:
+    def test_percentiles_bracket_the_data(self):
+        hist = LatencyHistogram()
+        for _ in range(99):
+            hist.observe(0.010)
+        hist.observe(1.0)
+        assert 0.005 <= hist.percentile(0.50) <= 0.020
+        assert hist.percentile(0.99) <= 1.1
+        assert hist.percentile(0.99) > hist.percentile(0.50)
+        snapshot = hist.as_dict()
+        assert snapshot["count"] == 100
+        assert snapshot["max_ms"] == pytest.approx(1000.0)
+
+    def test_empty_histogram(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(0.99) == 0.0
+        assert hist.as_dict()["count"] == 0
+
+
+# ---------------------------------------------------------------------------
+# wire validation
+# ---------------------------------------------------------------------------
+
+class TestWireValidation:
+    def test_deploy_roundtrip(self):
+        request = parse_deploy_request(
+            {"source": SAXPY, "name": "m", "targets": ["x86", "arm"],
+             "flow": "split", "tolerate_failures": True})
+        assert request.name == "m"
+        assert request.targets == ["x86", "arm"]
+        assert request.tolerate_failures is True
+
+    @pytest.mark.parametrize("payload,code", [
+        ([1, 2], "bad_request"),                       # not an object
+        ({"source": ""}, "bad_request"),               # empty source
+        ({"source": "x"}, "bad_request"),              # no targets
+        ({"source": "x", "targets": []}, "bad_request"),
+        ({"source": "x", "targets": ["x86"],
+          "tolerate_failures": "yes"}, "bad_request"),
+        ({"source": "x", "targets": ["x86"],
+          "typo_field": 1}, "bad_request"),
+        ({"source": "x", "targets": ["vax"]}, "unknown_target"),
+        ({"source": "x", "targets": ["x86"],
+          "flow": "warp"}, "unknown_flow"),
+    ])
+    def test_deploy_rejections(self, payload, code):
+        with pytest.raises(WireError) as exc_info:
+            parse_deploy_request(payload)
+        assert exc_info.value.status == 400
+        assert exc_info.value.code == code
+
+    def test_compile_rejects_deploy_fields(self):
+        with pytest.raises(WireError) as exc_info:
+            parse_compile_request({"source": "x", "targets": ["x86"]})
+        assert "targets" in exc_info.value.message
+
+
+# ---------------------------------------------------------------------------
+# tenancy
+# ---------------------------------------------------------------------------
+
+class TestTenantTable:
+    def table(self, clock=None):
+        clock = clock or FakeClock()
+        return TenantTable([
+            Tenant("acme", api_key="k-acme", rate=10, burst=5,
+                   clock=clock),
+            Tenant("evil", api_key="k-evil", enabled=False,
+                   clock=clock),
+        ])
+
+    def test_missing_key_is_401(self):
+        with pytest.raises(WireError) as exc_info:
+            self.table().authenticate(None)
+        assert exc_info.value.status == 401
+
+    def test_unknown_key_is_401(self):
+        with pytest.raises(WireError) as exc_info:
+            self.table().authenticate("nope")
+        assert exc_info.value.status == 401
+
+    def test_disabled_tenant_is_403(self):
+        with pytest.raises(WireError) as exc_info:
+            self.table().authenticate("k-evil")
+        assert exc_info.value.status == 403
+
+    def test_known_key_resolves(self):
+        assert self.table().authenticate("k-acme").name == "acme"
+
+    def test_charge_raises_429_with_retry_after(self):
+        clock = FakeClock()
+        tenant = Tenant("t", api_key="k", rate=2.0, burst=1,
+                        clock=clock)
+        tenant.charge()
+        with pytest.raises(WireError) as exc_info:
+            tenant.charge()
+        assert exc_info.value.status == 429
+        assert exc_info.value.retry_after == pytest.approx(0.5)
+        assert tenant.stats.shed_quota == 1
+
+    def test_from_config_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            TenantTable.from_config(
+                {"tenants": [{"name": "a", "api_key": "k",
+                              "rait": 10}]})
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError):
+            TenantTable([Tenant("a", api_key="k"),
+                         Tenant("b", api_key="k")])
+
+
+# ---------------------------------------------------------------------------
+# the server, over real sockets
+# ---------------------------------------------------------------------------
+
+def edge_config(**overrides) -> EdgeConfig:
+    """Inline executors: tests exercise routing/admission, not pools."""
+    defaults = dict(port=0, workers=2, queue_depth=8,
+                    cold_executor="inline", warm_executor="inline")
+    defaults.update(overrides)
+    return EdgeConfig(**defaults)
+
+
+def run_edge(config: EdgeConfig, scenario):
+    """Boot an EdgeServer, run ``await scenario(edge)``, tear down."""
+    async def main():
+        async with EdgeServer(config) as edge:
+            return await scenario(edge)
+    return asyncio.run(main())
+
+
+class TestEdgeServer:
+    def test_healthz_needs_no_auth(self):
+        table = TenantTable([Tenant("a", api_key="k")])
+        async def scenario(edge):
+            async with EdgeClient("127.0.0.1", edge.port) as client:
+                return await client.healthz()
+        status, _, body = run_edge(edge_config(tenants=table),
+                                   scenario)
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_auth_failures_on_the_wire(self):
+        table = TenantTable([
+            Tenant("a", api_key="k-a"),
+            Tenant("off", api_key="k-off", enabled=False)])
+        async def scenario(edge):
+            results = {}
+            async with EdgeClient("127.0.0.1", edge.port) as client:
+                results["missing"] = await client.deploy(
+                    SAXPY, ["x86"])
+            async with EdgeClient("127.0.0.1", edge.port,
+                                  api_key="bogus") as client:
+                results["unknown"] = await client.stats()
+            async with EdgeClient("127.0.0.1", edge.port,
+                                  api_key="k-off") as client:
+                results["disabled"] = await client.deploy(
+                    SAXPY, ["x86"])
+            return results
+        results = run_edge(edge_config(tenants=table), scenario)
+        status, _, body = results["missing"]
+        assert (status, body["error"]["code"]) == (401, "unauthorized")
+        status, _, body = results["unknown"]
+        assert (status, body["error"]["code"]) == (401, "unauthorized")
+        status, _, body = results["disabled"]
+        assert (status, body["error"]["code"]) == (403, "forbidden")
+
+    def test_quota_429_carries_retry_after(self):
+        table = TenantTable([Tenant("a", api_key="k-a", rate=0.001,
+                                    burst=1)])
+        async def scenario(edge):
+            async with EdgeClient("127.0.0.1", edge.port,
+                                  api_key="k-a") as client:
+                first = await client.deploy(SAXPY, ["x86"], name="m")
+                second = await client.deploy(SAXPY, ["x86"], name="m")
+                _, _, stats = await client.request(
+                    "GET", "/stats")
+            return first, second, stats
+        # the stats call itself would be charged too — but its bucket
+        # is already empty, so fetch stats through a second tenant?
+        # No: /stats auth succeeds but charge() only guards work
+        # endpoints, so the empty bucket does not block it.
+        first, second, stats = run_edge(edge_config(tenants=table),
+                                        scenario)
+        assert first[0] == 200
+        status, headers, body = second
+        assert status == 429
+        assert body["error"]["code"] == "quota_exhausted"
+        assert int(headers["retry-after"]) >= 1
+        tenant = stats["edge"]["tenants"]["a"]
+        assert tenant["shed"]["quota"] == 1
+        assert tenant["accepted"] == 1
+
+    def test_tenant_isolation(self):
+        """Tenant A saturating its own quota never sheds tenant B."""
+        table = TenantTable([
+            Tenant("a", api_key="k-a", rate=0.001, burst=1),
+            Tenant("b", api_key="k-b", rate=1000, burst=1000)])
+        async def scenario(edge):
+            async with EdgeClient("127.0.0.1", edge.port,
+                                  api_key="k-a") as a, \
+                    EdgeClient("127.0.0.1", edge.port,
+                               api_key="k-b") as b:
+                a_statuses = []
+                for index in range(5):
+                    status, _, _ = await a.deploy(
+                        SAXPY, ["x86"], name=f"a{index}")
+                    a_statuses.append(status)
+                b_statuses = []
+                for index in range(5):
+                    status, _, _ = await b.deploy(
+                        SAXPY, ["x86"], name="b")
+                    b_statuses.append(status)
+                _, _, stats = await b.stats()
+            return a_statuses, b_statuses, stats
+        a_statuses, b_statuses, stats = run_edge(
+            edge_config(tenants=table), scenario)
+        assert a_statuses == [200, 429, 429, 429, 429]
+        assert b_statuses == [200] * 5
+        tenants = stats["edge"]["tenants"]
+        assert tenants["a"]["shed"]["quota"] == 4
+        assert tenants["b"]["shed"]["total"] == 0
+        assert tenants["b"]["accepted"] == 5
+
+    def test_bounded_queue_sheds_under_herd(self):
+        """Distinct requests past the queue bound get structured
+        503 queue_full with Retry-After; admitted ones complete."""
+        async def scenario(edge):
+            real_submit = edge.service.submit
+            async def slow_submit(request):
+                await asyncio.sleep(0.25)
+                return await real_submit(request)
+            edge.service.submit = slow_submit
+
+            async def one(index):
+                async with EdgeClient("127.0.0.1",
+                                      edge.port) as client:
+                    return await client.deploy(
+                        SAXPY, ["x86"], name=f"m{index}")
+            results = await asyncio.gather(*(one(i) for i in range(8)))
+            _, _, stats = await EdgeClient(
+                "127.0.0.1", edge.port).stats()
+            return results, stats
+        results, stats = run_edge(
+            edge_config(workers=1, queue_depth=2, max_wait_s=None),
+            scenario)
+        statuses = [status for status, _, _ in results]
+        accepted = [r for r in results if r[0] == 200]
+        shed = [r for r in results if r[0] == 503]
+        assert len(accepted) >= 1
+        assert len(shed) >= 1
+        assert len(accepted) + len(shed) == 8
+        for status, headers, body in shed:
+            assert body["error"]["code"] == "queue_full"
+            assert int(headers["retry-after"]) >= 1
+            assert body["error"]["queue_capacity"] == 2
+        for status, _, body in accepted:
+            assert body["deployments"]["x86"]["ok"]
+        assert stats["edge"]["shed"]["queue_full"] == len(shed)
+
+    def test_identical_herd_coalesces_onto_one_queue_slot(self):
+        """A thundering herd of *identical* requests consumes one
+        queue slot and one compile; every caller gets the result."""
+        async def scenario(edge):
+            real_submit = edge.service.submit
+            async def slow_submit(request):
+                await asyncio.sleep(0.2)
+                return await real_submit(request)
+            edge.service.submit = slow_submit
+
+            async def one():
+                async with EdgeClient("127.0.0.1",
+                                      edge.port) as client:
+                    return await client.deploy(SAXPY, ["x86"],
+                                               name="same")
+            results = await asyncio.gather(*(one() for _ in range(6)))
+            _, _, stats = await EdgeClient(
+                "127.0.0.1", edge.port).stats()
+            return results, stats
+        results, stats = run_edge(
+            edge_config(workers=1, queue_depth=1, max_wait_s=None),
+            scenario)
+        assert [status for status, _, _ in results] == [200] * 6
+        edge_stats = stats["edge"]
+        assert edge_stats["accepted"] == 6
+        assert edge_stats["coalesced"] == 5
+        assert edge_stats["shed"]["total"] == 0
+
+    def test_stats_shape(self):
+        async def scenario(edge):
+            async with EdgeClient("127.0.0.1", edge.port) as client:
+                await client.deploy(SAXPY, ["x86", "arm"], name="m")
+                return await client.stats()
+        _, _, stats = run_edge(edge_config(), scenario)
+        edge_stats = stats["edge"]
+        assert edge_stats["requests"] == 1
+        assert edge_stats["latency"]["count"] == 1
+        assert edge_stats["queue"]["capacity"] == 8
+        assert edge_stats["routes"]["policy"] == "first-fanout-cold"
+        assert stats["service"]["artifact"]["facts_warm"] == 0
+        assert "vm" in stats["tier2"] and "sim" in stats["tier2"]
+
+    def test_malformed_json_and_bad_routes(self):
+        async def scenario(edge):
+            async with EdgeClient("127.0.0.1", edge.port) as client:
+                results = {}
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", edge.port)
+                writer.write(b"POST /deploy HTTP/1.1\r\n"
+                             b"Content-Length: 9\r\n\r\nnot json!")
+                await writer.drain()
+                line = await reader.readline()
+                results["bad_json"] = int(
+                    line.decode().split(" ")[1])
+                writer.close()
+                results["not_found"] = (await client.request(
+                    "GET", "/nope"))[0]
+                results["bad_method"] = (await client.request(
+                    "POST", "/healthz"))[0]
+            return results
+        results = run_edge(edge_config(), scenario)
+        assert results["bad_json"] == 400
+        assert results["not_found"] == 404
+        assert results["bad_method"] == 405
+
+    def test_source_errors_are_422_not_500(self):
+        async def scenario(edge):
+            async with EdgeClient("127.0.0.1", edge.port) as client:
+                return await client.deploy("this is ( not dsl",
+                                           ["x86"])
+        status, _, body = run_edge(edge_config(), scenario)
+        assert status == 422
+        assert body["error"]["code"] == "compile_error"
+
+
+# ---------------------------------------------------------------------------
+# adaptive routing
+# ---------------------------------------------------------------------------
+
+class TestAdaptiveRouting:
+    def test_first_fanout_cold_then_warm(self):
+        from repro.service import CompilationService
+        executor = AdaptiveExecutor(cold="inline", warm="inline")
+        service = CompilationService(executor=executor)
+        try:
+            artifact = service.compile(SAXPY, "m").artifact
+            service.deploy_many(artifact, ["x86", "arm", "dsp"])
+            after_first = executor.route_counters()
+            # new targets on a now-warm artifact ride the warm route
+            service.deploy_many(artifact, ["ppc", "sparc"])
+            after_second = executor.route_counters()
+        finally:
+            service.shutdown()
+        assert after_first["cold"]["submitted"] >= 1
+        assert after_second["warm"]["submitted"] - \
+            after_first["warm"]["submitted"] == 2
+        assert after_second["known_artifacts"] == 1
+
+    def test_distinct_artifacts_classify_independently(self):
+        executor = AdaptiveExecutor(cold="inline", warm="inline")
+        from repro.service import CompilationService
+        service = CompilationService(executor=executor)
+        try:
+            first = service.compile(SAXPY, "m1").artifact
+            second = service.compile(SUM_U8, "m2").artifact
+            service.deploy(first, "x86")
+            assert executor.classify(second) == "cold"
+            assert executor.classify(first) == "warm"
+        finally:
+            service.shutdown()
+
+    def test_memo_hits_never_reach_the_executor(self):
+        from repro.service import CompilationService
+        executor = AdaptiveExecutor(cold="inline", warm="inline")
+        service = CompilationService(executor=executor)
+        try:
+            artifact = service.compile(SAXPY, "m").artifact
+            service.deploy_many(artifact, ["x86"])
+            before = executor.route_counters()
+            service.deploy_many(artifact, ["x86"])    # memoized
+            after = executor.route_counters()
+        finally:
+            service.shutdown()
+        total = lambda c: (c["cold"]["submitted"] +
+                           c["warm"]["submitted"])
+        assert total(after) == total(before)
